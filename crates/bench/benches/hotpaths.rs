@@ -1,0 +1,118 @@
+//! Criterion benches of the simulator's hot paths: the DES engine,
+//! the wire protocol codec, the matcher, the hardware cost models and
+//! a full end-to-end ping-pong simulation per figure family.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use omx_hw::mem::{CopyContext, MemModel};
+use omx_hw::{Distance, HwParams, IoatEngine};
+use omx_sim::{Ps, Sim};
+use open_mx::cluster::ClusterParams;
+use open_mx::harness::copybench::{copy_time, CopyEngine};
+use open_mx::harness::{run_pingpong, Placement, PingPongConfig};
+use open_mx::matching::{Matcher, PostedRecv};
+use open_mx::proto::Packet;
+use open_mx::ReqId;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("sim_engine_schedule_run_10k", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            let mut world = 0u64;
+            for i in 0..10_000u64 {
+                sim.schedule_at(Ps::ns(i), |w: &mut u64, _| *w += 1);
+            }
+            sim.run(&mut world);
+            black_box(world)
+        })
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let pkt = Packet::LargeFrag {
+        src_ep: 1,
+        dst_ep: 2,
+        recv_handle: 88,
+        frag_idx: 17,
+        offset: 17 * 4096,
+        data: Bytes::from(vec![0x5Au8; 4096]),
+    };
+    c.bench_function("proto_pack_4k_frag", |b| {
+        b.iter(|| black_box(pkt.pack()))
+    });
+    let packed = pkt.pack();
+    c.bench_function("proto_parse_4k_frag", |b| {
+        b.iter(|| black_box(Packet::parse(&packed).expect("parses")))
+    });
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    c.bench_function("matcher_post_and_match_64", |b| {
+        b.iter(|| {
+            let mut m = Matcher::new();
+            for i in 0..64u64 {
+                m.post_recv(PostedRecv {
+                    req: ReqId(i),
+                    match_info: i,
+                    mask: u64::MAX,
+                    len: 4096,
+                });
+            }
+            for i in 0..64u64 {
+                black_box(m.match_incoming(i));
+            }
+        })
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let hw = HwParams::default();
+    c.bench_function("memcpy_model_1mb", |b| {
+        let ctx = CopyContext::uncached(Distance::SameSocket);
+        b.iter(|| black_box(MemModel::copy_time(&hw, 1 << 20, 256, &ctx)))
+    });
+    c.bench_function("ioat_model_1mb", |b| {
+        b.iter(|| black_box(copy_time(&hw, CopyEngine::Ioat, 1 << 20, 4096)))
+    });
+    c.bench_function("ioat_submit_256_descriptors", |b| {
+        b.iter(|| {
+            let mut e = IoatEngine::new(&hw);
+            for _ in 0..256 {
+                black_box(e.submit(&hw, Ps::ZERO, 0, 4096, 1));
+            }
+        })
+    });
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_pingpong_simulation");
+    g.sample_size(10);
+    for size in [4096u64, 256 << 10] {
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| {
+                let mut cfg = PingPongConfig::new(
+                    ClusterParams::default(),
+                    size,
+                    Placement::TwoNodes {
+                        core_a: omx_hw::CoreId(2),
+                        core_b: omx_hw::CoreId(2),
+                    },
+                );
+                cfg.iters = 3;
+                cfg.warmup = 1;
+                black_box(run_pingpong(cfg).throughput_mibs)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_protocol,
+    bench_matcher,
+    bench_models,
+    bench_e2e
+);
+criterion_main!(benches);

@@ -1,0 +1,268 @@
+//! Ablations of the design choices DESIGN.md calls out, each mapping
+//! to a discussion point in the paper (§V/§VI):
+//!
+//! * paper-fixed vs auto-tuned offload thresholds,
+//! * busy-poll vs sleep-until-predicted-completion for synchronous
+//!   copies,
+//! * one-channel-per-message vs splitting a copy across channels,
+//! * cache-warming head copy before offloading,
+//! * library-level vs in-driver (kernel) matching for medium messages,
+//! * medium-path synchronous I/OAT (the measured degradation).
+
+use omx_bench::banner;
+use omx_hw::CoreId;
+use open_mx::autotune;
+use open_mx::cluster::ClusterParams;
+use open_mx::config::{OmxConfig, SyncWaitPolicy};
+use open_mx::harness::{run_pingpong, run_stream, Placement, PingPongConfig, StreamConfig};
+
+fn net_rate(size: u64, cfg: OmxConfig) -> f64 {
+    let params = ClusterParams::with_cfg(cfg);
+    let r = run_pingpong(PingPongConfig::new(
+        params,
+        size,
+        Placement::TwoNodes {
+            core_a: CoreId(2),
+            core_b: CoreId(2),
+        },
+    ));
+    assert!(r.verified);
+    r.throughput_mibs
+}
+
+fn shm_rate(size: u64, cfg: OmxConfig) -> f64 {
+    let params = ClusterParams::with_cfg(cfg);
+    let r = run_pingpong(PingPongConfig::new(
+        params,
+        size,
+        Placement::SameNode {
+            core_a: CoreId(0),
+            core_b: CoreId(4),
+        },
+    ));
+    assert!(r.verified);
+    r.throughput_mibs
+}
+
+fn main() {
+    banner("Ablations", "design-choice studies from §V/§VI");
+
+    // ---- auto-tuned thresholds ------------------------------------
+    println!("--- thresholds: paper-fixed vs auto-tuned (§VI) ---");
+    let tuned = autotune::calibrate(&omx_hw::HwParams::default(), &OmxConfig::default());
+    println!("auto-tuned: {tuned:?}");
+    for size in [64u64 << 10, 256 << 10, 1 << 20] {
+        let fixed = net_rate(size, OmxConfig::with_ioat());
+        let mut cfg = OmxConfig::with_ioat();
+        autotune::apply(&mut cfg, tuned);
+        let auto = net_rate(size, cfg);
+        println!(
+            "  net {:>6}: fixed {:7.1} MiB/s | auto-tuned {:7.1} MiB/s",
+            omx_sim::stats::format_bytes(size as f64),
+            fixed,
+            auto
+        );
+    }
+
+    // ---- sync wait policy ------------------------------------------
+    println!();
+    println!("--- shm sync copy: busy-poll vs sleep-until-predicted (§VI) ---");
+    for size in [2u64 << 20, 8 << 20] {
+        let mk = |wait| OmxConfig {
+            sync_wait: wait,
+            ioat_shm_threshold: 1 << 20,
+            ..OmxConfig::with_ioat()
+        };
+        let busy_cfg = mk(SyncWaitPolicy::BusyPoll);
+        let sleep_cfg = mk(SyncWaitPolicy::SleepPredicted);
+        let busy = shm_rate(size, busy_cfg);
+        let sleep = shm_rate(size, sleep_cfg);
+        println!(
+            "  {:>5}: busy-poll {:7.1} MiB/s | sleep-predicted {:7.1} MiB/s",
+            omx_sim::stats::format_bytes(size as f64),
+            busy,
+            sleep
+        );
+    }
+
+    // ---- multi-channel split ----------------------------------------
+    println!();
+    println!("--- shm copy: one channel vs split across 4 channels (§V, [22]) ---");
+    for size in [2u64 << 20, 8 << 20] {
+        let single = shm_rate(
+            size,
+            OmxConfig {
+                ioat_shm_threshold: 1 << 20,
+                ..OmxConfig::with_ioat()
+            },
+        );
+        let multi = shm_rate(
+            size,
+            OmxConfig {
+                ioat_shm_threshold: 1 << 20,
+                ioat_multichannel_split: true,
+                ..OmxConfig::with_ioat()
+            },
+        );
+        println!(
+            "  {:>5}: single-channel {:7.1} MiB/s | 4-channel split {:7.1} MiB/s ({:+.0} %)",
+            omx_sim::stats::format_bytes(size as f64),
+            single,
+            multi,
+            (multi / single - 1.0) * 100.0
+        );
+    }
+
+    // ---- warm-copy head ----------------------------------------------
+    println!();
+    println!("--- warm-copy head: memcpy the first bytes, offload the rest (§V) ---");
+    for head in [0u64, 16 << 10, 64 << 10] {
+        let rate = net_rate(
+            1 << 20,
+            OmxConfig {
+                warm_copy_head_bytes: head,
+                ..OmxConfig::with_ioat()
+            },
+        );
+        println!(
+            "  head {:>5}: 1MB ping-pong {:7.1} MiB/s",
+            omx_sim::stats::format_bytes(head as f64),
+            rate
+        );
+    }
+
+    // ---- medium-path options ----------------------------------------
+    println!();
+    println!("--- medium messages (16 kB): ring path vs sync-I/OAT vs kernel matching ---");
+    let base = net_rate(16 << 10, OmxConfig::default());
+    let sync = net_rate(
+        16 << 10,
+        OmxConfig {
+            ioat_medium_sync: true,
+            ..OmxConfig::with_ioat()
+        },
+    );
+    let kmatch = net_rate(
+        16 << 10,
+        OmxConfig {
+            kernel_matching: true,
+            ..OmxConfig::with_ioat()
+        },
+    );
+    println!("  library matching + memcpy ring:   {base:7.1} MiB/s (the paper's stack)");
+    println!("  + synchronous I/OAT ring copies:  {sync:7.1} MiB/s (paper observed a degradation)");
+    println!("  in-driver matching + async I/OAT: {kmatch:7.1} MiB/s (§VI future work)");
+
+    // ---- vectorial receive buffers ----------------------------------
+    println!();
+    println!("--- vectorial receive buffers (§IV-A: tiny chunks vs the threshold) ---");
+    {
+        use open_mx::app::{App, AppCtx, Completion};
+        use open_mx::cluster::Cluster;
+        use open_mx::{EpAddr, EpIdx, NodeId};
+        use omx_sim::{Ps, Sim};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct VecSender {
+            peer: EpAddr,
+        }
+        impl App for VecSender {
+            fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+                ctx.isend(self.peer, 1, vec![5u8; 1 << 20], Some(1));
+            }
+            fn on_completion(&mut self, _ctx: &mut AppCtx<'_>, _c: Completion) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        struct VecReceiver {
+            seg: u64,
+            done_at: Rc<Cell<Ps>>,
+        }
+        impl App for VecReceiver {
+            fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+                ctx.irecv_vectored(1, u64::MAX, 1 << 20, self.seg, Some(2));
+            }
+            fn on_completion(&mut self, ctx: &mut AppCtx<'_>, c: Completion) {
+                if matches!(c, Completion::Recv { .. }) {
+                    self.done_at.set(ctx.now());
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.done_at.get() > Ps::ZERO
+            }
+        }
+        let run = |seg: u64, frag_threshold: u64| {
+            let done_at = Rc::new(Cell::new(Ps::ZERO));
+            let params = ClusterParams::with_cfg(OmxConfig {
+                ioat_frag_threshold: frag_threshold,
+                ..OmxConfig::with_ioat()
+            });
+            let mut cluster = Cluster::new(params);
+            let mut sim: Sim<Cluster> = Sim::new();
+            let peer = EpAddr {
+                node: NodeId(1),
+                ep: EpIdx(0),
+            };
+            cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(VecSender { peer }));
+            cluster.add_endpoint(
+                NodeId(1),
+                CoreId(2),
+                Box::new(VecReceiver {
+                    seg,
+                    done_at: done_at.clone(),
+                }),
+            );
+            cluster.start(&mut sim);
+            sim.run(&mut cluster);
+            let offloaded = cluster.ep(peer).counters.copies_offloaded;
+            (done_at.get(), offloaded)
+        };
+        for (label, seg) in [("contiguous", u64::MAX), ("4kB segments", 4096), ("256B segments", 256)] {
+            let (with_threshold, off_a) = run(seg, 1 << 10);
+            let (forced, off_b) = run(seg, 1);
+            println!(
+                "  {label:>14}: 1kB threshold {:>10} ({off_a:>4} offloads) | forced offload {:>10} ({off_b:>4} offloads)",
+                format!("{with_threshold}"),
+                format!("{forced}"),
+            );
+        }
+        println!("  Tiny chunks make forced offload pay ~350 ns per 256 B descriptor;");
+        println!("  the 1 kB fragment threshold falls back to memcpy and stays fast.");
+    }
+
+    // ---- DCA ----------------------------------------------------------
+    println!();
+    println!("--- Direct Cache Access (§II-C): warm-source BH copies, no offload ---");
+    for (label, dca) in [("DCA off", false), ("DCA on ", true)] {
+        let rate = net_rate(
+            4 << 20,
+            OmxConfig {
+                dca_enabled: dca,
+                ..OmxConfig::default()
+            },
+        );
+        println!("  {label}: 4MB ping-pong {rate:7.1} MiB/s");
+    }
+    println!("  DCA lifts the memcpy plateau but cannot reach the overlap of the");
+    println!("  asynchronous offload — the two I/OAT features are complementary.");
+
+    // ---- CPU effect of the overlap (stream form) --------------------
+    println!();
+    println!("--- receive stream 1MB: CPU relief recap ---");
+    for (label, cfg) in [
+        ("memcpy", OmxConfig::default()),
+        ("I/OAT", OmxConfig::with_ioat()),
+    ] {
+        let p = ClusterParams::with_cfg(cfg);
+        let r = run_stream(StreamConfig::new(p, 1 << 20));
+        println!(
+            "  {label:>6}: BH {:4.1} % driver {:4.1} % @ {:7.1} MiB/s (skbuffs held peak {})",
+            r.bh_util * 100.0,
+            r.driver_util * 100.0,
+            r.throughput_mibs,
+            r.max_skbuffs_held
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 10 — Open-MX one-copy shared-memory ping-pong with I/OAT
+//! offload of synchronous copies.
+//!
+//! Three curves: memcpy with both processes on the same dual-core
+//! subchip (shared L2), memcpy across sockets, and the I/OAT
+//! synchronous copy. Expected shape: the shared-cache memcpy flies at
+//! ≈6 GiB/s while the working set fits the L2, then collapses to the
+//! cross-socket ≈1.2 GiB/s; the offloaded copy holds ≈2.3 GiB/s for
+//! large messages (≈+80 % over uncached memcpy).
+
+use omx_bench::{banner, maybe_json, print_table, sweep_series};
+use omx_hw::CoreId;
+use open_mx::cluster::ClusterParams;
+use open_mx::config::OmxConfig;
+use open_mx::harness::{run_pingpong, size_sweep, Placement, PingPongConfig};
+
+fn shm_rate(size: u64, core_b: CoreId, ioat: bool) -> f64 {
+    let params = ClusterParams::with_cfg(if ioat {
+        OmxConfig {
+            // Offload every large local message so the curve shows the
+            // raw synchronous-copy capability, as in the figure.
+            ioat_shm_threshold: 32 << 10,
+            ..OmxConfig::with_ioat()
+        }
+    } else {
+        OmxConfig::default()
+    });
+    let cfg = PingPongConfig::new(
+        params,
+        size,
+        Placement::SameNode {
+            core_a: CoreId(0),
+            core_b,
+        },
+    );
+    let r = run_pingpong(cfg);
+    assert!(r.verified, "payload corruption at {size} B");
+    r.throughput_mibs
+}
+
+fn main() {
+    banner(
+        "Figure 10",
+        "One-copy shared-memory ping-pong: memcpy placements vs I/OAT sync copy (MiB/s)",
+    );
+    let sizes = size_sweep(16 << 20);
+    // Core 1 shares the L2 with core 0; core 4 is on the other socket.
+    let same = sweep_series("Memcpy same dual-core subchip", &sizes, |s| {
+        shm_rate(s, CoreId(1), false)
+    });
+    let cross = sweep_series("Memcpy between sockets", &sizes, |s| {
+        shm_rate(s, CoreId(4), false)
+    });
+    let ioat = sweep_series("I/OAT offloaded sync copy", &sizes, |s| {
+        shm_rate(s, CoreId(4), true)
+    });
+    let all = vec![same, cross, ioat];
+    print_table(&all, "size");
+    println!();
+    println!("Paper shape: shared-L2 memcpy ≈6 GiB/s below ~1-2 MB then collapses;");
+    println!("cross-socket memcpy ≈1.2 GiB/s; I/OAT ≈2.3 GiB/s beyond 32 kB (+80 %).");
+    maybe_json(&all);
+}

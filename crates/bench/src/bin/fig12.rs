@@ -1,0 +1,79 @@
+//! Figure 12 — all IMB kernels, Open-MX (± I/OAT) normalized to MXoE,
+//! at 128 kB and 4 MB, with 1 and 2 processes per node.
+//!
+//! Paper headlines: ≈68 % of MXoE on average at 128 kB; ≈90 % at 4 MB
+//! with 1 ppn (+32 % from I/OAT); ≈94 % at 4 MB with 2 ppn (+41 %,
+//! thanks to the I/OAT shared-memory path); ReduceScatter with 2 ppn
+//! anomalously slows down with I/OAT.
+
+use omx_bench::banner;
+use omx_mpi::runner::{run_kernel, Layout};
+use omx_mpi::Kernel;
+use open_mx::cluster::ClusterParams;
+use open_mx::config::{OmxConfig, StackKind};
+use rayon::prelude::*;
+
+fn time_iter(kernel: Kernel, layout: Layout, size: u64, cfg: OmxConfig) -> f64 {
+    let params = ClusterParams::with_cfg(cfg);
+    let iters = if size >= 1 << 20 { 5 } else { 8 };
+    run_kernel(kernel, layout, size, iters, params)
+        .time_per_iter
+        .as_secs_f64()
+}
+
+fn panel(size: u64, layout: Layout) -> Vec<(Kernel, f64, f64)> {
+    Kernel::ALL
+        .par_iter()
+        .map(|&k| {
+            let mx = time_iter(
+                k,
+                layout,
+                size,
+                OmxConfig {
+                    stack: StackKind::Mxoe,
+                    ..OmxConfig::default()
+                },
+            );
+            let omx = time_iter(k, layout, size, OmxConfig::default());
+            let ioat = time_iter(k, layout, size, OmxConfig::with_ioat());
+            // Percentage of MXoE performance (time ratio inverted).
+            (k, 100.0 * mx / omx, 100.0 * mx / ioat)
+        })
+        .collect()
+}
+
+fn print_panel(title: &str, rows: &[(Kernel, f64, f64)]) {
+    println!("--- {title} (percentage of MXoE performance) ---");
+    println!("{:>12} {:>12} {:>16}", "kernel", "Open-MX", "Open-MX+I/OAT");
+    let mut sum_omx = 0.0;
+    let mut sum_ioat = 0.0;
+    for (k, omx, ioat) in rows {
+        println!("{:>12} {:>12.1} {:>16.1}", k.name(), omx, ioat);
+        sum_omx += omx;
+        sum_ioat += ioat;
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:>12} {:>12.1} {:>16.1}   (improvement {:.0} %)",
+        "average",
+        sum_omx / n,
+        sum_ioat / n,
+        (sum_ioat / sum_omx - 1.0) * 100.0
+    );
+    println!();
+}
+
+fn main() {
+    banner(
+        "Figure 12",
+        "IMB kernels normalized to MXoE, 128 kB & 4 MB, 1 & 2 processes per node",
+    );
+    for (size, label) in [(128u64 << 10, "128kB"), (4 << 20, "4MB")] {
+        for (layout, ppn) in [(Layout::OnePerNode, 1), (Layout::TwoPerNode, 2)] {
+            let rows = panel(size, layout);
+            print_panel(&format!("{label} messages, {ppn} process(es) per node"), &rows);
+        }
+    }
+    println!("Paper shape: 128kB ≈68 % of MXoE average with I/OAT (+24 %);");
+    println!("4MB 1ppn ≈90 % (+32 %); 4MB 2ppn ≈94 % (+41 %, shm I/OAT).");
+}

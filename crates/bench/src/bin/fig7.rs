@@ -1,0 +1,47 @@
+//! Figure 7 — pipelined memcpy vs I/OAT copy throughput for 256 B,
+//! 1 kB and 4 kB chunks, copy sizes 256 B … 1 MB.
+
+use omx_bench::{banner, maybe_json, print_table, sweep_series};
+use omx_hw::HwParams;
+use open_mx::harness::copybench::{copy_rate_mibs, CopyEngine};
+
+fn main() {
+    banner(
+        "Figure 7",
+        "Pipelined memcpy vs I/OAT copy throughput by chunk size (MiB/s)",
+    );
+    let hw = HwParams::default();
+    let mut sizes = Vec::new();
+    let mut s = 256u64;
+    while s <= 1 << 20 {
+        sizes.push(s);
+        s *= 2;
+    }
+    let mut all = Vec::new();
+    for (label, chunk) in [("4kB chunks (page)", 4096u64), ("1kB chunks", 1024), ("256B chunks", 256)] {
+        all.push(sweep_series(
+            &format!("Memcpy - {label}"),
+            &sizes,
+            |total| copy_rate_mibs(&hw, CopyEngine::Memcpy, total, chunk.min(total)),
+        ));
+    }
+    for (label, chunk) in [("4kB chunks (page)", 4096u64), ("1kB chunks", 1024), ("256B chunks", 256)] {
+        all.push(sweep_series(
+            &format!("I/OAT Copy - {label}"),
+            &sizes,
+            |total| copy_rate_mibs(&hw, CopyEngine::Ioat, total, chunk.min(total)),
+        ));
+    }
+    print_table(&all, "copy size");
+    println!();
+    println!("Paper shape: 4kB-chunk I/OAT sustains ≈2.4 GiB/s vs memcpy ≈1.5 GiB/s;");
+    println!("1kB chunks sit near parity; 256B-chunk I/OAT collapses below memcpy.");
+    let ioat4k = copy_rate_mibs(&hw, CopyEngine::Ioat, 1 << 20, 4096);
+    let mc4k = copy_rate_mibs(&hw, CopyEngine::Memcpy, 1 << 20, 4096);
+    println!(
+        "1MB / 4kB chunks: I/OAT {:.2} GiB/s, memcpy {:.2} GiB/s",
+        ioat4k / 1024.0,
+        mc4k / 1024.0
+    );
+    maybe_json(&all);
+}

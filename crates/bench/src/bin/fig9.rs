@@ -1,0 +1,47 @@
+//! Figure 9 — receiver CPU usage while receiving a stream of
+//! synchronous large messages, with and without overlapped DMA copy.
+//!
+//! Two panels (memcpy / overlapped DMA), three stacked categories each:
+//! bottom-half receive, driver (commands + pinning), user library. The
+//! paper's headline: the memcpy BH saturates a core near 95 % for
+//! multi-megabyte messages; overlapped offload drops overall usage to
+//! ≈60 % while *increasing* throughput.
+
+use omx_bench::banner;
+use open_mx::cluster::ClusterParams;
+use open_mx::config::OmxConfig;
+use open_mx::harness::{run_stream, StreamConfig};
+
+fn panel(title: &str, cfg_fn: impl Fn() -> OmxConfig) {
+    println!("--- {title} ---");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14}",
+        "size", "%BH", "%driver", "%user-lib", "MiB/s"
+    );
+    for size in [64u64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20] {
+        let params = ClusterParams::with_cfg(cfg_fn());
+        let sc = StreamConfig::new(params, size);
+        let r = run_stream(sc);
+        assert!(r.verified, "corruption at {size}");
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>12.1} {:>14.1}",
+            omx_sim::stats::format_bytes(size as f64),
+            r.bh_util * 100.0,
+            r.driver_util * 100.0,
+            r.user_util * 100.0,
+            r.throughput_mibs
+        );
+    }
+    println!();
+}
+
+fn main() {
+    banner(
+        "Figure 9",
+        "Receiver CPU usage per category for a unidirectional large-message stream",
+    );
+    panel("BH receive with Memcpy", OmxConfig::default);
+    panel("BH receive with Overlapped DMA Copy", OmxConfig::with_ioat);
+    println!("Paper shape: memcpy BH rises to ≈95 % for multi-MB messages;");
+    println!("overlapped DMA drops overall receive CPU to ≈60 % at higher throughput.");
+}

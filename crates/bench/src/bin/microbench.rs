@@ -1,0 +1,78 @@
+//! §IV-A micro-benchmark numbers (the paper's "table" of calibration
+//! constants): descriptor submission cost, completion-check cost,
+//! memcpy rates, and the memcpy/I/OAT break-even points.
+
+use omx_bench::banner;
+use omx_hw::{HwParams, IoatEngine};
+use omx_sim::Ps;
+use open_mx::autotune;
+use open_mx::config::OmxConfig;
+use open_mx::harness::copybench::{copy_rate_mibs, cpu_breakeven_bytes, CopyEngine};
+
+fn main() {
+    banner(
+        "§IV-A micro-benchmarks",
+        "submission/completion costs, copy rates and break-even points",
+    );
+    let hw = HwParams::default();
+    println!(
+        "I/OAT descriptor submission (CPU):        {}   (paper: ~350 ns)",
+        hw.ioat_submit_cpu
+    );
+    println!(
+        "I/OAT completion check (in-order word):   {}    (paper: negligible)",
+        hw.ioat_poll_cost
+    );
+    println!(
+        "memcpy rate, uncached:                    {:7.2} GiB/s (paper: ~1.6 GiB/s)",
+        hw.memcpy_rate_uncached.as_mib_per_sec() / 1024.0
+    );
+    println!(
+        "memcpy rate, cache-resident:              {:7.2} GiB/s (paper: up to 12 GiB/s)",
+        hw.memcpy_rate_cached.as_mib_per_sec() / 1024.0
+    );
+    println!(
+        "I/OAT sustained, 4 kB descriptors:        {:7.2} GiB/s (paper: ~2.4 GiB/s)",
+        copy_rate_mibs(&hw, CopyEngine::Ioat, 16 << 20, 4096) / 1024.0
+    );
+    println!(
+        "memcpy sustained, 4 kB chunks:            {:7.2} GiB/s (paper: ~1.5 GiB/s)",
+        copy_rate_mibs(&hw, CopyEngine::Memcpy, 16 << 20, 4096) / 1024.0
+    );
+    println!(
+        "CPU break-even (memcpy vs one submit):    {:>6} B    (paper: ~600 B)",
+        cpu_breakeven_bytes(&hw)
+    );
+    // Cached break-even: how much can the shared-cache memcpy move in
+    // one submission time.
+    let mut cached_be = 64u64;
+    while hw
+        .memcpy_rate_shared_cache_pair
+        .time_for(cached_be)
+        < hw.ioat_submit_cpu
+    {
+        cached_be += 64;
+    }
+    println!(
+        "cached break-even:                        {cached_be:>6} B    (paper: ~2 kB)"
+    );
+    println!(
+        "submit cost for a 1 MB copy (256 desc):   {}  of CPU time",
+        IoatEngine::submit_cpu_cost(&hw, 256)
+    );
+    println!();
+    let t = autotune::calibrate(&hw, &OmxConfig::default());
+    println!("auto-tuned thresholds (extension, §VI):");
+    println!(
+        "  fragment ≥ {} B (paper: 1 kB), network message ≥ {} kB (paper: 64 kB), shm ≥ {} kB (paper: 1 MB)",
+        t.frag_threshold,
+        t.net_msg_threshold >> 10,
+        t.shm_threshold >> 10
+    );
+    let one_page = hw.ioat_desc_overhead + hw.ioat_raw_rate.time_for(4096);
+    println!(
+        "one 4 kB descriptor executes in {} (≥ the {} submission: submission pipelines)",
+        one_page,
+        Ps::ns(350)
+    );
+}

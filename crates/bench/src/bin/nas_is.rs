@@ -1,0 +1,48 @@
+//! §IV-D NAS note — an IS-like bucket-sort communication kernel.
+//!
+//! The paper: "We also observed up to 10 % performance increase on the
+//! NAS parallel benchmarks, especially on IS which relies on large
+//! messages."
+
+use omx_bench::banner;
+use omx_mpi::nas::is_scripts;
+use omx_mpi::runner::{run_scripts, Layout};
+use open_mx::cluster::ClusterParams;
+use open_mx::config::OmxConfig;
+
+fn run(total: u64, ioat: bool, layout: Layout) -> f64 {
+    let params = ClusterParams::with_cfg(if ioat {
+        OmxConfig::with_ioat()
+    } else {
+        OmxConfig::default()
+    });
+    let r = run_scripts(params, layout, is_scripts(layout.np(), total, 4));
+    r.end.as_secs_f64()
+}
+
+fn main() {
+    banner(
+        "NAS IS (IV-D)",
+        "IS-like bucket-sort kernel: total runtime with and without I/OAT",
+    );
+    println!(
+        "{:>10} {:>6} {:>14} {:>14} {:>10}",
+        "keys", "ppn", "memcpy (ms)", "I/OAT (ms)", "speedup"
+    );
+    for (layout, ppn) in [(Layout::OnePerNode, 1), (Layout::TwoPerNode, 2)] {
+        for total in [8u64 << 20, 32 << 20] {
+            let base = run(total, false, layout);
+            let ioat = run(total, true, layout);
+            println!(
+                "{:>9}M {:>6} {:>14.2} {:>14.2} {:>9.1}%",
+                total >> 20,
+                ppn,
+                base * 1e3,
+                ioat * 1e3,
+                (base / ioat - 1.0) * 100.0
+            );
+        }
+    }
+    println!();
+    println!("Paper shape: up to ~10 % end-to-end gain on IS from I/OAT offload.");
+}

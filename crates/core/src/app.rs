@@ -1,0 +1,105 @@
+//! The application interface.
+//!
+//! Benchmark state machines (ping-pong, streams, the MPI engine)
+//! implement [`App`]. An app never blocks: it posts non-blocking
+//! sends/receives through [`AppCtx`] and is re-entered on each request
+//! completion. All completions are delivered through scheduled events,
+//! never synchronously from inside a post, so an app's callbacks do
+//! not re-enter each other.
+
+use crate::cluster::Cluster;
+use crate::{EpAddr, ReqId};
+use omx_sim::{Ps, Sim};
+
+/// A completed request delivered to the application.
+#[derive(Debug)]
+pub enum Completion {
+    /// A send finished (buffer reusable).
+    Send {
+        /// The completed request.
+        req: ReqId,
+    },
+    /// A receive finished; `data` is the filled buffer.
+    Recv {
+        /// The completed request.
+        req: ReqId,
+        /// Match information of the message that matched.
+        match_info: u64,
+        /// Delivered payload.
+        data: Vec<u8>,
+    },
+}
+
+impl Completion {
+    /// The request id of either kind.
+    pub fn req(&self) -> ReqId {
+        match self {
+            Completion::Send { req } | Completion::Recv { req, .. } => *req,
+        }
+    }
+}
+
+/// An application driving one endpoint.
+pub trait App {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>);
+    /// Called whenever one of this endpoint's requests completes.
+    fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion);
+    /// Whether the app has finished its workload (harness query).
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Capability handed to an app callback for posting operations.
+pub struct AppCtx<'a> {
+    /// The cluster (world) — public so harnesses embedded in apps can
+    /// read stats, never mutated directly by apps.
+    pub cluster: &'a mut Cluster,
+    /// The simulator, for the clock.
+    pub sim: &'a mut Sim<Cluster>,
+    /// The endpoint this app owns.
+    pub me: EpAddr,
+}
+
+impl AppCtx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Ps {
+        self.sim.now()
+    }
+
+    /// Post a non-blocking send of `data` to `dest` with the given
+    /// match information. `tag` is the stable buffer identity (enables
+    /// the registration cache and the cache model to recognize reuse).
+    pub fn isend(&mut self, dest: EpAddr, match_info: u64, data: Vec<u8>, tag: Option<u64>) -> ReqId {
+        self.cluster.post_isend(self.sim, self.me, dest, match_info, data, tag)
+    }
+
+    /// Post a non-blocking receive of up to `max_len` bytes matching
+    /// `(match_info, mask)`.
+    pub fn irecv(&mut self, match_info: u64, mask: u64, max_len: u64, tag: Option<u64>) -> ReqId {
+        self.cluster.post_irecv(self.sim, self.me, match_info, mask, max_len, tag)
+    }
+
+    /// Post a non-blocking receive into a *scattered* buffer of
+    /// `seg_size`-byte segments (the paper's "highly-vectorial
+    /// buffers", §IV-A): every receive copy splits at segment
+    /// boundaries, multiplying descriptors/chunks.
+    pub fn irecv_vectored(
+        &mut self,
+        match_info: u64,
+        mask: u64,
+        max_len: u64,
+        seg_size: u64,
+        tag: Option<u64>,
+    ) -> ReqId {
+        self.cluster
+            .post_irecv_vectored(self.sim, self.me, match_info, mask, max_len, Some(seg_size), tag)
+    }
+
+    /// Charge `dur` of application compute time on this endpoint's
+    /// core (delays subsequently posted operations).
+    pub fn compute(&mut self, dur: Ps) {
+        self.cluster.charge_app_compute(self.sim, self.me, dur);
+    }
+}

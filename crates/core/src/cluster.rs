@@ -1,0 +1,687 @@
+//! The simulated cluster: hosts, NICs, links, CPU cores, caches, the
+//! I/OAT engine, the Open-MX (or MXoE) stack and the applications.
+//!
+//! This is the world type of the discrete-event simulation. All
+//! scheduling happens here and in the `driver::*` / `libproc` /
+//! `mx_stack` modules, which add further `impl Cluster` blocks. The
+//! substrate crates stay pure; the cluster interprets their costs.
+
+use crate::app::{App, AppCtx, Completion};
+use crate::config::{MsgClass, OmxConfig, StackKind};
+use crate::driver::Driver;
+use crate::endpoint::{Endpoint, RecvState, SendState};
+use crate::events::Event;
+use crate::mx_stack::MxNodeState;
+use crate::proto::Packet;
+use crate::{EpAddr, EpIdx, NodeId, ReqId};
+use omx_ethernet::bh::NAPI_BUDGET;
+use omx_ethernet::nic::RxOutcome;
+use omx_ethernet::{BottomHalfQueue, EthFrame, Link, LinkParams, Nic, NicParams};
+use omx_hw::cpu::category;
+use omx_hw::{CacheModel, CoreId, CpuSet, HwParams, IoatEngine, Topology};
+use omx_mx::MxParams;
+use omx_sim::{Ps, Sim, SplitMix64};
+use std::collections::HashMap;
+
+/// Everything needed to build a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// Hardware calibration constants (per host).
+    pub hw: HwParams,
+    /// Open-MX stack configuration.
+    pub cfg: OmxConfig,
+    /// MX baseline costs (used when `cfg.stack == Mxoe`).
+    pub mx: MxParams,
+    /// Link timing.
+    pub link: LinkParams,
+    /// NIC template (ring size, IRQ core).
+    pub nic: NicParams,
+    /// Host CPU topology.
+    pub topology: Topology,
+    /// Number of hosts.
+    pub nodes: usize,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            hw: HwParams::default(),
+            cfg: OmxConfig::default(),
+            mx: MxParams::default(),
+            link: LinkParams::default(),
+            nic: NicParams::default(),
+            topology: Topology::default(),
+            nodes: 2,
+        }
+    }
+}
+
+/// One host.
+#[derive(Debug)]
+pub struct Node {
+    /// Host id.
+    pub id: NodeId,
+    /// CPU cores with busy accounting.
+    pub cpus: CpuSet,
+    /// Per-subchip cache occupancy.
+    pub cache: CacheModel,
+    /// The I/OAT DMA engine.
+    pub ioat: IoatEngine,
+    /// The Ethernet NIC (receive side).
+    pub nic: Nic,
+    /// Per-core bottom-half queues.
+    pub bh: Vec<BottomHalfQueue>,
+    /// Kernel driver state.
+    pub driver: Driver,
+    /// Endpoints (one per process).
+    pub endpoints: Vec<Endpoint>,
+    /// MXoE-mode NIC firmware state.
+    pub mx: MxNodeState,
+    /// Copy-duration predictor for the sleep-until-completion
+    /// extension.
+    pub predictor: crate::predict::CopyPredictor,
+}
+
+/// Aggregate counters over one run.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Frames handed to links.
+    pub frames_sent: u64,
+    /// Frames dropped by loss injection.
+    pub frames_lost: u64,
+    /// Frames dropped by RX-ring overflow.
+    pub frames_ring_dropped: u64,
+    /// Eager message retransmissions.
+    pub retransmissions: u64,
+    /// Pull-request retransmissions.
+    pub pull_retransmissions: u64,
+    /// Acks sent.
+    pub acks_sent: u64,
+    /// Duplicate frames suppressed.
+    pub duplicates_dropped: u64,
+    /// Messages fully delivered to applications.
+    pub messages_delivered: u64,
+    /// Payload bytes delivered to applications.
+    pub bytes_delivered: u64,
+}
+
+/// The simulation world.
+pub struct Cluster {
+    /// Construction parameters.
+    pub p: ClusterParams,
+    /// Hosts.
+    pub nodes: Vec<Node>,
+    /// Unidirectional links keyed by (src, dst).
+    pub links: HashMap<(u32, u32), Link>,
+    /// Applications (taken out while their callback runs).
+    pub apps: Vec<Option<Box<dyn App>>>,
+    /// Counters.
+    pub stats: Stats,
+    next_req: u64,
+    rng: SplitMix64,
+}
+
+impl ClusterParams {
+    /// Default testbed parameters with a specific stack configuration.
+    pub fn with_cfg(cfg: OmxConfig) -> Self {
+        ClusterParams {
+            cfg,
+            ..ClusterParams::default()
+        }
+    }
+}
+
+impl Cluster {
+    /// Build an idle cluster with full-mesh links and no endpoints.
+    pub fn new(p: ClusterParams) -> Self {
+        let mut links = HashMap::new();
+        for a in 0..p.nodes as u32 {
+            for b in 0..p.nodes as u32 {
+                // The diagonal entries model the NIC's internal DMA
+                // loopback, which is how native MXoE moves intra-node
+                // traffic (Open-MX intercepts local sends in the
+                // driver and never reaches a link).
+                links.insert((a, b), Link::new(p.link));
+            }
+        }
+        let nodes = (0..p.nodes as u32)
+            .map(|i| Node {
+                id: NodeId(i),
+                cpus: CpuSet::new(p.topology),
+                cache: CacheModel::new(),
+                ioat: IoatEngine::new(&p.hw),
+                nic: Nic::new(p.nic),
+                bh: (0..p.topology.num_cores())
+                    .map(|_| BottomHalfQueue::new())
+                    .collect(),
+                driver: Driver::new(),
+                endpoints: Vec::new(),
+                mx: MxNodeState::default(),
+                predictor: crate::predict::CopyPredictor::new(),
+            })
+            .collect();
+        let seed = p.cfg.seed;
+        Cluster {
+            p,
+            nodes,
+            links,
+            apps: Vec::new(),
+            stats: Stats::default(),
+            next_req: 1,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Add an endpoint on `node`, pinned to `core`, driven by `app`.
+    pub fn add_endpoint(&mut self, node: NodeId, core: CoreId, app: Box<dyn App>) -> EpAddr {
+        let app_id = self.apps.len();
+        self.apps.push(Some(app));
+        let n = &mut self.nodes[node.0 as usize];
+        let ep_idx = EpIdx(n.endpoints.len() as u8);
+        let addr = EpAddr { node, ep: ep_idx };
+        let slot_bytes = self.p.cfg.frag_size.max(self.p.cfg.small_max) as usize;
+        n.endpoints.push(Endpoint::new(
+            addr,
+            core,
+            app_id,
+            self.p.cfg.recvq_slots,
+            slot_bytes,
+            self.p.cfg.regcache,
+        ));
+        addr
+    }
+
+    /// Schedule every app's `on_start` at time zero.
+    pub fn start(&mut self, sim: &mut Sim<Cluster>) {
+        let eps: Vec<EpAddr> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.endpoints.iter().map(|e| e.addr))
+            .collect();
+        for addr in eps {
+            sim.schedule_at(Ps::ZERO, move |c: &mut Cluster, s| {
+                let app_id = c.ep(addr).app;
+                let mut app = c.apps[app_id].take().expect("app in place");
+                {
+                    let mut ctx = AppCtx {
+                        cluster: c,
+                        sim: s,
+                        me: addr,
+                    };
+                    app.on_start(&mut ctx);
+                }
+                c.apps[app_id] = Some(app);
+            });
+        }
+    }
+
+    /// Whether every app reports done.
+    pub fn all_apps_done(&self) -> bool {
+        self.apps
+            .iter()
+            .all(|a| a.as_ref().map(|a| a.is_done()).unwrap_or(false))
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// Shared access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Shared access to an endpoint.
+    pub fn ep(&self, a: EpAddr) -> &Endpoint {
+        &self.nodes[a.node.0 as usize].endpoints[a.ep.0 as usize]
+    }
+
+    /// Mutable access to an endpoint.
+    pub fn ep_mut(&mut self, a: EpAddr) -> &mut Endpoint {
+        &mut self.nodes[a.node.0 as usize].endpoints[a.ep.0 as usize]
+    }
+
+    /// Allocate a request id.
+    pub(crate) fn alloc_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    /// Deterministic RNG (loss injection).
+    pub(crate) fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    /// Charge `work` on a node core; returns `(start, finish)`.
+    pub(crate) fn run_core(
+        &mut self,
+        node: NodeId,
+        core: CoreId,
+        now: Ps,
+        work: Ps,
+        cat: &'static str,
+    ) -> (Ps, Ps) {
+        self.nodes[node.0 as usize]
+            .cpus
+            .run_on(core, now, work, cat)
+    }
+
+    // ------------------------------------------------------------------
+    // application entry points (called from AppCtx)
+    // ------------------------------------------------------------------
+
+    /// Post a non-blocking send.
+    pub fn post_isend(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        dest: EpAddr,
+        match_info: u64,
+        data: Vec<u8>,
+        tag: Option<u64>,
+    ) -> ReqId {
+        let req = self.alloc_req();
+        let len = data.len() as u64;
+        let class = self.p.cfg.class_of(len);
+        let core = self.ep(me).core;
+        // The app produced (wrote) the data: its buffer becomes warm in
+        // the app core's subchip cache and coherence invalidates stale
+        // copies elsewhere (drives the Fig 10 placement effects).
+        if let Some(t) = tag {
+            let subchip = self.p.topology.subchip_of(core);
+            let hw = self.p.hw.clone();
+            self.node_mut(me.node).cache.touch_exclusive(
+                &hw,
+                subchip,
+                omx_hw::cache::RegionKey(t),
+                len,
+            );
+        }
+        let msg_seq = self.ep_mut(me).next_seq(dest);
+        self.ep_mut(me).sends.insert(
+            req,
+            SendState {
+                req,
+                dest,
+                match_info,
+                msg_seq,
+                class,
+                data: bytes::Bytes::from(data),
+                tag,
+                acked: false,
+                completed: false,
+                sender_handle: None,
+                region: None,
+                retx_attempts: 0,
+                last_activity: sim.now(),
+            },
+        );
+        match self.p.cfg.stack {
+            StackKind::OpenMx => {
+                // Library post + command syscall into the driver.
+                let (_, fin) = self.run_core(
+                    me.node,
+                    core,
+                    sim.now(),
+                    self.p.cfg.lib_post_cost,
+                    category::USER_LIB,
+                );
+                let syscall = self.p.hw.syscall_cost + self.p.cfg.driver_cmd_cost;
+                let (_, fin) = self.run_core(me.node, core, fin, syscall, category::DRIVER);
+                if dest.node == me.node {
+                    sim.schedule_at(fin, move |c: &mut Cluster, s| c.shm_send(s, me, req));
+                } else {
+                    sim.schedule_at(fin, move |c: &mut Cluster, s| c.net_send(s, me, req));
+                }
+            }
+            StackKind::Mxoe => {
+                // OS-bypass: the library rings the NIC doorbell, no
+                // syscall.
+                let (_, fin) = self.run_core(
+                    me.node,
+                    core,
+                    sim.now(),
+                    self.p.mx.lib_post_cost,
+                    category::USER_LIB,
+                );
+                sim.schedule_at(fin, move |c: &mut Cluster, s| c.mx_send(s, me, req));
+            }
+        }
+        req
+    }
+
+    /// Post a non-blocking receive into a contiguous buffer.
+    pub fn post_irecv(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        match_info: u64,
+        mask: u64,
+        max_len: u64,
+        tag: Option<u64>,
+    ) -> ReqId {
+        self.post_irecv_vectored(sim, me, match_info, mask, max_len, None, tag)
+    }
+
+    /// Post a non-blocking receive into a scattered buffer of
+    /// `seg_size`-byte segments (None = contiguous).
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_irecv_vectored(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        match_info: u64,
+        mask: u64,
+        max_len: u64,
+        seg_size: Option<u64>,
+        tag: Option<u64>,
+    ) -> ReqId {
+        assert!(seg_size.is_none_or(|s| s > 0), "segments must be nonzero");
+        let req = self.alloc_req();
+        let core = self.ep(me).core;
+        let (_, fin) = self.run_core(me.node, core, sim.now(), self.p.cfg.lib_post_cost, category::USER_LIB);
+        self.ep_mut(me).recvs.insert(
+            req,
+            RecvState {
+                req,
+                match_info,
+                mask,
+                buf: vec![0u8; max_len as usize],
+                received: 0,
+                total: 0,
+                matched_info: None,
+                tag,
+                region: None,
+                frag_seen: Vec::new(),
+                seg_size,
+            },
+        );
+        // Matching against already-arrived messages happens in library
+        // context right after the post.
+        sim.schedule_at(fin, move |c: &mut Cluster, s| {
+            c.lib_match_new_recv(s, me, req);
+        });
+        req
+    }
+
+    /// Charge app compute time on the endpoint's core.
+    pub fn charge_app_compute(&mut self, sim: &mut Sim<Cluster>, me: EpAddr, dur: Ps) {
+        let core = self.ep(me).core;
+        self.run_core(me.node, core, sim.now(), dur, category::APP);
+    }
+
+    // ------------------------------------------------------------------
+    // frames and links
+    // ------------------------------------------------------------------
+
+    /// Hand `pkt` to the NIC of `src` for `dst` at time `at` (the
+    /// driver finished building it then). Applies loss injection.
+    pub(crate) fn send_packet(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        src: NodeId,
+        dst: NodeId,
+        pkt: &Packet,
+        at: Ps,
+    ) {
+        let payload = pkt.pack();
+        self.send_payload(sim, src, dst, payload, at, Ps::ZERO);
+    }
+
+    /// Like [`Self::send_packet`] but with extra per-frame transmitter
+    /// occupancy (the MXoE NIC firmware overhead).
+    pub(crate) fn send_payload(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        src: NodeId,
+        dst: NodeId,
+        payload: bytes::Bytes,
+        at: Ps,
+        extra: Ps,
+    ) {
+        sim.schedule_at(at, move |c: &mut Cluster, s| {
+            c.stats.frames_sent += 1;
+            // Loss injection targets the Open-MX reliability machinery;
+            // the MXoE baseline has none (its reliability lives in the
+            // NIC firmware, out of scope), so its frames are exempt.
+            if c.p.cfg.stack == StackKind::OpenMx {
+                if let Some(one_in) = c.p.cfg.loss_one_in {
+                    if c.rng().next_below(one_in) == 0 {
+                        c.stats.frames_lost += 1;
+                        return;
+                    }
+                }
+            }
+            let frame = EthFrame::new(src.0, dst.0, payload);
+            let link = c.links.get_mut(&(src.0, dst.0)).expect("link exists");
+            let arrival = link.transmit_with_overhead(s.now(), &frame, extra);
+            s.schedule_at(arrival, move |c: &mut Cluster, s| {
+                c.on_frame(s, dst, frame);
+            });
+        });
+    }
+
+    /// A frame finished arriving at `node`'s NIC.
+    fn on_frame(&mut self, sim: &mut Sim<Cluster>, node: NodeId, frame: EthFrame) {
+        match self.p.cfg.stack {
+            StackKind::OpenMx => self.omx_on_frame(sim, node, frame),
+            StackKind::Mxoe => self.mx_on_frame(sim, node, frame),
+        }
+    }
+
+    /// Open-MX receive: ring skbuff, IRQ, bottom half.
+    fn omx_on_frame(&mut self, sim: &mut Sim<Cluster>, node: NodeId, frame: EthFrame) {
+        let now = sim.now();
+        let n = self.node_mut(node);
+        let (skb, outcome) = n.nic.receive(now, &frame);
+        match outcome {
+            RxOutcome::DroppedRingFull => {
+                self.stats.frames_ring_dropped += 1;
+            }
+            RxOutcome::DeliveredCoalesced => {
+                let core = n.nic.params().irq_core;
+                let need_run = n.bh[core.0 as usize].enqueue(skb.expect("delivered"));
+                if need_run {
+                    let delay = self.p.hw.bh_dispatch_delay;
+                    sim.schedule_at(now + delay, move |c: &mut Cluster, s| c.run_bh(s, node, core));
+                }
+            }
+            RxOutcome::DeliveredWithIrq(core) => {
+                let need_run = n.bh[core.0 as usize].enqueue(skb.expect("delivered"));
+                let irq = self.p.hw.irq_cpu_cost;
+                let (_, irq_fin) = self.run_core(node, core, now, irq, category::IRQ);
+                if need_run {
+                    let at = irq_fin.max(now + self.p.hw.bh_dispatch_delay);
+                    sim.schedule_at(at, move |c: &mut Cluster, s| c.run_bh(s, node, core));
+                }
+            }
+        }
+    }
+
+    /// One bottom-half invocation on `core` of `node`.
+    fn run_bh(&mut self, sim: &mut Sim<Cluster>, node: NodeId, core: CoreId) {
+        let batch = self.node_mut(node).bh[core.0 as usize].take_batch(NAPI_BUDGET);
+        let count = batch.len();
+        let mut last_fin = sim.now();
+        for skb in batch {
+            last_fin = self.handle_rx_skbuff(sim, node, core, skb);
+        }
+        self.node_mut(node).nic.replenish(count);
+        let more = self.node_mut(node).bh[core.0 as usize].finish_run();
+        if more {
+            sim.schedule_at(last_fin, move |c: &mut Cluster, s| c.run_bh(s, node, core));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // event ring and app callbacks
+    // ------------------------------------------------------------------
+
+    /// Driver side: publish an event and make sure the library will
+    /// poll it.
+    pub(crate) fn push_event(&mut self, sim: &mut Sim<Cluster>, addr: EpAddr, ev: Event) {
+        let ep = self.ep_mut(addr);
+        ep.counters.events += 1;
+        ep.events.push(ev);
+        self.schedule_lib_poll(sim, addr);
+    }
+
+    /// Schedule a library poll for `addr` unless one is pending.
+    pub(crate) fn schedule_lib_poll(&mut self, sim: &mut Sim<Cluster>, addr: EpAddr) {
+        let ep = self.ep_mut(addr);
+        if ep.poll_scheduled || ep.events.is_empty() {
+            return;
+        }
+        ep.poll_scheduled = true;
+        sim.schedule_at(sim.now(), move |c: &mut Cluster, s| {
+            c.ep_mut(addr).poll_scheduled = false;
+            c.lib_poll(s, addr);
+        });
+    }
+
+    /// Run one application callback with the take/restore pattern.
+    pub(crate) fn call_app(&mut self, sim: &mut Sim<Cluster>, addr: EpAddr, comp: Completion) {
+        let app_id = self.ep(addr).app;
+        let mut app = self.apps[app_id].take().expect("app not re-entered");
+        {
+            let mut ctx = AppCtx {
+                cluster: self,
+                sim,
+                me: addr,
+            };
+            app.on_completion(&mut ctx, comp);
+        }
+        self.apps[app_id] = Some(app);
+    }
+
+    /// Deliver a receive completion to the app (scheduled, never
+    /// synchronous from a post).
+    pub(crate) fn finish_recv(&mut self, sim: &mut Sim<Cluster>, addr: EpAddr, req: ReqId, at: Ps) {
+        sim.schedule_at(at, move |c: &mut Cluster, s| {
+            let ep = c.ep_mut(addr);
+            let Some(mut st) = ep.recvs.remove(&req) else {
+                return; // duplicate completion suppressed
+            };
+            // Trim the buffer to the delivered length.
+            let total = st.total.min(st.buf.len() as u64);
+            st.buf.truncate(total as usize);
+            // The app will now read the buffer: it becomes resident in
+            // the app core's subchip cache.
+            let core = ep.core;
+            if let Some(t) = st.tag {
+                let subchip = c.p.topology.subchip_of(core);
+                let hw = c.p.hw.clone();
+                c.node_mut(addr.node).cache.touch(
+                    &hw,
+                    subchip,
+                    omx_hw::cache::RegionKey(t),
+                    total,
+                );
+            }
+            c.stats.messages_delivered += 1;
+            c.stats.bytes_delivered += total;
+            c.ep_mut(addr).counters.rx_bytes += total;
+            let comp = Completion::Recv {
+                req,
+                match_info: st.matched_info.unwrap_or(st.match_info),
+                data: st.buf,
+            };
+            c.call_app(s, addr, comp);
+        });
+    }
+
+    /// Deliver a send completion to the app.
+    pub(crate) fn finish_send(&mut self, sim: &mut Sim<Cluster>, addr: EpAddr, req: ReqId, at: Ps) {
+        sim.schedule_at(at, move |c: &mut Cluster, s| {
+            let ep = c.ep_mut(addr);
+            let Some(st) = ep.sends.get_mut(&req) else {
+                return;
+            };
+            if st.completed {
+                return;
+            }
+            st.completed = true;
+            // Retain the entry if an ack is still owed (retransmission
+            // may still need the data); eager sends completed on ack
+            // can drop immediately.
+            let drop_now = st.acked || matches!(st.class, MsgClass::Large);
+            if drop_now {
+                ep.sends.remove(&req);
+            }
+            c.call_app(s, addr, Completion::Send { req });
+        });
+    }
+
+    /// Total CPU busy time of one category on a node.
+    pub fn node_busy_in(&self, node: NodeId, cat: &str) -> Ps {
+        self.node(node).cpus.merged_meter().total(cat)
+    }
+}
+
+/// Helper bundling cluster + engine construction.
+pub fn build(p: ClusterParams) -> (Cluster, Sim<Cluster>) {
+    (Cluster::new(p), Sim::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_builds_full_mesh() {
+        let c = Cluster::new(ClusterParams::default());
+        assert_eq!(c.nodes.len(), 2);
+        assert!(c.links.contains_key(&(0, 1)));
+        assert!(c.links.contains_key(&(1, 0)));
+        assert!(c.links.contains_key(&(0, 0)), "NIC loopback for MXoE local traffic");
+    }
+
+    struct Nop;
+    impl App for Nop {
+        fn on_start(&mut self, _ctx: &mut AppCtx<'_>) {}
+        fn on_completion(&mut self, _ctx: &mut AppCtx<'_>, _c: Completion) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn endpoints_get_distinct_addresses() {
+        let mut c = Cluster::new(ClusterParams::default());
+        let a = c.add_endpoint(NodeId(0), CoreId(2), Box::new(Nop));
+        let b = c.add_endpoint(NodeId(0), CoreId(3), Box::new(Nop));
+        let d = c.add_endpoint(NodeId(1), CoreId(2), Box::new(Nop));
+        assert_ne!(a, b);
+        assert_eq!(a.node, b.node);
+        assert_eq!(d.node, NodeId(1));
+        assert_eq!(c.ep(a).core, CoreId(2));
+        assert!(c.all_apps_done());
+    }
+
+    #[test]
+    fn start_invokes_apps() {
+        struct Starter {
+            started: bool,
+        }
+        impl App for Starter {
+            fn on_start(&mut self, _ctx: &mut AppCtx<'_>) {
+                self.started = true;
+            }
+            fn on_completion(&mut self, _ctx: &mut AppCtx<'_>, _c: Completion) {}
+            fn is_done(&self) -> bool {
+                self.started
+            }
+        }
+        let (mut c, mut sim) = build(ClusterParams::default());
+        c.add_endpoint(NodeId(0), CoreId(2), Box::new(Starter { started: false }));
+        c.start(&mut sim);
+        sim.run(&mut c);
+        assert!(c.all_apps_done());
+    }
+}

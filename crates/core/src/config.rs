@@ -1,0 +1,274 @@
+//! Open-MX stack configuration.
+//!
+//! Every threshold and toggle the paper discusses is a field here, with
+//! the paper's empirically chosen values as defaults. The figure
+//! regenerators flip exactly these switches (I/OAT on/off, registration
+//! cache on/off, the counterfactual "ignore the BH copy" of Fig 3).
+
+use omx_sim::Ps;
+use serde::{Deserialize, Serialize};
+
+/// Which message-passing stack the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackKind {
+    /// Open-MX over the generic Ethernet layer (the paper's subject).
+    OpenMx,
+    /// Native MXoE on the same boards (the baseline).
+    Mxoe,
+}
+
+/// How synchronous copies wait for I/OAT completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncWaitPolicy {
+    /// Busy-poll the completion word (what the paper implemented;
+    /// §IV-C "rely on busy polling ... with no overlap for now").
+    BusyPoll,
+    /// Predict the completion time from past copies, release the CPU
+    /// and wake up near completion (§VI future work, implemented here
+    /// as an extension; see `predict.rs`).
+    SleepPredicted,
+}
+
+/// Full stack configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OmxConfig {
+    /// Stack selector.
+    pub stack: StackKind,
+
+    // ---------------- message-class thresholds ----------------
+    /// Messages at most this long travel inline in the event (tiny).
+    pub tiny_max: u64,
+    /// Messages at most this long use the one-slot small path.
+    pub small_max: u64,
+    /// Messages at most this long use the multi-fragment medium path;
+    /// beyond it the rendezvous large path runs ("large message
+    /// threshold (32 kB)").
+    pub medium_max: u64,
+    /// Wire fragment size (page-sized skbuffs).
+    pub frag_size: u64,
+
+    // ---------------- large-message pull protocol ----------------
+    /// Fragments per pull block (paper footnote 3: 8).
+    pub pull_block_frags: u32,
+    /// Pull blocks kept outstanding (paper footnote 3: 2).
+    pub pull_blocks_outstanding: u32,
+    /// Retransmission timeout for missing pull fragments.
+    pub retransmit_timeout: Ps,
+
+    // ---------------- I/OAT offload ----------------
+    /// Master switch for the DMA engine offload.
+    pub ioat_enabled: bool,
+    /// Direct Cache Access: the other I/OAT feature (§II-C) — NIC DMA
+    /// writes are steered toward the cache of the core that will run
+    /// the bottom half, so the CPU copy reads a warm source. Orthogonal
+    /// to the copy offload (an offloaded copy bypasses caches anyway);
+    /// default off, as in the paper's experiments.
+    pub dca_enabled: bool,
+    /// Offload network receive copies only for messages at least this
+    /// long (paper: 64 kB).
+    pub ioat_net_msg_threshold: u64,
+    /// Offload only fragments at least this long (paper: 1 kB).
+    pub ioat_frag_threshold: u64,
+    /// Offload medium-message synchronous copies too (paper measured a
+    /// degradation, default off).
+    pub ioat_medium_sync: bool,
+    /// Offload shared-memory copies for messages at least this long
+    /// (paper: enabled beyond 1 MB).
+    pub ioat_shm_threshold: u64,
+    /// How synchronous offloads wait.
+    pub sync_wait: SyncWaitPolicy,
+    /// Split one large copy across all DMA channels instead of the
+    /// paper's one-channel-per-message policy (§V related-work
+    /// ablation; default off).
+    pub ioat_multichannel_split: bool,
+    /// Copy the first bytes of each offloaded message with memcpy to
+    /// warm the consumer's cache, offload the rest (§V last paragraph,
+    /// extension; 0 disables).
+    pub warm_copy_head_bytes: u64,
+
+    // ---------------- registration ----------------
+    /// Keep registered regions cached across messages (deferred
+    /// deregistration, Fig 11's "regcache" toggle).
+    pub regcache: bool,
+
+    // ---------------- receiver-side structure ----------------
+    /// Move matching into the driver so medium messages raise a single
+    /// event and their fragment copies can overlap (§VI future work,
+    /// extension; default off = library-level matching as in the
+    /// paper).
+    pub kernel_matching: bool,
+
+    // ---------------- counterfactuals / reliability ----------------
+    /// Fig 3's prediction mode: process receives normally but charge
+    /// zero CPU time for the BH data copy.
+    pub ignore_bh_copy: bool,
+    /// Drop one frame in N on every link (None = lossless).
+    pub loss_one_in: Option<u64>,
+    /// RNG seed for loss injection and channel selection jitter.
+    pub seed: u64,
+
+    // ---------------- calibrated Open-MX software costs ----------------
+    /// BH cost to decode and route one incoming fragment (header
+    /// parse, endpoint/handle lookup, bookkeeping).
+    pub bh_frag_process: Ps,
+    /// Effective BH memcpy degradation factor applied on top of the
+    /// uncached rate: the copy shares the core with processing and
+    /// suffers its own cache pollution (calibrated so the no-I/OAT
+    /// receive plateau lands at the paper's ≈800 MiB/s).
+    pub bh_copy_slowdown: f64,
+    /// Driver cost to build and hand one TX fragment to the NIC
+    /// (skbuff setup, user-page attach — the zero-copy send of §II-A).
+    pub tx_frag_cost: Ps,
+    /// Driver cost to build one control frame (pull request, notify,
+    /// ack).
+    pub ctrl_frame_cost: Ps,
+    /// Library cost to post a request (before the syscall).
+    pub lib_post_cost: Ps,
+    /// Library cost to reap one event from the ring.
+    pub lib_event_cost: Ps,
+    /// Driver cost of one command syscall body (on top of
+    /// `HwParams::syscall_cost`).
+    pub driver_cmd_cost: Ps,
+    /// Event-ring slots for small/medium data per endpoint.
+    pub recvq_slots: usize,
+}
+
+impl Default for OmxConfig {
+    fn default() -> Self {
+        OmxConfig {
+            stack: StackKind::OpenMx,
+            tiny_max: 32,
+            small_max: 128,
+            medium_max: 32 << 10,
+            frag_size: 4096,
+            pull_block_frags: 8,
+            pull_blocks_outstanding: 2,
+            retransmit_timeout: Ps::us(500),
+            ioat_enabled: false,
+            dca_enabled: false,
+            ioat_net_msg_threshold: 64 << 10,
+            ioat_frag_threshold: 1 << 10,
+            ioat_medium_sync: false,
+            ioat_shm_threshold: 1 << 20,
+            sync_wait: SyncWaitPolicy::BusyPoll,
+            ioat_multichannel_split: false,
+            warm_copy_head_bytes: 0,
+            regcache: true,
+            kernel_matching: false,
+            ignore_bh_copy: false,
+            loss_one_in: None,
+            seed: 0x0031_4159_2653_5897,
+            bh_frag_process: Ps::ns(1900),
+            bh_copy_slowdown: 1.18,
+            tx_frag_cost: Ps::ns(500),
+            ctrl_frame_cost: Ps::ns(300),
+            lib_post_cost: Ps::ns(200),
+            lib_event_cost: Ps::ns(120),
+            driver_cmd_cost: Ps::ns(250),
+            recvq_slots: 256,
+        }
+    }
+}
+
+impl OmxConfig {
+    /// Config with I/OAT offload enabled at the paper's thresholds.
+    pub fn with_ioat() -> Self {
+        OmxConfig {
+            ioat_enabled: true,
+            ..OmxConfig::default()
+        }
+    }
+
+    /// Message class for a length.
+    pub fn class_of(&self, len: u64) -> MsgClass {
+        if len <= self.tiny_max {
+            MsgClass::Tiny
+        } else if len <= self.small_max {
+            MsgClass::Small
+        } else if len <= self.medium_max {
+            MsgClass::Medium
+        } else {
+            MsgClass::Large
+        }
+    }
+
+    /// Whether a network receive copy of `frag_len` bytes belonging to
+    /// an `msg_len`-byte message should be offloaded (paper §IV-A
+    /// conclusion: message ≥ 64 kB *and* fragment ≥ 1 kB).
+    pub fn offload_net_copy(&self, msg_len: u64, frag_len: u64) -> bool {
+        self.ioat_enabled
+            && msg_len >= self.ioat_net_msg_threshold
+            && frag_len >= self.ioat_frag_threshold
+    }
+
+    /// Whether a shared-memory copy of `msg_len` bytes should be
+    /// offloaded.
+    pub fn offload_shm_copy(&self, msg_len: u64) -> bool {
+        self.ioat_enabled && msg_len >= self.ioat_shm_threshold
+    }
+
+    /// Fragments of an `len`-byte message.
+    pub fn frags_for(&self, len: u64) -> u64 {
+        len.div_ceil(self.frag_size).max(1)
+    }
+}
+
+/// The four Open-MX message classes (Fig 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsgClass {
+    /// Payload rides inside the event itself.
+    Tiny,
+    /// One copy into the shared ring, one copy out by the library.
+    Small,
+    /// Per-fragment ring copies, reassembled by the library.
+    Medium,
+    /// Rendezvous + pull into a pinned region; single completion event.
+    Large,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let c = OmxConfig::default();
+        assert_eq!(c.medium_max, 32 << 10);
+        assert_eq!(c.ioat_net_msg_threshold, 64 << 10);
+        assert_eq!(c.ioat_frag_threshold, 1 << 10);
+        assert_eq!(c.ioat_shm_threshold, 1 << 20);
+        assert_eq!(c.pull_block_frags, 8);
+        assert_eq!(c.pull_blocks_outstanding, 2);
+        assert!(!c.ioat_enabled);
+        assert!(c.regcache);
+    }
+
+    #[test]
+    fn class_boundaries() {
+        let c = OmxConfig::default();
+        assert_eq!(c.class_of(0), MsgClass::Tiny);
+        assert_eq!(c.class_of(32), MsgClass::Tiny);
+        assert_eq!(c.class_of(33), MsgClass::Small);
+        assert_eq!(c.class_of(128), MsgClass::Small);
+        assert_eq!(c.class_of(129), MsgClass::Medium);
+        assert_eq!(c.class_of(32 << 10), MsgClass::Medium);
+        assert_eq!(c.class_of((32 << 10) + 1), MsgClass::Large);
+    }
+
+    #[test]
+    fn offload_policy_needs_both_thresholds() {
+        let c = OmxConfig::with_ioat();
+        assert!(c.offload_net_copy(64 << 10, 4096));
+        assert!(!c.offload_net_copy(63 << 10, 4096), "message too short");
+        assert!(!c.offload_net_copy(64 << 10, 512), "fragment too short");
+        let off = OmxConfig::default();
+        assert!(!off.offload_net_copy(1 << 20, 4096), "master switch off");
+    }
+
+    #[test]
+    fn shm_offload_threshold() {
+        let c = OmxConfig::with_ioat();
+        assert!(c.offload_shm_copy(1 << 20));
+        assert!(!c.offload_shm_copy((1 << 20) - 1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-endpoint performance counters.
+//!
+//! The real Open-MX driver exports a set of counters per board and
+//! endpoint (`omx_counters`); tooling and the paper's own analysis
+//! lean on them to see which path a workload exercised. This is the
+//! equivalent: every protocol path increments a counter, and the
+//! harnesses/tests read them to assert *how* data moved, not just that
+//! it arrived.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of one endpoint (sender and receiver sides).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Tiny messages sent.
+    pub tx_tiny: u64,
+    /// Small messages sent.
+    pub tx_small: u64,
+    /// Medium messages sent.
+    pub tx_medium: u64,
+    /// Medium fragments sent.
+    pub tx_medium_frags: u64,
+    /// Large (rendezvous) messages sent.
+    pub tx_large: u64,
+    /// Large fragments sent (pull replies).
+    pub tx_large_frags: u64,
+    /// Payload bytes sent.
+    pub tx_bytes: u64,
+    /// Tiny messages received.
+    pub rx_tiny: u64,
+    /// Small messages received.
+    pub rx_small: u64,
+    /// Medium fragments received.
+    pub rx_medium_frags: u64,
+    /// Large fragments received.
+    pub rx_large_frags: u64,
+    /// Rendezvous announcements received.
+    pub rx_rndv: u64,
+    /// Payload bytes delivered to the application.
+    pub rx_bytes: u64,
+    /// Receive copies done by the CPU (memcpy path).
+    pub copies_memcpy: u64,
+    /// Receive copies submitted to the I/OAT engine.
+    pub copies_offloaded: u64,
+    /// Bytes copied by memcpy.
+    pub bytes_memcpy: u64,
+    /// Bytes copied by the DMA engine.
+    pub bytes_offloaded: u64,
+    /// Shared-memory (local) messages sent.
+    pub shm_tx: u64,
+    /// Shared-memory one-copy transfers performed as the receiver.
+    pub shm_pulls: u64,
+    /// Events pushed to this endpoint's ring.
+    pub events: u64,
+    /// Messages that arrived with no matching receive posted.
+    pub unexpected: u64,
+    /// Registration-cache hits.
+    pub regcache_hits: u64,
+    /// Full registrations (cache misses).
+    pub regcache_misses: u64,
+}
+
+impl Counters {
+    /// Fraction of receive-copied bytes that the DMA engine moved.
+    pub fn offload_fraction(&self) -> f64 {
+        let total = self.bytes_memcpy + self.bytes_offloaded;
+        if total == 0 {
+            return 0.0;
+        }
+        self.bytes_offloaded as f64 / total as f64
+    }
+
+    /// Sum of messages sent across classes.
+    pub fn tx_messages(&self) -> u64 {
+        self.tx_tiny + self.tx_small + self.tx_medium + self.tx_large + self.shm_tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_fraction_handles_empty_and_mixed() {
+        let mut c = Counters::default();
+        assert_eq!(c.offload_fraction(), 0.0);
+        c.bytes_memcpy = 1 << 20;
+        c.bytes_offloaded = 3 << 20;
+        assert!((c.offload_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tx_messages_sums_classes() {
+        let c = Counters {
+            tx_tiny: 1,
+            tx_small: 2,
+            tx_medium: 3,
+            tx_large: 4,
+            shm_tx: 5,
+            ..Counters::default()
+        };
+        assert_eq!(c.tx_messages(), 15);
+    }
+}

@@ -1,0 +1,213 @@
+//! In-driver matching for medium messages (§VI future work,
+//! extension).
+//!
+//! The paper's stack matches in the user library, which forces one
+//! event — and one *synchronous* copy — per medium fragment (§III-C).
+//! Moving the matching into the driver lets the BH copy fragments
+//! straight into the posted buffer, offload them asynchronously like
+//! large fragments, and raise a *single* event per message. This
+//! module implements that plan behind `OmxConfig::kernel_matching`.
+
+use crate::cluster::Cluster;
+use crate::events::Event;
+use crate::matching::PostedRecv;
+use crate::{EpAddr, NodeId, ReqId};
+use bytes::Bytes;
+use omx_hw::cpu::category;
+use omx_hw::ioat::CopyHandle;
+use omx_hw::{CoreId, IoatEngine};
+use omx_sim::{Ps, Sim};
+
+/// Driver-side reassembly of one medium message under kernel matching.
+#[derive(Debug)]
+pub struct KernelAssembly {
+    /// Matched receive, or `None` while the message is unexpected (the
+    /// driver then buffers it in `data`).
+    pub req: Option<ReqId>,
+    /// Match information.
+    pub match_info: u64,
+    /// Total message length.
+    pub total: u32,
+    /// Kernel buffer for unexpected data.
+    pub data: Option<Vec<u8>>,
+    /// Outstanding asynchronous fragment copies.
+    pub pending: Vec<CopyHandle>,
+}
+
+impl Cluster {
+    /// BH handler for one medium fragment with in-driver matching.
+    /// The caller already deduplicated via the driver bitmap.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rx_medium_kernel_match(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        src: EpAddr,
+        me: EpAddr,
+        match_info: u64,
+        msg_seq: u32,
+        msg_len: u32,
+        _frag_idx: u16,
+        frag_count: u16,
+        offset: u32,
+        data: Bytes,
+    ) -> Ps {
+        let _ = frag_count;
+        let now = sim.now();
+        let key = (me.ep, src, msg_seq);
+        // First fragment: match in the driver.
+        if !self.node(node).driver.kmatch.contains_key(&key) {
+            let matched = self.ep_mut(me).matcher.match_incoming(match_info);
+            let (req, buf) = match matched {
+                Some(PostedRecv { req, .. }) => {
+                    if let Some(rs) = self.ep_mut(me).recvs.get_mut(&req) {
+                        rs.total = msg_len as u64;
+                        rs.matched_info = Some(match_info);
+                    }
+                    (Some(req), None)
+                }
+                None => (None, Some(vec![0u8; msg_len as usize])),
+            };
+            self.node_mut(node).driver.kmatch.insert(
+                key,
+                KernelAssembly {
+                    req,
+                    match_info,
+                    total: msg_len,
+                    data: buf,
+                    pending: Vec::new(),
+                },
+            );
+        }
+        let (req, matched) = {
+            let a = self.node(node).driver.kmatch.get(&key).expect("ensured");
+            (a.req, a.req.is_some())
+        };
+        // Copy path: matched fragments may be offloaded asynchronously
+        // — the whole point of this extension.
+        let len = data.len() as u64;
+        let offload = matched
+            && self.p.cfg.ioat_enabled
+            && !self.p.cfg.ignore_bh_copy
+            && len >= self.p.cfg.ioat_frag_threshold;
+        let fin = if offload {
+            let ndesc = self.desc_count(offset as u64, len);
+            let work = self.p.cfg.bh_frag_process + IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
+            let hw = self.p.hw.clone();
+            let n = self.node_mut(node);
+            let ch = n.ioat.pick_channel_rr();
+            let h = n.ioat.submit(&hw, submit_fin, ch, len, ndesc);
+            self.node_mut(node)
+                .driver
+                .kmatch
+                .get_mut(&key)
+                .expect("present")
+                .pending
+                .push(h);
+            self.node_mut(node).driver.hold_skbuffs(1);
+            submit_fin
+        } else {
+            let work = self.p.cfg.bh_frag_process + self.bh_copy_cost(len);
+            let (_, f) = self.run_core(node, core, now, work, category::BH);
+            f
+        };
+        // Apply the bytes.
+        {
+            let asm_data_needed = !matched;
+            if asm_data_needed {
+                let a = self
+                    .node_mut(node)
+                    .driver
+                    .kmatch
+                    .get_mut(&key)
+                    .expect("present");
+                let buf = a.data.as_mut().expect("unmatched buffers data");
+                let end = ((offset as usize) + data.len()).min(buf.len());
+                let start = (offset as usize).min(end);
+                buf[start..end].copy_from_slice(&data[..end - start]);
+            } else if let Some(rs) = self.ep_mut(me).recvs.get_mut(&req.expect("matched")) {
+                let end = ((offset as usize) + data.len()).min(rs.buf.len());
+                let start = (offset as usize).min(end);
+                rs.buf[start..end].copy_from_slice(&data[..end - start]);
+                rs.received += (end - start) as u64;
+            }
+        }
+        // Complete?
+        let all_seen = self
+            .ep(me)
+            .drv_medium
+            .get(&(src, msg_seq))
+            .is_some_and(|v| v.iter().all(|&b| b));
+        if !all_seen {
+            return fin;
+        }
+        // Drain pending copies (only the last fragment waits, as in the
+        // large path).
+        let mut fin = fin;
+        let last = self
+            .node(node)
+            .driver
+            .kmatch
+            .get(&key)
+            .and_then(|a| a.pending.iter().map(|h| h.finish).max());
+        if let Some(t) = last {
+            let wait = t.saturating_sub(fin) + self.p.hw.ioat_poll_cost;
+            let (_, f) = self.run_core(node, core, fin, wait, category::BH);
+            fin = f;
+        }
+        let asm = self
+            .node_mut(node)
+            .driver
+            .kmatch
+            .remove(&key)
+            .expect("present");
+        self.node_mut(node)
+            .driver
+            .release_skbuffs(asm.pending.len() as u64);
+        self.ep_mut(me).drv_medium.remove(&(src, msg_seq));
+        self.ep_mut(me).record_completed_seq(src, msg_seq);
+        // Ack the sender.
+        let pkt = crate::proto::Packet::Ack {
+            src_ep: me.ep.0,
+            dst_ep: src.ep.0,
+            msg_seq,
+        };
+        let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::BH);
+        fin = f;
+        self.stats.acks_sent += 1;
+        self.send_packet(sim, node, src.node, &pkt, fin);
+        match asm.req {
+            Some(req) => {
+                // One event per message — the extension's payoff.
+                self.push_event_at(
+                    sim,
+                    me,
+                    Event::RecvMediumDone {
+                        req,
+                        len: asm.total,
+                    },
+                    fin,
+                );
+            }
+            None => {
+                // Hand the buffered unexpected message to the library
+                // as a complete assembly; adoption copies it out.
+                let buf = asm.data.expect("unmatched buffers data");
+                self.ep_mut(me).assemblies.insert(
+                    (src, msg_seq),
+                    crate::endpoint::MediumAssembly {
+                        req: None,
+                        match_info: asm.match_info,
+                        frag_seen: Vec::new(),
+                        arrived: asm.total as u64,
+                        total: asm.total as u64,
+                        data: buf,
+                    },
+                );
+            }
+        }
+        fin
+    }
+}

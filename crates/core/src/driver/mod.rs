@@ -1,0 +1,227 @@
+//! Kernel-side (driver) state of one host.
+//!
+//! The Open-MX driver owns everything that happens below the event
+//! ring: the BH receive callback's copy paths (`recv`), the
+//! large-message pull engine with its I/OAT bookkeeping (`pull`), and
+//! the one-copy shared-memory path (`shm`). Those submodules implement
+//! methods on [`crate::cluster::Cluster`]; this module holds the data.
+
+pub mod kmatch;
+pub mod pull;
+pub mod recv;
+pub mod shm;
+
+use crate::{EpAddr, EpIdx, ReqId};
+use omx_hw::ioat::CopyHandle;
+use omx_sim::Ps;
+use std::collections::HashMap;
+
+/// Receiver-side state of one in-progress large-message pull.
+#[derive(Debug)]
+pub struct PullState {
+    /// Receiving endpoint.
+    pub ep: EpIdx,
+    /// The receive request being filled.
+    pub req: ReqId,
+    /// The sending endpoint.
+    pub src: EpAddr,
+    /// Sender-side handle quoted in pull requests.
+    pub sender_handle: u32,
+    /// Message sequence number (duplicate suppression).
+    pub msg_seq: u32,
+    /// Total message length.
+    pub msg_len: u64,
+    /// Total fragment count.
+    pub frags_total: u32,
+    /// Per-fragment arrival flags.
+    pub frag_seen: Vec<bool>,
+    /// Remaining fragments per block.
+    pub block_remaining: Vec<u32>,
+    /// Next block index to request.
+    pub next_block: u32,
+    /// Bytes landed so far.
+    pub bytes_done: u64,
+    /// I/OAT channel assigned to this message (one channel per
+    /// message, §V).
+    pub channel: usize,
+    /// Outstanding asynchronous copies: completion handle + the number
+    /// of skbuffs each holds.
+    pub pending_copies: Vec<(CopyHandle, u64)>,
+    /// Last time any fragment arrived (retransmission watchdog).
+    pub last_progress: Ps,
+}
+
+impl PullState {
+    /// Fragments per block for this pull.
+    pub fn block_of(&self, frag_idx: u32, block_frags: u32) -> u32 {
+        frag_idx / block_frags
+    }
+
+    /// Whether every fragment has arrived.
+    pub fn all_arrived(&self) -> bool {
+        self.frag_seen.iter().all(|&b| b)
+    }
+
+    /// Release completed asynchronous copies (the cleanup routine of
+    /// §III-B). Returns how many skbuffs were freed.
+    pub fn reap_completed(&mut self, now: Ps) -> u64 {
+        let mut freed = 0;
+        self.pending_copies.retain(|(h, skbs)| {
+            if h.finish <= now {
+                freed += *skbs;
+                false
+            } else {
+                true
+            }
+        });
+        freed
+    }
+
+    /// Latest completion time among pending copies.
+    pub fn last_copy_finish(&self) -> Option<Ps> {
+        self.pending_copies.iter().map(|(h, _)| h.finish).max()
+    }
+}
+
+/// Sender-side state of one large message being pulled by the remote
+/// host.
+#[derive(Debug, Clone, Copy)]
+pub struct TxLargeState {
+    /// Sending endpoint on this host.
+    pub ep: EpIdx,
+    /// The send request.
+    pub req: ReqId,
+    /// Destination endpoint.
+    pub dest: EpAddr,
+}
+
+/// Per-host driver state.
+#[derive(Debug, Default)]
+pub struct Driver {
+    /// Receiver-side pulls by receiver handle.
+    pub pulls: HashMap<u32, PullState>,
+    /// Sender-side large sends by sender handle.
+    pub tx_large: HashMap<u32, TxLargeState>,
+    /// Next receiver pull handle.
+    pub next_pull_handle: u32,
+    /// Next sender large handle.
+    pub next_tx_handle: u32,
+    /// Skbuffs currently held by pending asynchronous copies (the
+    /// resource the §III-B cleanup bounds).
+    pub skbuffs_held: u64,
+    /// High-water mark of `skbuffs_held`.
+    pub skbuffs_held_max: u64,
+    /// Kernel-matching medium reassemblies (extension), keyed by
+    /// (receiving endpoint, sender, sequence).
+    pub kmatch: HashMap<(EpIdx, EpAddr, u32), kmatch::KernelAssembly>,
+}
+
+impl Driver {
+    /// A fresh driver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a receiver-side pull handle.
+    pub fn alloc_pull_handle(&mut self) -> u32 {
+        self.next_pull_handle += 1;
+        self.next_pull_handle
+    }
+
+    /// Allocate a sender-side large handle.
+    pub fn alloc_tx_handle(&mut self) -> u32 {
+        self.next_tx_handle += 1;
+        self.next_tx_handle
+    }
+
+    /// Account for skbuffs captured by a pending asynchronous copy.
+    pub fn hold_skbuffs(&mut self, n: u64) {
+        self.skbuffs_held += n;
+        self.skbuffs_held_max = self.skbuffs_held_max.max(self.skbuffs_held);
+    }
+
+    /// Account for skbuffs released by the cleanup routine.
+    pub fn release_skbuffs(&mut self, n: u64) {
+        debug_assert!(self.skbuffs_held >= n, "releasing more skbuffs than held");
+        self.skbuffs_held = self.skbuffs_held.saturating_sub(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn handles_are_unique() {
+        let mut d = Driver::new();
+        let a = d.alloc_pull_handle();
+        let b = d.alloc_pull_handle();
+        assert_ne!(a, b);
+        let c = d.alloc_tx_handle();
+        let e = d.alloc_tx_handle();
+        assert_ne!(c, e);
+    }
+
+    #[test]
+    fn skbuff_accounting_tracks_high_water() {
+        let mut d = Driver::new();
+        d.hold_skbuffs(3);
+        d.hold_skbuffs(4);
+        assert_eq!(d.skbuffs_held, 7);
+        d.release_skbuffs(5);
+        assert_eq!(d.skbuffs_held, 2);
+        assert_eq!(d.skbuffs_held_max, 7);
+    }
+
+    #[test]
+    fn pull_state_block_and_reap() {
+        let mut p = PullState {
+            ep: EpIdx(0),
+            req: ReqId(1),
+            src: EpAddr {
+                node: NodeId(1),
+                ep: EpIdx(0),
+            },
+            sender_handle: 1,
+            msg_seq: 0,
+            msg_len: 64 << 10,
+            frags_total: 16,
+            frag_seen: vec![false; 16],
+            block_remaining: vec![8, 8],
+            next_block: 2,
+            bytes_done: 0,
+            channel: 0,
+            pending_copies: vec![
+                (
+                    CopyHandle {
+                        channel: 0,
+                        cookie: 0,
+                        finish: Ps::us(1),
+                    },
+                    1,
+                ),
+                (
+                    CopyHandle {
+                        channel: 0,
+                        cookie: 1,
+                        finish: Ps::us(3),
+                    },
+                    1,
+                ),
+            ],
+            last_progress: Ps::ZERO,
+        };
+        assert_eq!(p.block_of(0, 8), 0);
+        assert_eq!(p.block_of(8, 8), 1);
+        assert!(!p.all_arrived());
+        assert_eq!(p.last_copy_finish(), Some(Ps::us(3)));
+        // Reap at 2us frees the first copy only.
+        assert_eq!(p.reap_completed(Ps::us(2)), 1);
+        assert_eq!(p.pending_copies.len(), 1);
+        assert_eq!(p.reap_completed(Ps::us(4)), 1);
+        assert!(p.pending_copies.is_empty());
+        p.frag_seen.iter_mut().for_each(|b| *b = true);
+        assert!(p.all_arrived());
+    }
+}

@@ -1,0 +1,522 @@
+//! The large-message pull engine (§III-A/III-B).
+//!
+//! Receiver side: after the library matches a rendezvous, the driver
+//! pins the destination region and requests fragments in blocks of 8,
+//! keeping 2 blocks outstanding. Each arriving fragment is copied into
+//! the pinned region — by memcpy, or (the paper's contribution) by an
+//! *asynchronous* I/OAT copy submitted from the BH, which releases the
+//! CPU immediately. Only the last fragment's BH waits for all pending
+//! copies before raising the single completion event. Skbuffs held by
+//! pending copies are released by the cleanup routine that piggybacks
+//! on every new block request (bounding memory, §III-B) and on the
+//! retransmission timeout.
+
+use crate::cluster::Cluster;
+use crate::driver::PullState;
+use crate::events::Event;
+use crate::proto::Packet;
+use crate::{EpAddr, NodeId, ReqId};
+use bytes::Bytes;
+use omx_hw::cpu::category;
+use omx_hw::{CoreId, IoatEngine};
+use omx_sim::{Ps, Sim};
+
+impl Cluster {
+    /// Publish `ev` to `addr` at time `at` (the moment the producing
+    /// work finishes).
+    pub(crate) fn push_event_at(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        addr: EpAddr,
+        ev: Event,
+        at: Ps,
+    ) {
+        sim.schedule_at(at, move |c: &mut Cluster, s| c.push_event(s, addr, ev));
+    }
+
+    /// Driver half of starting a pull: pin the region, create the pull
+    /// state, request the first blocks. `from` is the time the library
+    /// handed the command over.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start_pull(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        req: ReqId,
+        src: EpAddr,
+        sender_handle: u32,
+        msg_len: u64,
+        msg_seq: u32,
+        from: Ps,
+    ) {
+        let core = self.ep(me).core;
+        let node = me.node;
+        // Command syscall into the driver.
+        let syscall = self.p.hw.syscall_cost + self.p.cfg.driver_cmd_cost;
+        let (_, fin) = self.run_core(node, core, from, syscall, category::DRIVER);
+        // Pin the destination buffer (registration cache may hit).
+        let tag = self
+            .ep(me)
+            .recvs
+            .get(&req)
+            .and_then(|r| r.tag)
+            .unwrap_or(req.0 | (1 << 62));
+        let hw = self.p.hw.clone();
+        let reg = self.ep_mut(me).regions.register(&hw, tag, msg_len);
+        {
+            let c = &mut self.ep_mut(me).counters;
+            if reg.cache_hit {
+                c.regcache_hits += 1;
+            } else {
+                c.regcache_misses += 1;
+            }
+        }
+        let (_, mut fin) = self.run_core(node, core, fin, reg.cost, category::DRIVER);
+        if let Some(rs) = self.ep_mut(me).recvs.get_mut(&req) {
+            rs.region = Some(reg.region);
+            rs.total = msg_len;
+        }
+        let frag = self.p.cfg.frag_size;
+        let frags_total = msg_len.div_ceil(frag).max(1) as u32;
+        let bf = self.p.cfg.pull_block_frags;
+        let blocks_total = frags_total.div_ceil(bf);
+        let block_remaining: Vec<u32> = (0..blocks_total)
+            .map(|b| (frags_total - b * bf).min(bf))
+            .collect();
+        let handle = self.node_mut(node).driver.alloc_pull_handle();
+        let channel = self.node_mut(node).ioat.pick_channel_rr();
+        let first_blocks = blocks_total.min(self.p.cfg.pull_blocks_outstanding);
+        self.node_mut(node).driver.pulls.insert(
+            handle,
+            PullState {
+                ep: me.ep,
+                req,
+                src,
+                sender_handle,
+                msg_seq,
+                msg_len,
+                frags_total,
+                frag_seen: vec![false; frags_total as usize],
+                block_remaining,
+                next_block: first_blocks,
+                bytes_done: 0,
+                channel,
+                pending_copies: Vec::new(),
+                last_progress: from,
+            },
+        );
+        // Request the first window of blocks (driver context).
+        for b in 0..first_blocks {
+            let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::DRIVER);
+            fin = f;
+            self.send_block_request(sim, node, handle, b, fin);
+        }
+        self.schedule_pull_watchdog(sim, node, handle, 0, fin);
+    }
+
+    /// Build and send the PullReq for block `b` of pull `handle`.
+    fn send_block_request(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        handle: u32,
+        block: u32,
+        at: Ps,
+    ) {
+        let bf = self.p.cfg.pull_block_frags;
+        let Some(pull) = self.node(node).driver.pulls.get(&handle) else {
+            return;
+        };
+        let frag_start = block * bf;
+        let frag_count = (pull.frags_total - frag_start).min(bf);
+        let pkt = Packet::PullReq {
+            src_ep: pull.ep.0,
+            dst_ep: pull.src.ep.0,
+            sender_handle: pull.sender_handle,
+            recv_handle: handle,
+            frag_start,
+            frag_count,
+        };
+        let dst = pull.src.node;
+        self.send_packet(sim, node, dst, &pkt, at);
+    }
+
+    /// Sender side: a pull request arrived in BH context — stream the
+    /// requested fragments back, zero-copy from the pinned send buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rx_pull_req(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        dst_ep: u8,
+        sender_handle: u32,
+        recv_handle: u32,
+        frag_start: u32,
+        frag_count: u32,
+    ) -> Ps {
+        let (_, mut fin) =
+            self.run_core(node, core, sim.now(), self.p.cfg.bh_frag_process, category::BH);
+        let Some(tx) = self.node(node).driver.tx_large.get(&sender_handle).copied() else {
+            self.stats.duplicates_dropped += 1;
+            return fin;
+        };
+        let me = EpAddr {
+            node,
+            ep: crate::EpIdx(dst_ep),
+        };
+        debug_assert_eq!(tx.ep, me.ep, "pull request routed to wrong endpoint");
+        let (dest, data) = {
+            let st = self
+                .ep_mut(me)
+                .sends
+                .get_mut(&tx.req)
+                .expect("large send alive");
+            // Pull requests are proof the receiver is making progress:
+            // reset the rendezvous retransmission deadline.
+            st.last_activity = fin;
+            (st.dest, st.data.clone())
+        };
+        let frag = self.p.cfg.frag_size;
+        for i in frag_start..frag_start + frag_count {
+            let lo = (i as u64 * frag).min(data.len() as u64) as usize;
+            let hi = ((i as u64 + 1) * frag).min(data.len() as u64) as usize;
+            if lo >= hi {
+                break;
+            }
+            let (_, f) = self.run_core(node, core, fin, self.p.cfg.tx_frag_cost, category::BH);
+            fin = f;
+            self.ep_mut(me).counters.tx_large_frags += 1;
+            let pkt = Packet::LargeFrag {
+                src_ep: me.ep.0,
+                dst_ep: dest.ep.0,
+                recv_handle,
+                frag_idx: i,
+                offset: lo as u64,
+                data: data.slice(lo..hi),
+            };
+            self.send_packet(sim, node, dest.node, &pkt, fin);
+        }
+        fin
+    }
+
+    /// Receiver side: one large fragment arrived in BH context.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rx_large_frag(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        recv_handle: u32,
+        frag_idx: u32,
+        offset: u64,
+        data: Bytes,
+    ) -> Ps {
+        let now = sim.now();
+        // Stale fragment after completion, or duplicate?
+        let valid = self
+            .node(node)
+            .driver
+            .pulls
+            .get(&recv_handle)
+            .map(|p| !p.frag_seen[frag_idx as usize]);
+        match valid {
+            None | Some(false) => {
+                self.stats.duplicates_dropped += 1;
+                let (_, fin) =
+                    self.run_core(node, core, now, self.p.cfg.bh_frag_process, category::BH);
+                return fin;
+            }
+            Some(true) => {}
+        }
+        let (me, req, msg_len, channel) = {
+            let p = self.node(node).driver.pulls.get(&recv_handle).expect("checked");
+            (
+                EpAddr {
+                    node,
+                    ep: p.ep,
+                },
+                p.req,
+                p.msg_len,
+                p.channel,
+            )
+        };
+        let len = data.len() as u64;
+        // A vectorial destination splits the copy at segment
+        // boundaries: the effective chunk shrinks and the fragment
+        // threshold (§IV-A) decides against offloading tiny chunks.
+        let seg = self
+            .ep(me)
+            .recvs
+            .get(&req)
+            .and_then(|r| r.seg_size)
+            .unwrap_or(u64::MAX);
+        let chunk_eff = len.min(seg).max(1);
+        // --- copy path decision -----------------------------------------
+        let in_warm_head = offset < self.p.cfg.warm_copy_head_bytes;
+        let offload = self.p.cfg.offload_net_copy(msg_len, chunk_eff)
+            && !self.p.cfg.ignore_bh_copy
+            && !in_warm_head;
+        let mut fin;
+        let mut copy_handle = None;
+        if offload {
+            let ndesc = self.desc_count(offset, len).max(len.div_ceil(chunk_eff));
+            let work = self.p.cfg.bh_frag_process + IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
+            fin = submit_fin;
+            let hw = self.p.hw.clone();
+            let multichannel = self.p.cfg.ioat_multichannel_split;
+            let n = self.node_mut(node);
+            let ch = if multichannel {
+                n.ioat.pick_channel_least_loaded()
+            } else {
+                channel
+            };
+            copy_handle = Some(n.ioat.submit(&hw, submit_fin, ch, len, ndesc));
+            self.node_mut(node).driver.hold_skbuffs(1);
+            let c = &mut self.ep_mut(me).counters;
+            c.copies_offloaded += 1;
+            c.bytes_offloaded += len;
+            c.rx_large_frags += 1;
+        } else {
+            let work = self.p.cfg.bh_frag_process + self.bh_copy_cost_chunked(len, chunk_eff);
+            let (_, f) = self.run_core(node, core, now, work, category::BH);
+            fin = f;
+            let c = &mut self.ep_mut(me).counters;
+            c.copies_memcpy += 1;
+            c.bytes_memcpy += len;
+            c.rx_large_frags += 1;
+        }
+        // --- apply the data and progress accounting ----------------------
+        {
+            let ep = self.ep_mut(me);
+            if let Some(rs) = ep.recvs.get_mut(&req) {
+                let end = ((offset + len) as usize).min(rs.buf.len());
+                let start = (offset as usize).min(end);
+                rs.buf[start..end].copy_from_slice(&data[..end - start]);
+                rs.received += (end - start) as u64;
+            }
+        }
+        let bf = self.p.cfg.pull_block_frags;
+        let (block_done, all_arrived, next_block, blocks_total) = {
+            let p = self
+                .node_mut(node)
+                .driver
+                .pulls
+                .get_mut(&recv_handle)
+                .expect("checked");
+            p.frag_seen[frag_idx as usize] = true;
+            p.bytes_done += len;
+            p.last_progress = fin;
+            if let Some(h) = copy_handle {
+                p.pending_copies.push((h, 1));
+            }
+            let b = (frag_idx / bf) as usize;
+            p.block_remaining[b] -= 1;
+            (
+                p.block_remaining[b] == 0,
+                p.all_arrived(),
+                p.next_block,
+                p.block_remaining.len() as u32,
+            )
+        };
+        // --- block completed: cleanup + request the next block -----------
+        if block_done && next_block < blocks_total && !all_arrived {
+            fin = self.pull_cleanup(sim, node, core, recv_handle, fin);
+            let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::BH);
+            fin = f;
+            self.node_mut(node)
+                .driver
+                .pulls
+                .get_mut(&recv_handle)
+                .expect("checked")
+                .next_block += 1;
+            self.send_block_request(sim, node, recv_handle, next_block, fin);
+        }
+        // --- message complete: drain copies, notify, raise the event -----
+        if all_arrived {
+            fin = self.finish_pull(sim, node, core, recv_handle, fin);
+        }
+        fin
+    }
+
+    /// The §III-B cleanup routine: poll the DMA channel once, release
+    /// the skbuffs of completed copies.
+    pub(crate) fn pull_cleanup(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        recv_handle: u32,
+        from: Ps,
+    ) -> Ps {
+        let _ = sim;
+        let has_pending = self
+            .node(node)
+            .driver
+            .pulls
+            .get(&recv_handle)
+            .is_some_and(|p| !p.pending_copies.is_empty());
+        if !has_pending {
+            return from;
+        }
+        let (_, fin) = self.run_core(node, core, from, self.p.hw.ioat_poll_cost, category::BH);
+        let freed = self
+            .node_mut(node)
+            .driver
+            .pulls
+            .get_mut(&recv_handle)
+            .map(|p| p.reap_completed(fin))
+            .unwrap_or(0);
+        self.node_mut(node).driver.release_skbuffs(freed);
+        fin
+    }
+
+    /// All fragments arrived: wait for pending asynchronous copies
+    /// (busy-poll in BH context), then notify the sender and raise the
+    /// single completion event.
+    fn finish_pull(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        recv_handle: u32,
+        from: Ps,
+    ) -> Ps {
+        let mut fin = from;
+        let last_finish = self
+            .node(node)
+            .driver
+            .pulls
+            .get(&recv_handle)
+            .and_then(|p| p.last_copy_finish());
+        if let Some(t) = last_finish {
+            // Busy-poll until every pending copy completed.
+            let wait = t.saturating_sub(fin) + self.p.hw.ioat_poll_cost;
+            let (_, f) = self.run_core(node, core, fin, wait, category::BH);
+            fin = f;
+        }
+        let pull = self
+            .node_mut(node)
+            .driver
+            .pulls
+            .remove(&recv_handle)
+            .expect("completing an existing pull");
+        let held: u64 = pull.pending_copies.iter().map(|(_, s)| s).sum();
+        self.node_mut(node).driver.release_skbuffs(held);
+        let me = EpAddr {
+            node,
+            ep: pull.ep,
+        };
+        // Duplicate-suppress and release the pinned region.
+        self.ep_mut(me).record_completed_seq(pull.src, pull.msg_seq);
+        let region = self.ep(me).recvs.get(&pull.req).and_then(|r| r.region);
+        if let Some(r) = region {
+            self.ep_mut(me).regions.release(r);
+        }
+        // Notify the sender (its send completes on this).
+        let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::BH);
+        fin = f;
+        let pkt = Packet::Notify {
+            src_ep: me.ep.0,
+            dst_ep: pull.src.ep.0,
+            sender_handle: pull.sender_handle,
+        };
+        self.send_packet(sim, node, pull.src.node, &pkt, fin);
+        self.push_event_at(
+            sim,
+            me,
+            Event::RecvLargeDone {
+                req: pull.req,
+                len: pull.msg_len,
+            },
+            fin,
+        );
+        fin
+    }
+
+    /// Give up re-requesting after this many consecutive stalled
+    /// checks (mirrors the eager path's retransmission bound; a real
+    /// stack would declare the peer dead).
+    const MAX_PULL_STALLS: u32 = 10;
+
+    /// Arm the pull watchdog: if no fragment arrives within the
+    /// retransmission timeout, run the cleanup routine (the paper ties
+    /// it to this timer too) and re-request the incomplete blocks.
+    fn schedule_pull_watchdog(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        handle: u32,
+        progress_snapshot: u64,
+        from: Ps,
+    ) {
+        self.schedule_pull_watchdog_n(sim, node, handle, progress_snapshot, 0, from);
+    }
+
+    fn schedule_pull_watchdog_n(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        handle: u32,
+        progress_snapshot: u64,
+        stalls: u32,
+        from: Ps,
+    ) {
+        let timeout = self.p.cfg.retransmit_timeout;
+        sim.schedule_at(from + timeout, move |c: &mut Cluster, s| {
+            c.pull_watchdog(s, node, handle, progress_snapshot, stalls);
+        });
+    }
+
+    fn pull_watchdog(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        handle: u32,
+        progress_snapshot: u64,
+        stalls: u32,
+    ) {
+        let Some((bytes_done, ep)) = self
+            .node(node)
+            .driver
+            .pulls
+            .get(&handle)
+            .map(|p| (p.bytes_done, p.ep))
+        else {
+            return; // completed
+        };
+        let now = sim.now();
+        if bytes_done != progress_snapshot {
+            // Progress since last check: re-arm only.
+            self.schedule_pull_watchdog_n(sim, node, handle, bytes_done, 0, now);
+            return;
+        }
+        if stalls >= Self::MAX_PULL_STALLS {
+            // The peer stopped responding entirely: abandon the pull so
+            // the simulation drains instead of spinning forever,
+            // releasing any skbuffs its pending copies still held.
+            if let Some(p) = self.node_mut(node).driver.pulls.remove(&handle) {
+                let held: u64 = p.pending_copies.iter().map(|(_, s)| s).sum();
+                self.node_mut(node).driver.release_skbuffs(held);
+            }
+            return;
+        }
+        // Stalled: cleanup + re-request every incomplete requested block.
+        let core = self.ep(EpAddr { node, ep }).core;
+        let mut fin = self.pull_cleanup(sim, node, core, handle, now);
+        let stalled: Vec<u32> = {
+            let p = self.node(node).driver.pulls.get(&handle).expect("alive");
+            (0..p.next_block)
+                .filter(|&b| p.block_remaining[b as usize] > 0)
+                .collect()
+        };
+        for b in stalled {
+            self.stats.pull_retransmissions += 1;
+            let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::DRIVER);
+            fin = f;
+            self.send_block_request(sim, node, handle, b, fin);
+        }
+        self.schedule_pull_watchdog_n(sim, node, handle, bytes_done, stalls + 1, fin);
+    }
+}

@@ -1,0 +1,752 @@
+//! The Open-MX driver: send command processing and the BH receive
+//! callback for eager (tiny/small/medium) traffic, acks and duplicate
+//! suppression. The large-message pull paths live in `pull.rs`.
+
+use crate::cluster::Cluster;
+use crate::config::MsgClass;
+use crate::events::Event;
+use crate::proto::Packet;
+use crate::{EpAddr, EpIdx, NodeId, ReqId};
+use bytes::Bytes;
+use omx_ethernet::Skbuff;
+use omx_hw::cpu::category;
+use omx_hw::mem::{CopyContext, MemModel};
+use omx_hw::{CoreId, Distance, IoatEngine};
+use omx_sim::{Ps, Sim};
+
+/// Give up retransmitting after this many attempts (a real stack would
+/// declare the peer dead).
+const MAX_RETX_ATTEMPTS: u32 = 10;
+
+impl Cluster {
+    /// CPU cost of the BH copying `bytes` out of an skbuff with page
+    /// chunking. Honors the Fig 3 counterfactual switch.
+    pub(crate) fn bh_copy_cost(&self, bytes: u64) -> Ps {
+        if self.p.cfg.ignore_bh_copy || bytes == 0 {
+            return Ps::ZERO;
+        }
+        // With Direct Cache Access the NIC steered part of the payload
+        // into the BH core's cache; the copy's read side is partially
+        // warm (the write side still streams to memory, so the gain is
+        // bounded well below the fully-cached rate).
+        let cached_fraction = if self.p.cfg.dca_enabled { 0.35 } else { 0.0 };
+        let ctx = CopyContext {
+            distance: Distance::SameSocket,
+            cached_fraction,
+            shared_cache_pair: false,
+        };
+        MemModel::copy_time_paged(&self.p.hw, bytes, &ctx).scale(self.p.cfg.bh_copy_slowdown)
+    }
+
+    /// Like [`Self::bh_copy_cost`] but with an explicit chunk
+    /// granularity (vectorial destination buffers).
+    pub(crate) fn bh_copy_cost_chunked(&self, bytes: u64, chunk: u64) -> Ps {
+        if self.p.cfg.ignore_bh_copy || bytes == 0 {
+            return Ps::ZERO;
+        }
+        let chunk = chunk.min(self.p.hw.page_size).max(1);
+        let chunks = bytes.div_ceil(chunk).max(1);
+        let cached_fraction = if self.p.cfg.dca_enabled { 0.35 } else { 0.0 };
+        let ctx = CopyContext {
+            distance: Distance::SameSocket,
+            cached_fraction,
+            shared_cache_pair: false,
+        };
+        MemModel::copy_time(&self.p.hw, bytes, chunks, &ctx).scale(self.p.cfg.bh_copy_slowdown)
+    }
+
+    /// Descriptors needed for an I/OAT copy into `[offset, offset+len)`
+    /// of a page-aligned destination region ("one or two chunks per
+    /// page": one per destination page boundary crossed).
+    pub(crate) fn desc_count(&self, offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 1;
+        }
+        let page = self.p.hw.page_size;
+        let first = offset / page;
+        let last = (offset + len - 1) / page;
+        last - first + 1
+    }
+
+    // ------------------------------------------------------------------
+    // send command processing (driver, syscall context)
+    // ------------------------------------------------------------------
+
+    /// Driver processing of a network send command.
+    pub(crate) fn net_send(&mut self, sim: &mut Sim<Cluster>, me: EpAddr, req: ReqId) {
+        let now = sim.now();
+        let core = self.ep(me).core;
+        let (class, dest) = {
+            let st = self.ep(me).sends.get(&req).expect("send exists");
+            (st.class, st.dest)
+        };
+        {
+            let st_len = self.ep(me).sends.get(&req).expect("send exists").data.len() as u64;
+            let c = &mut self.ep_mut(me).counters;
+            c.tx_bytes += st_len;
+            match class {
+                MsgClass::Tiny => c.tx_tiny += 1,
+                MsgClass::Small => c.tx_small += 1,
+                MsgClass::Medium => c.tx_medium += 1,
+                MsgClass::Large => c.tx_large += 1,
+            }
+        }
+        match class {
+            MsgClass::Tiny | MsgClass::Small => {
+                let fin = self.tx_eager_frames(sim, me, req, now);
+                // Tiny/small sends complete at driver handoff (the data
+                // was captured into the command).
+                self.finish_send(sim, me, req, fin);
+                self.schedule_eager_retx(sim, me, req, fin);
+            }
+            MsgClass::Medium => {
+                let fin = self.tx_eager_frames(sim, me, req, now);
+                // Medium sends are zero-copy: the buffer is only
+                // reusable once the receiver acknowledged.
+                self.schedule_eager_retx(sim, me, req, fin);
+            }
+            MsgClass::Large => {
+                // Pin the send buffer, announce via rendezvous.
+                let (tag, len, msg_seq, match_info) = {
+                    let st = self.ep(me).sends.get(&req).expect("send exists");
+                    (st.tag, st.data.len() as u64, st.msg_seq, st.match_info)
+                };
+                let hw = self.p.hw.clone();
+                let reg_tag = tag.unwrap_or(req.0 | (1 << 63));
+                let reg = self.ep_mut(me).regions.register(&hw, reg_tag, len);
+                {
+                    let c = &mut self.ep_mut(me).counters;
+                    if reg.cache_hit {
+                        c.regcache_hits += 1;
+                    } else {
+                        c.regcache_misses += 1;
+                    }
+                }
+                let (_, fin) = self.run_core(me.node, core, now, reg.cost, category::DRIVER);
+                let handle = self.node_mut(me.node).driver.alloc_tx_handle();
+                {
+                    let st = self.ep_mut(me).sends.get_mut(&req).expect("send exists");
+                    st.region = Some(reg.region);
+                    st.sender_handle = Some(handle);
+                }
+                self.node_mut(me.node).driver.tx_large.insert(
+                    handle,
+                    super::TxLargeState {
+                        ep: me.ep,
+                        req,
+                        dest,
+                    },
+                );
+                let (_, fin) =
+                    self.run_core(me.node, core, fin, self.p.cfg.ctrl_frame_cost, category::DRIVER);
+                let pkt = Packet::RndvReq {
+                    src_ep: me.ep.0,
+                    dst_ep: dest.ep.0,
+                    match_info,
+                    msg_seq,
+                    msg_len: len,
+                    sender_handle: handle,
+                };
+                self.send_packet(sim, me.node, dest.node, &pkt, fin);
+                self.schedule_eager_retx(sim, me, req, fin);
+            }
+        }
+    }
+
+    /// Build and hand the eager frames of `req` to the NIC starting at
+    /// `now`; returns the driver finish time.
+    fn tx_eager_frames(&mut self, sim: &mut Sim<Cluster>, me: EpAddr, req: ReqId, now: Ps) -> Ps {
+        let core = self.ep(me).core;
+        let (class, dest, match_info, msg_seq, data) = {
+            let st = self.ep(me).sends.get(&req).expect("send exists");
+            (
+                st.class,
+                st.dest,
+                st.match_info,
+                st.msg_seq,
+                st.data.clone(),
+            )
+        };
+        let mut fin = now;
+        match class {
+            MsgClass::Tiny => {
+                let (_, f) = self.run_core(me.node, core, now, self.p.cfg.tx_frag_cost, category::DRIVER);
+                fin = f;
+                let pkt = Packet::Tiny {
+                    src_ep: me.ep.0,
+                    dst_ep: dest.ep.0,
+                    match_info,
+                    msg_seq,
+                    data,
+                };
+                self.send_packet(sim, me.node, dest.node, &pkt, fin);
+            }
+            MsgClass::Small => {
+                let (_, f) = self.run_core(me.node, core, now, self.p.cfg.tx_frag_cost, category::DRIVER);
+                fin = f;
+                let pkt = Packet::Small {
+                    src_ep: me.ep.0,
+                    dst_ep: dest.ep.0,
+                    match_info,
+                    msg_seq,
+                    data,
+                };
+                self.send_packet(sim, me.node, dest.node, &pkt, fin);
+            }
+            MsgClass::Medium => {
+                let frag = self.p.cfg.frag_size as usize;
+                let total = data.len();
+                let count = total.div_ceil(frag).max(1);
+                for i in 0..count {
+                    let lo = i * frag;
+                    let hi = (lo + frag).min(total);
+                    let (_, f) =
+                        self.run_core(me.node, core, fin, self.p.cfg.tx_frag_cost, category::DRIVER);
+                    fin = f;
+                    let pkt = Packet::MediumFrag {
+                        src_ep: me.ep.0,
+                        dst_ep: dest.ep.0,
+                        match_info,
+                        msg_seq,
+                        msg_len: total as u32,
+                        frag_idx: i as u16,
+                        frag_count: count as u16,
+                        offset: lo as u32,
+                        data: data.slice(lo..hi),
+                    };
+                    self.ep_mut(me).counters.tx_medium_frags += 1;
+                    self.send_packet(sim, me.node, dest.node, &pkt, fin);
+                }
+            }
+            MsgClass::Large => unreachable!("large sends go through rendezvous"),
+        }
+        fin
+    }
+
+    /// Arm the eager/rendezvous retransmission timer.
+    pub(crate) fn schedule_eager_retx(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        req: ReqId,
+        from: Ps,
+    ) {
+        let timeout = self.p.cfg.retransmit_timeout;
+        sim.schedule_at(from + timeout, move |c: &mut Cluster, s| {
+            c.eager_retx_check(s, me, req);
+        });
+    }
+
+    fn eager_retx_check(&mut self, sim: &mut Sim<Cluster>, me: EpAddr, req: ReqId) {
+        let Some(st) = self.ep(me).sends.get(&req) else {
+            return; // completed and reaped
+        };
+        if st.acked {
+            return;
+        }
+        // Recent receiver activity (pull requests) proves the transfer
+        // is alive: push the deadline out instead of retransmitting.
+        let deadline = st.last_activity + self.p.cfg.retransmit_timeout;
+        if sim.now() < deadline {
+            sim.schedule_at(deadline, move |c: &mut Cluster, s| {
+                c.eager_retx_check(s, me, req);
+            });
+            return;
+        }
+        let attempts = st.retx_attempts;
+        if attempts >= MAX_RETX_ATTEMPTS {
+            return; // give up; the workload is mis-configured
+        }
+        let class = st.class;
+        self.ep_mut(me).sends.get_mut(&req).expect("checked").retx_attempts = attempts + 1;
+        self.stats.retransmissions += 1;
+        let now = sim.now();
+        let fin = match class {
+            MsgClass::Large => {
+                // Re-announce the rendezvous; the receiver deduplicates
+                // (active pull or completed sequence → re-notify).
+                let (dest, match_info, msg_seq, len, handle) = {
+                    let st = self.ep(me).sends.get(&req).expect("checked");
+                    (
+                        st.dest,
+                        st.match_info,
+                        st.msg_seq,
+                        st.data.len() as u64,
+                        st.sender_handle.expect("large send has handle"),
+                    )
+                };
+                let core = self.ep(me).core;
+                let (_, fin) =
+                    self.run_core(me.node, core, now, self.p.cfg.ctrl_frame_cost, category::DRIVER);
+                let pkt = Packet::RndvReq {
+                    src_ep: me.ep.0,
+                    dst_ep: dest.ep.0,
+                    match_info,
+                    msg_seq,
+                    msg_len: len,
+                    sender_handle: handle,
+                };
+                self.send_packet(sim, me.node, dest.node, &pkt, fin);
+                fin
+            }
+            _ => self.tx_eager_frames(sim, me, req, now),
+        };
+        self.schedule_eager_retx(sim, me, req, fin);
+    }
+
+    // ------------------------------------------------------------------
+    // BH receive callback
+    // ------------------------------------------------------------------
+
+    /// Process one received skbuff in BH context; returns the BH finish
+    /// time for this packet.
+    pub(crate) fn handle_rx_skbuff(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        skb: Skbuff,
+    ) -> Ps {
+        let pkt = match Packet::parse(&skb.data) {
+            Ok(p) => p,
+            Err(e) => {
+                debug_assert!(false, "malformed frame: {e:?}");
+                return sim.now();
+            }
+        };
+        let src_node = NodeId(skb.src);
+        match pkt {
+            Packet::Tiny {
+                src_ep,
+                dst_ep,
+                match_info,
+                msg_seq,
+                data,
+            } => self.rx_tiny(sim, node, core, src_node, src_ep, dst_ep, match_info, msg_seq, data),
+            Packet::Small {
+                src_ep,
+                dst_ep,
+                match_info,
+                msg_seq,
+                data,
+            } => self.rx_small(sim, node, core, src_node, src_ep, dst_ep, match_info, msg_seq, data),
+            Packet::MediumFrag {
+                src_ep,
+                dst_ep,
+                match_info,
+                msg_seq,
+                msg_len,
+                frag_idx,
+                frag_count,
+                offset,
+                data,
+            } => self.rx_medium_frag(
+                sim, node, core, src_node, src_ep, dst_ep, match_info, msg_seq, msg_len, frag_idx,
+                frag_count, offset, data,
+            ),
+            Packet::RndvReq {
+                src_ep,
+                dst_ep,
+                match_info,
+                msg_seq,
+                msg_len,
+                sender_handle,
+            } => self.rx_rndv(
+                sim,
+                node,
+                core,
+                src_node,
+                src_ep,
+                dst_ep,
+                match_info,
+                msg_seq,
+                msg_len,
+                sender_handle,
+            ),
+            Packet::PullReq {
+                dst_ep,
+                sender_handle,
+                recv_handle,
+                frag_start,
+                frag_count,
+                ..
+            } => self.rx_pull_req(sim, node, core, dst_ep, sender_handle, recv_handle, frag_start, frag_count),
+            Packet::LargeFrag {
+                recv_handle,
+                frag_idx,
+                offset,
+                data,
+                ..
+            } => self.rx_large_frag(sim, node, core, recv_handle, frag_idx, offset, data),
+            Packet::Notify { dst_ep, sender_handle, .. } => {
+                self.rx_notify(sim, node, core, dst_ep, sender_handle)
+            }
+            Packet::Ack {
+                src_ep,
+                dst_ep,
+                msg_seq,
+            } => self.rx_ack(sim, node, core, src_node, src_ep, dst_ep, msg_seq),
+        }
+    }
+
+    fn addr_of(&self, node: NodeId, ep: u8) -> EpAddr {
+        EpAddr {
+            node,
+            ep: EpIdx(ep),
+        }
+    }
+
+    /// Send an ack for `msg_seq` back to the sender (BH context).
+    #[allow(clippy::too_many_arguments)]
+    fn send_ack(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        src: EpAddr,
+        my_ep: u8,
+        msg_seq: u32,
+        from: Ps,
+    ) -> Ps {
+        let (_, fin) = self.run_core(node, core, from, self.p.cfg.ctrl_frame_cost, category::BH);
+        let pkt = Packet::Ack {
+            src_ep: my_ep,
+            dst_ep: src.ep.0,
+            msg_seq,
+        };
+        self.stats.acks_sent += 1;
+        self.send_packet(sim, node, src.node, &pkt, fin);
+        fin
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_tiny(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        src_node: NodeId,
+        src_ep: u8,
+        dst_ep: u8,
+        match_info: u64,
+        msg_seq: u32,
+        data: Bytes,
+    ) -> Ps {
+        let src = self.addr_of(src_node, src_ep);
+        let me = self.addr_of(node, dst_ep);
+        let (_, fin) = self.run_core(node, core, sim.now(), self.p.cfg.bh_frag_process, category::BH);
+        if self.ep(me).seq_completed(src, msg_seq) {
+            self.stats.duplicates_dropped += 1;
+            return self.send_ack(sim, node, core, src, dst_ep, msg_seq, fin);
+        }
+        self.ep_mut(me).record_completed_seq(src, msg_seq);
+        self.ep_mut(me).counters.rx_tiny += 1;
+        self.push_event_at(
+            sim,
+            me,
+            Event::RecvTiny {
+                src,
+                match_info,
+                msg_seq,
+                data,
+            },
+            fin,
+        );
+        self.send_ack(sim, node, core, src, dst_ep, msg_seq, fin)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_small(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        src_node: NodeId,
+        src_ep: u8,
+        dst_ep: u8,
+        match_info: u64,
+        msg_seq: u32,
+        data: Bytes,
+    ) -> Ps {
+        let src = self.addr_of(src_node, src_ep);
+        let me = self.addr_of(node, dst_ep);
+        let process = self.p.cfg.bh_frag_process + self.bh_copy_cost(data.len() as u64);
+        let (_, fin) = self.run_core(node, core, sim.now(), process, category::BH);
+        {
+            let c = &mut self.ep_mut(me).counters;
+            c.copies_memcpy += 1;
+            c.bytes_memcpy += data.len() as u64;
+        }
+        if self.ep(me).seq_completed(src, msg_seq) {
+            self.stats.duplicates_dropped += 1;
+            return self.send_ack(sim, node, core, src, dst_ep, msg_seq, fin);
+        }
+        let len = data.len() as u32;
+        let Some(slot) = self.ep_mut(me).slots.fill(&data) else {
+            // Ring full: drop; the sender retransmits.
+            return fin;
+        };
+        self.ep_mut(me).record_completed_seq(src, msg_seq);
+        self.ep_mut(me).counters.rx_small += 1;
+        self.push_event_at(
+            sim,
+            me,
+            Event::RecvSmall {
+                src,
+                match_info,
+                msg_seq,
+                slot,
+                len,
+            },
+            fin,
+        );
+        self.send_ack(sim, node, core, src, dst_ep, msg_seq, fin)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_medium_frag(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        src_node: NodeId,
+        src_ep: u8,
+        dst_ep: u8,
+        match_info: u64,
+        msg_seq: u32,
+        msg_len: u32,
+        frag_idx: u16,
+        frag_count: u16,
+        offset: u32,
+        data: Bytes,
+    ) -> Ps {
+        let src = self.addr_of(src_node, src_ep);
+        let me = self.addr_of(node, dst_ep);
+        let now = sim.now();
+        if self.ep(me).seq_completed(src, msg_seq) {
+            self.stats.duplicates_dropped += 1;
+            let (_, fin) = self.run_core(node, core, now, self.p.cfg.bh_frag_process, category::BH);
+            return self.send_ack(sim, node, core, src, dst_ep, msg_seq, fin);
+        }
+        // Duplicate fragment of an in-progress message?
+        {
+            let ep = self.ep_mut(me);
+            let seen = ep
+                .drv_medium
+                .entry((src, msg_seq))
+                .or_insert_with(|| vec![false; frag_count as usize]);
+            if seen[frag_idx as usize] {
+                self.stats.duplicates_dropped += 1;
+                let (_, fin) = self.run_core(node, core, now, self.p.cfg.bh_frag_process, category::BH);
+                return fin;
+            }
+            seen[frag_idx as usize] = true;
+        }
+        if self.p.cfg.kernel_matching {
+            return self.rx_medium_kernel_match(
+                sim, node, core, src, me, match_info, msg_seq, msg_len, frag_idx, frag_count,
+                offset, data,
+            );
+        }
+        // Synchronous copy into a statically pinned ring slot: memcpy,
+        // or (optionally, §III-C/IV-C) a synchronous I/OAT copy that
+        // the BH must busy-poll — the measured medium-path degradation.
+        let len = data.len() as u64;
+        let mut work = self.p.cfg.bh_frag_process;
+        let mut fin;
+        if self.p.cfg.ioat_medium_sync
+            && !self.p.cfg.ignore_bh_copy
+            && len >= self.p.cfg.ioat_frag_threshold
+        {
+            // Ring-slot copies source from the skbuff payload, which
+            // starts just past the packet header and is never page
+            // aligned: "one or two chunks per page" (§IV-A) — here two.
+            let ndesc = self.desc_count(offset as u64, len) + 1;
+            work += IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
+            let hw = self.p.hw.clone();
+            let n = self.node_mut(node);
+            let ch = n.ioat.pick_channel_rr();
+            let handle = n.ioat.submit(&hw, submit_fin, ch, len, ndesc);
+            // Busy-poll until the copy completes.
+            let wait = handle.finish.saturating_sub(submit_fin) + self.p.hw.ioat_poll_cost;
+            let (_, f) = self.run_core(node, core, submit_fin, wait, category::BH);
+            fin = f;
+            let c = &mut self.ep_mut(me).counters;
+            c.copies_offloaded += 1;
+            c.bytes_offloaded += len;
+        } else {
+            work += self.bh_copy_cost(len);
+            let (_, f) = self.run_core(node, core, now, work, category::BH);
+            fin = f;
+            let c = &mut self.ep_mut(me).counters;
+            c.copies_memcpy += 1;
+            c.bytes_memcpy += len;
+        }
+        let Some(slot) = self.ep_mut(me).slots.fill(&data) else {
+            // Ring exhausted: the fragment is lost. Clear its dedup bit
+            // so the sender's retransmission is accepted.
+            if let Some(seen) = self.ep_mut(me).drv_medium.get_mut(&(src, msg_seq)) {
+                seen[frag_idx as usize] = false;
+            }
+            return fin;
+        };
+        self.ep_mut(me).counters.rx_medium_frags += 1;
+        self.push_event_at(
+            sim,
+            me,
+            Event::RecvMediumFrag {
+                src,
+                match_info,
+                msg_seq,
+                msg_len,
+                frag_idx,
+                frag_count,
+                offset,
+                slot,
+                len: len as u32,
+            },
+            fin,
+        );
+        // Fully received? Then ack and mark completed.
+        let done = {
+            let ep = self.ep(me);
+            ep.drv_medium
+                .get(&(src, msg_seq))
+                .is_some_and(|v| v.iter().all(|&b| b))
+        };
+        if done {
+            self.ep_mut(me).drv_medium.remove(&(src, msg_seq));
+            self.ep_mut(me).record_completed_seq(src, msg_seq);
+            fin = self.send_ack(sim, node, core, src, dst_ep, msg_seq, fin);
+        }
+        fin
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_rndv(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        src_node: NodeId,
+        src_ep: u8,
+        dst_ep: u8,
+        match_info: u64,
+        msg_seq: u32,
+        msg_len: u64,
+        sender_handle: u32,
+    ) -> Ps {
+        let src = self.addr_of(src_node, src_ep);
+        let me = self.addr_of(node, dst_ep);
+        let (_, fin) = self.run_core(node, core, sim.now(), self.p.cfg.bh_frag_process, category::BH);
+        if self.ep(me).seq_completed(src, msg_seq) {
+            // The pull finished but the Notify was lost: re-notify.
+            self.stats.duplicates_dropped += 1;
+            let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::BH);
+            let pkt = Packet::Notify {
+                src_ep: dst_ep,
+                dst_ep: src_ep,
+                sender_handle,
+            };
+            self.send_packet(sim, node, src.node, &pkt, f);
+            return f;
+        }
+        // Duplicate announcement while the pull is active, or while the
+        // original still sits in the event ring / unexpected queue
+        // (sender retransmissions racing a busy library): ignore.
+        // Sequence numbers are per endpoint *pair*: the receiving
+        // endpoint must be part of the key or concurrent transfers
+        // from one sender to two endpoints shadow each other.
+        let active = self
+            .node(node)
+            .driver
+            .pulls
+            .values()
+            .any(|p| p.ep == me.ep && p.src == src && p.msg_seq == msg_seq)
+            || self.ep(me).rndv_pending.contains(&(src, msg_seq));
+        if active {
+            self.stats.duplicates_dropped += 1;
+            return fin;
+        }
+        self.ep_mut(me).rndv_pending.insert((src, msg_seq));
+        self.ep_mut(me).counters.rx_rndv += 1;
+        self.push_event_at(
+            sim,
+            me,
+            Event::RecvRndv {
+                src,
+                match_info,
+                msg_seq,
+                msg_len,
+                sender_handle,
+            },
+            fin,
+        );
+        fin
+    }
+
+    fn rx_notify(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        dst_ep: u8,
+        sender_handle: u32,
+    ) -> Ps {
+        let me = self.addr_of(node, dst_ep);
+        let (_, fin) = self.run_core(node, core, sim.now(), self.p.cfg.bh_frag_process, category::BH);
+        let Some(tx) = self.node_mut(node).driver.tx_large.remove(&sender_handle) else {
+            self.stats.duplicates_dropped += 1;
+            return fin;
+        };
+        debug_assert_eq!(tx.ep, me.ep);
+        // Release the pinned send region and complete the send.
+        let region = self.ep(me).sends.get(&tx.req).and_then(|s| s.region);
+        if let Some(r) = region {
+            self.ep_mut(me).regions.release(r);
+        }
+        if let Some(st) = self.ep_mut(me).sends.get_mut(&tx.req) {
+            st.acked = true;
+        }
+        self.push_event_at(sim, me, Event::SendDone { req: tx.req }, fin);
+        fin
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_ack(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        src_node: NodeId,
+        src_ep: u8,
+        dst_ep: u8,
+        msg_seq: u32,
+    ) -> Ps {
+        let me = self.addr_of(node, dst_ep);
+        let acker = self.addr_of(src_node, src_ep);
+        let (_, fin) = self.run_core(node, core, sim.now(), self.p.cfg.ctrl_frame_cost, category::BH);
+        let found = self
+            .ep(me)
+            .sends
+            .iter()
+            .find(|(_, s)| s.dest == acker && s.msg_seq == msg_seq)
+            .map(|(r, _)| *r);
+        let Some(req) = found else {
+            return fin; // already reaped
+        };
+        let (class, completed) = {
+            let st = self.ep_mut(me).sends.get_mut(&req).expect("just found");
+            st.acked = true;
+            (st.class, st.completed)
+        };
+        if completed {
+            self.ep_mut(me).sends.remove(&req);
+        } else if matches!(class, MsgClass::Medium) {
+            // Medium sends complete on ack (zero-copy buffer reusable).
+            self.push_event_at(sim, me, Event::SendDone { req }, fin);
+        }
+        fin
+    }
+}

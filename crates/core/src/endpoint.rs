@@ -1,0 +1,261 @@
+//! Endpoint state: the user-space library side of one Open-MX (or
+//! MXoE) endpoint, plus its per-request bookkeeping.
+//!
+//! An endpoint bundles the matcher, the driver→library event ring, the
+//! statically pinned receive slots, the registration table and the
+//! outstanding send/receive requests of one application process. The
+//! cluster world owns the endpoints and drives them; this module is
+//! the data model.
+
+use crate::config::MsgClass;
+use crate::counters::Counters;
+use crate::events::{EventRing, SlotPool};
+use crate::matching::Matcher;
+use crate::region::{Region, RegionTable};
+use crate::{EpAddr, ReqId};
+use omx_hw::CoreId;
+use std::collections::{HashMap, HashSet};
+
+/// An outstanding send request.
+#[derive(Debug)]
+pub struct SendState {
+    /// Request id.
+    pub req: ReqId,
+    /// Destination endpoint.
+    pub dest: EpAddr,
+    /// Match information carried on the wire.
+    pub match_info: u64,
+    /// Per-partner message sequence number.
+    pub msg_seq: u32,
+    /// Message class (decided at post time).
+    pub class: MsgClass,
+    /// Payload, retained until acknowledged for retransmission.
+    /// `Bytes` so fragments slice it zero-copy (the simulation-host
+    /// analogue of the stack's zero-copy page attach).
+    pub data: bytes::Bytes,
+    /// Stable buffer identity for the registration cache / cache
+    /// model; `None` for one-shot buffers.
+    pub tag: Option<u64>,
+    /// Acknowledged (eager) — retransmission stops.
+    pub acked: bool,
+    /// Completion already delivered to the application.
+    pub completed: bool,
+    /// Sender-side large handle (rendezvous), if any.
+    pub sender_handle: Option<u32>,
+    /// Pinned region backing a large send.
+    pub region: Option<Region>,
+    /// Retransmission attempts so far.
+    pub retx_attempts: u32,
+    /// Last proof of life from the receiver for this request (pull
+    /// requests reset it); the retransmission timer keys off this.
+    pub last_activity: omx_sim::Ps,
+}
+
+/// An outstanding receive request.
+#[derive(Debug)]
+pub struct RecvState {
+    /// Request id.
+    pub req: ReqId,
+    /// Posted match information.
+    pub match_info: u64,
+    /// Posted match mask.
+    pub mask: u64,
+    /// Destination buffer (filled in place).
+    pub buf: Vec<u8>,
+    /// Bytes delivered so far.
+    pub received: u64,
+    /// Total expected once matched (0 until known).
+    pub total: u64,
+    /// Match information of the message that matched (for the
+    /// completion record).
+    pub matched_info: Option<u64>,
+    /// Stable buffer identity.
+    pub tag: Option<u64>,
+    /// Pinned region backing a large receive.
+    pub region: Option<Region>,
+    /// Per-fragment arrival bitmap for medium reassembly (duplicate
+    /// suppression under retransmission).
+    pub frag_seen: Vec<bool>,
+    /// Segment size of a vectorial destination buffer (`None` =
+    /// contiguous). Scattered buffers split every receive copy into
+    /// per-segment chunks — the "highly-vectorial buffers" case of
+    /// §IV-A that the fragment threshold protects against.
+    pub seg_size: Option<u64>,
+}
+
+/// Reassembly of a multi-fragment eager message, matched or not.
+#[derive(Debug)]
+pub struct MediumAssembly {
+    /// The receive it was matched to, if any. Unmatched assemblies
+    /// buffer their data in `data` until a receive adopts them.
+    pub req: Option<ReqId>,
+    /// Match information (for adoption by later receives).
+    pub match_info: u64,
+    /// Fragments already applied (duplicate suppression).
+    pub frag_seen: Vec<bool>,
+    /// Bytes applied.
+    pub arrived: u64,
+    /// Total length.
+    pub total: u64,
+    /// Buffered payload while unmatched (empty once matched).
+    pub data: Vec<u8>,
+}
+
+impl MediumAssembly {
+    /// Whether every byte arrived.
+    pub fn is_complete(&self) -> bool {
+        self.arrived >= self.total
+    }
+}
+
+/// One endpoint (library side).
+#[derive(Debug)]
+pub struct Endpoint {
+    /// Global address.
+    pub addr: EpAddr,
+    /// Core the owning process (application + library) is pinned to.
+    pub core: CoreId,
+    /// Matching engine.
+    pub matcher: Matcher,
+    /// Driver→library event ring.
+    pub events: EventRing,
+    /// Statically pinned receive data slots.
+    pub slots: SlotPool,
+    /// Registered regions (+ registration cache).
+    pub regions: RegionTable,
+    /// Outstanding sends.
+    pub sends: HashMap<ReqId, SendState>,
+    /// Outstanding receives.
+    pub recvs: HashMap<ReqId, RecvState>,
+    /// In-flight medium reassemblies keyed by (source, sequence).
+    pub assemblies: HashMap<(EpAddr, u32), MediumAssembly>,
+    /// Next message sequence per destination partner.
+    pub seq_tx: HashMap<EpAddr, u32>,
+    /// Application driving this endpoint (index into the cluster's app
+    /// table).
+    pub app: usize,
+    /// Whether a library poll event is already scheduled.
+    pub poll_scheduled: bool,
+    /// Driver-side duplicate suppression: message sequences already
+    /// fully received per partner.
+    pub completed_seqs: HashMap<EpAddr, HashSet<u32>>,
+    /// Driver-side medium reassembly progress (for ack generation):
+    /// (src, seq) → fragments seen bitmap.
+    pub drv_medium: HashMap<(EpAddr, u32), Vec<bool>>,
+    /// Rendezvous announcements delivered but not yet matched to a
+    /// pull: duplicates (sender retransmissions racing the library)
+    /// must be dropped while the original sits in the event ring or
+    /// the unexpected queue.
+    pub rndv_pending: HashSet<(EpAddr, u32)>,
+    /// Per-endpoint performance counters (the `omx_counters`
+    /// equivalent).
+    pub counters: Counters,
+}
+
+impl Endpoint {
+    /// A fresh endpoint.
+    pub fn new(addr: EpAddr, core: CoreId, app: usize, recvq_slots: usize, slot_bytes: usize, regcache: bool) -> Self {
+        Endpoint {
+            addr,
+            core,
+            matcher: Matcher::new(),
+            events: EventRing::new(),
+            slots: SlotPool::new(recvq_slots, slot_bytes),
+            regions: RegionTable::new(regcache),
+            sends: HashMap::new(),
+            recvs: HashMap::new(),
+            assemblies: HashMap::new(),
+            seq_tx: HashMap::new(),
+            app,
+            poll_scheduled: false,
+            completed_seqs: HashMap::new(),
+            drv_medium: HashMap::new(),
+            rndv_pending: HashSet::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Allocate the next message sequence number toward `dest`.
+    pub fn next_seq(&mut self, dest: EpAddr) -> u32 {
+        let c = self.seq_tx.entry(dest).or_insert(0);
+        let s = *c;
+        *c += 1;
+        s
+    }
+
+    /// Sequences retained per partner for duplicate suppression. Only
+    /// recent sequences can ever be retransmitted (the sender gives up
+    /// after a bounded number of attempts), so the set is pruned to a
+    /// sliding window instead of growing for the whole run.
+    const SEQ_WINDOW: u32 = 4096;
+
+    /// Record a fully received message sequence from `src`; returns
+    /// `false` when it was already recorded (a duplicate delivery).
+    pub fn record_completed_seq(&mut self, src: EpAddr, seq: u32) -> bool {
+        let set = self.completed_seqs.entry(src).or_default();
+        let fresh = set.insert(seq);
+        if fresh && set.len() as u32 > 2 * Self::SEQ_WINDOW {
+            // Drop everything older than the window below the newest
+            // sequence; retransmissions never reach back that far.
+            let keep_from = seq.saturating_sub(Self::SEQ_WINDOW);
+            set.retain(|&s| s >= keep_from);
+        }
+        fresh
+    }
+
+    /// Whether `seq` from `src` was already fully received.
+    pub fn seq_completed(&self, src: EpAddr, seq: u32) -> bool {
+        self.completed_seqs
+            .get(&src)
+            .is_some_and(|s| s.contains(&seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EpIdx, NodeId};
+
+    fn addr(n: u32, e: u8) -> EpAddr {
+        EpAddr {
+            node: NodeId(n),
+            ep: EpIdx(e),
+        }
+    }
+
+    fn ep() -> Endpoint {
+        Endpoint::new(addr(0, 0), CoreId(1), 0, 16, 4096, true)
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_partner() {
+        let mut e = ep();
+        let a = addr(1, 0);
+        let b = addr(1, 1);
+        assert_eq!(e.next_seq(a), 0);
+        assert_eq!(e.next_seq(a), 1);
+        assert_eq!(e.next_seq(b), 0, "independent stream per partner");
+        assert_eq!(e.next_seq(a), 2);
+    }
+
+    #[test]
+    fn completed_seq_dedup() {
+        let mut e = ep();
+        let a = addr(1, 0);
+        assert!(!e.seq_completed(a, 5));
+        assert!(e.record_completed_seq(a, 5), "first recording");
+        assert!(e.seq_completed(a, 5));
+        assert!(!e.record_completed_seq(a, 5), "duplicate detected");
+        assert!(!e.seq_completed(addr(1, 1), 5), "per-partner isolation");
+    }
+
+    #[test]
+    fn endpoint_starts_idle() {
+        let e = ep();
+        assert!(e.events.is_empty());
+        assert_eq!(e.slots.free_slots(), 16);
+        assert!(e.sends.is_empty());
+        assert!(e.recvs.is_empty());
+        assert!(!e.poll_scheduled);
+    }
+}

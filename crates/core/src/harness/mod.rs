@@ -1,0 +1,40 @@
+//! Benchmark harnesses that regenerate the paper's figures.
+//!
+//! * [`pingpong`] — network and shared-memory ping-pong (Figures 3, 8,
+//!   10, 11),
+//! * [`stream`] — unidirectional large-message stream with CPU-usage
+//!   accounting (Figure 9),
+//! * [`copybench`] — raw pipelined memcpy vs I/OAT copy rates
+//!   (Figure 7 and the §IV-A micro-benchmark numbers).
+
+pub mod copybench;
+pub mod pingpong;
+pub mod stream;
+
+pub use copybench::{copy_rate_mibs, CopyEngine};
+pub use pingpong::{run_pingpong, Placement, PingPongConfig, PingPongResult};
+pub use stream::{run_stream, StreamConfig, StreamResult};
+
+/// The message-size sweep used by the paper's throughput figures
+/// (16 B … `max` by powers of two).
+pub fn size_sweep(max: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 16u64;
+    while s <= max {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_covers_paper_axis() {
+        let s = super::size_sweep(1 << 20);
+        assert_eq!(s.first(), Some(&16));
+        assert_eq!(s.last(), Some(&(1 << 20)));
+        assert!(s.contains(&4096));
+        assert!(s.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+}

@@ -1,0 +1,412 @@
+//! The user-space library: event-ring consumption, matching and the
+//! library-side copies.
+//!
+//! With library-level matching (the paper's stack), the library reaps
+//! one event per small message and one per *fragment* of a medium
+//! message, copying payloads from the statically pinned ring into the
+//! application buffer — the second copy of Fig 2. Large messages show
+//! up twice: a rendezvous event that triggers the pull command, and a
+//! single completion event once the driver finished the pull.
+
+use crate::cluster::Cluster;
+use crate::config::StackKind;
+use crate::endpoint::MediumAssembly;
+use crate::events::Event;
+use crate::matching::{PostedRecv, Unexpected};
+use crate::{EpAddr, ReqId};
+use omx_hw::cpu::category;
+use omx_hw::mem::{CopyContext, MemModel};
+use omx_hw::Distance;
+use omx_sim::{Ps, Sim};
+
+impl Cluster {
+    /// Library copy cost: ring slot (or unexpected heap buffer) into
+    /// the application buffer. The slot was written by the BH on
+    /// another core, so the copy is uncached.
+    pub(crate) fn lib_copy_cost(&self, bytes: u64) -> Ps {
+        let ctx = CopyContext::uncached(Distance::SameSocket);
+        MemModel::copy_time_paged(&self.p.hw, bytes, &ctx)
+    }
+
+    /// Drain the endpoint's event ring in library context.
+    pub(crate) fn lib_poll(&mut self, sim: &mut Sim<Cluster>, me: EpAddr) {
+        loop {
+            let Some(ev) = self.ep_mut(me).events.pop() else {
+                break;
+            };
+            self.lib_handle_event(sim, me, ev);
+        }
+    }
+
+    fn lib_handle_event(&mut self, sim: &mut Sim<Cluster>, me: EpAddr, ev: Event) {
+        let core = self.ep(me).core;
+        let node = me.node;
+        let now = sim.now();
+        let ev_cost = self.p.cfg.lib_event_cost;
+        match ev {
+            Event::RecvTiny {
+                src,
+                match_info,
+                msg_seq,
+                data,
+            } => {
+                let cost = ev_cost + self.lib_copy_cost(data.len() as u64);
+                let (_, fin) = self.run_core(node, core, now, cost, category::USER_LIB);
+                self.lib_deliver_eager(sim, me, src, match_info, msg_seq, data.to_vec(), fin);
+            }
+            Event::RecvSmall {
+                src,
+                match_info,
+                msg_seq,
+                slot,
+                len,
+            } => {
+                let cost = ev_cost + self.lib_copy_cost(len as u64);
+                let (_, fin) = self.run_core(node, core, now, cost, category::USER_LIB);
+                let data = {
+                    let ep = self.ep_mut(me);
+                    let d = ep.slots.read(slot, len as usize).to_vec();
+                    ep.slots.release(slot);
+                    d
+                };
+                self.lib_deliver_eager(sim, me, src, match_info, msg_seq, data, fin);
+            }
+            Event::RecvMediumFrag {
+                src,
+                match_info,
+                msg_seq,
+                msg_len,
+                frag_idx,
+                frag_count,
+                offset,
+                slot,
+                len,
+            } => {
+                let cost = ev_cost + self.lib_copy_cost(len as u64);
+                let (_, fin) = self.run_core(node, core, now, cost, category::USER_LIB);
+                let data = {
+                    let ep = self.ep_mut(me);
+                    let d = ep.slots.read(slot, len as usize).to_vec();
+                    ep.slots.release(slot);
+                    d
+                };
+                self.lib_apply_medium_frag(
+                    sim,
+                    me,
+                    src,
+                    match_info,
+                    msg_seq,
+                    msg_len as u64,
+                    frag_idx as u32,
+                    frag_count as u32,
+                    offset as u64,
+                    &data,
+                    fin,
+                );
+            }
+            Event::RecvRndv {
+                src,
+                match_info,
+                msg_seq,
+                msg_len,
+                sender_handle,
+            } => {
+                let (_, fin) = self.run_core(node, core, now, ev_cost, category::USER_LIB);
+                match self.ep_mut(me).matcher.match_incoming(match_info) {
+                    Some(posted) => {
+                        self.lib_adopt_rndv(
+                            sim,
+                            me,
+                            posted.req,
+                            src,
+                            match_info,
+                            msg_seq,
+                            msg_len,
+                            sender_handle,
+                            fin,
+                        );
+                    }
+                    None => {
+                        self.ep_mut(me).counters.unexpected += 1;
+                        self.ep_mut(me).matcher.push_unexpected(Unexpected::Rndv {
+                            src,
+                            match_info,
+                            msg_seq,
+                            msg_len,
+                            sender_handle,
+                        });
+                    }
+                }
+            }
+            Event::RecvLargeDone { req, len } => {
+                let (_, fin) = self.run_core(node, core, now, ev_cost, category::USER_LIB);
+                if let Some(rs) = self.ep_mut(me).recvs.get_mut(&req) {
+                    rs.total = len;
+                }
+                self.finish_recv(sim, me, req, fin);
+            }
+            Event::RecvMediumDone { req, len } => {
+                let (_, fin) = self.run_core(node, core, now, ev_cost, category::USER_LIB);
+                if let Some(rs) = self.ep_mut(me).recvs.get_mut(&req) {
+                    rs.total = len as u64;
+                }
+                self.finish_recv(sim, me, req, fin);
+            }
+            Event::SendDone { req } => {
+                let (_, fin) = self.run_core(node, core, now, ev_cost, category::USER_LIB);
+                self.finish_send(sim, me, req, fin);
+            }
+        }
+    }
+
+    /// Deliver a complete single-fragment eager message: match or
+    /// buffer as unexpected.
+    #[allow(clippy::too_many_arguments)]
+    fn lib_deliver_eager(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        src: EpAddr,
+        match_info: u64,
+        msg_seq: u32,
+        data: Vec<u8>,
+        fin: Ps,
+    ) {
+        match self.ep_mut(me).matcher.match_incoming(match_info) {
+            Some(posted) => {
+                let ep = self.ep_mut(me);
+                if let Some(rs) = ep.recvs.get_mut(&posted.req) {
+                    let n = data.len().min(rs.buf.len());
+                    rs.buf[..n].copy_from_slice(&data[..n]);
+                    rs.received = n as u64;
+                    rs.total = n as u64;
+                    rs.matched_info = Some(match_info);
+                }
+                self.finish_recv(sim, me, posted.req, fin);
+            }
+            None => {
+                let total = data.len() as u64;
+                self.ep_mut(me).counters.unexpected += 1;
+                self.ep_mut(me).matcher.push_unexpected(Unexpected::Eager {
+                    src,
+                    match_info,
+                    msg_seq,
+                    data,
+                    arrived: total,
+                    total,
+                });
+            }
+        }
+    }
+
+    /// Apply one medium fragment to its (matched or unexpected)
+    /// assembly.
+    #[allow(clippy::too_many_arguments)]
+    fn lib_apply_medium_frag(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        src: EpAddr,
+        match_info: u64,
+        msg_seq: u32,
+        msg_len: u64,
+        frag_idx: u32,
+        frag_count: u32,
+        offset: u64,
+        data: &[u8],
+        fin: Ps,
+    ) {
+        let key = (src, msg_seq);
+        // First fragment of a new message: match it.
+        if !self.ep(me).assemblies.contains_key(&key) {
+            let matched = self.ep_mut(me).matcher.match_incoming(match_info);
+            let (req, buf) = match matched {
+                Some(posted) => {
+                    if let Some(rs) = self.ep_mut(me).recvs.get_mut(&posted.req) {
+                        rs.total = msg_len;
+                        rs.matched_info = Some(match_info);
+                    }
+                    (Some(posted.req), Vec::new())
+                }
+                None => (None, vec![0u8; msg_len as usize]),
+            };
+            self.ep_mut(me).assemblies.insert(
+                key,
+                MediumAssembly {
+                    req,
+                    match_info,
+                    frag_seen: vec![false; frag_count as usize],
+                    arrived: 0,
+                    total: msg_len,
+                    data: buf,
+                },
+            );
+        }
+        // Apply the fragment.
+        let (completed_req, done_unmatched) = {
+            let ep = self.ep_mut(me);
+            let asm = ep.assemblies.get_mut(&key).expect("just ensured");
+            if asm.frag_seen[frag_idx as usize] {
+                (None, false)
+            } else {
+                asm.frag_seen[frag_idx as usize] = true;
+                asm.arrived += data.len() as u64;
+                match asm.req {
+                    Some(req) => {
+                        if let Some(rs) = ep.recvs.get_mut(&req) {
+                            let end = ((offset as usize) + data.len()).min(rs.buf.len());
+                            let start = (offset as usize).min(end);
+                            rs.buf[start..end].copy_from_slice(&data[..end - start]);
+                            rs.received += (end - start) as u64;
+                        }
+                        let asm = ep.assemblies.get_mut(&key).expect("present");
+                        if asm.is_complete() {
+                            (Some(req), false)
+                        } else {
+                            (None, false)
+                        }
+                    }
+                    None => {
+                        let end = ((offset as usize) + data.len()).min(asm.data.len());
+                        let start = (offset as usize).min(end);
+                        asm.data[start..end].copy_from_slice(&data[..end - start]);
+                        (None, asm.is_complete())
+                    }
+                }
+            }
+        };
+        if let Some(req) = completed_req {
+            self.ep_mut(me).assemblies.remove(&key);
+            self.finish_recv(sim, me, req, fin);
+        }
+        // Complete-but-unmatched assemblies stay buffered until a
+        // receive adopts them.
+        let _ = done_unmatched;
+    }
+
+    /// A receive matched a rendezvous: record it and start the pull.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn lib_adopt_rndv(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        req: ReqId,
+        src: EpAddr,
+        match_info: u64,
+        msg_seq: u32,
+        msg_len: u64,
+        sender_handle: u32,
+        fin: Ps,
+    ) {
+        if let Some(rs) = self.ep_mut(me).recvs.get_mut(&req) {
+            rs.total = msg_len;
+            rs.matched_info = Some(match_info);
+        }
+        // The announcement is now owned by a pull; duplicate tracking
+        // hands over to the driver's active-pull check.
+        self.ep_mut(me).rndv_pending.remove(&(src, msg_seq));
+        match self.p.cfg.stack {
+            StackKind::Mxoe => {
+                self.mx_start_pull(sim, me, req, src, sender_handle, msg_len, fin);
+            }
+            StackKind::OpenMx => {
+                if src.node == me.node {
+                    self.start_local_pull(sim, me, req, src, sender_handle, msg_len, msg_seq, fin);
+                } else {
+                    self.start_pull(sim, me, req, src, sender_handle, msg_len, msg_seq, fin);
+                }
+            }
+        }
+    }
+
+    /// A new receive was posted: try the matcher's unexpected queue,
+    /// then buffered assemblies.
+    pub(crate) fn lib_match_new_recv(&mut self, sim: &mut Sim<Cluster>, me: EpAddr, req: ReqId) {
+        let now = sim.now();
+        let core = self.ep(me).core;
+        let (match_info, mask, cap) = {
+            let rs = self.ep(me).recvs.get(&req).expect("just posted");
+            (rs.match_info, rs.mask, rs.buf.len() as u64)
+        };
+        let hit = self.ep_mut(me).matcher.post_recv(PostedRecv {
+            req,
+            match_info,
+            mask,
+            len: cap,
+        });
+        match hit {
+            Some(Unexpected::Eager {
+                match_info: mi,
+                data,
+                arrived,
+                total,
+                ..
+            }) => {
+                // Matcher-held eager unexpecteds are always complete
+                // (partial mediums live in `assemblies` instead).
+                debug_assert!(arrived >= total, "partial eager in matcher");
+                let cost = self.lib_copy_cost(total);
+                let (_, fin) = self.run_core(me.node, core, now, cost, category::USER_LIB);
+                let ep = self.ep_mut(me);
+                if let Some(rs) = ep.recvs.get_mut(&req) {
+                    let n = (total as usize).min(rs.buf.len()).min(data.len());
+                    rs.buf[..n].copy_from_slice(&data[..n]);
+                    rs.received = n as u64;
+                    rs.total = n as u64;
+                    rs.matched_info = Some(mi);
+                }
+                self.finish_recv(sim, me, req, fin);
+            }
+            Some(Unexpected::Rndv {
+                src,
+                match_info: mi,
+                msg_seq,
+                msg_len,
+                sender_handle,
+            }) => {
+                self.lib_adopt_rndv(sim, me, req, src, mi, msg_seq, msg_len, sender_handle, now);
+            }
+            None => {
+                // Any buffered unmatched assembly that fits?
+                let found = {
+                    let ep = self.ep(me);
+                    ep.assemblies
+                        .iter()
+                        .filter(|(_, a)| a.req.is_none())
+                        .find(|(_, a)| crate::matching::matches(match_info, mask, a.match_info))
+                        .map(|(k, _)| *k)
+                };
+                if let Some(key) = found {
+                    // Adopt: the receive leaves the matcher's queue.
+                    self.ep_mut(me).matcher.remove_posted(req);
+                    let (arrived, total, mi, complete) = {
+                        let ep = self.ep_mut(me);
+                        let asm = ep.assemblies.get_mut(&key).expect("found");
+                        asm.req = Some(req);
+                        (asm.arrived, asm.total, asm.match_info, asm.is_complete())
+                    };
+                    let cost = self.lib_copy_cost(arrived);
+                    let (_, fin) = self.run_core(me.node, core, now, cost, category::USER_LIB);
+                    {
+                        let ep = self.ep_mut(me);
+                        let asm = ep.assemblies.get_mut(&key).expect("found");
+                        let data = std::mem::take(&mut asm.data);
+                        if let Some(rs) = ep.recvs.get_mut(&req) {
+                            let n = (arrived as usize).min(rs.buf.len()).min(data.len());
+                            // Unmatched assemblies buffer the full
+                            // image; copy what arrived so far.
+                            rs.buf[..n].copy_from_slice(&data[..n]);
+                            rs.received = arrived;
+                            rs.total = total;
+                            rs.matched_info = Some(mi);
+                        }
+                    }
+                    if complete {
+                        self.ep_mut(me).assemblies.remove(&key);
+                        self.finish_recv(sim, me, req, fin);
+                    }
+                }
+            }
+        }
+    }
+}

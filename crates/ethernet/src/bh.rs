@@ -1,0 +1,135 @@
+//! Bottom-half (softirq) queues.
+//!
+//! The hard-IRQ handler does almost nothing; the heavy lifting runs
+//! later in a *bottom half* on the interrupted core (paper §II-B). We
+//! model one BH queue per core: the IRQ enqueues filled skbuffs and
+//! marks the BH pending; when the BH runs it drains up to a NAPI-style
+//! budget of skbuffs through the protocol callback, then (if work
+//! remains) re-schedules itself.
+
+use crate::skbuff::Skbuff;
+use std::collections::VecDeque;
+
+/// Per-core bottom-half state.
+#[derive(Debug, Default)]
+pub struct BottomHalfQueue {
+    queue: VecDeque<Skbuff>,
+    /// Whether a BH run is already scheduled (avoids duplicate runs).
+    scheduled: bool,
+    drained_total: u64,
+}
+
+/// NAPI default weight: max skbuffs processed per BH invocation.
+pub const NAPI_BUDGET: usize = 64;
+
+impl BottomHalfQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// IRQ path: enqueue a filled skbuff. Returns `true` when the
+    /// caller must schedule a BH run (none was pending).
+    pub fn enqueue(&mut self, skb: Skbuff) -> bool {
+        self.queue.push_back(skb);
+        if self.scheduled {
+            false
+        } else {
+            self.scheduled = true;
+            true
+        }
+    }
+
+    /// BH path: take up to `budget` skbuffs to process. After the
+    /// caller processes them it must call [`Self::finish_run`].
+    pub fn take_batch(&mut self, budget: usize) -> Vec<Skbuff> {
+        let n = self.queue.len().min(budget);
+        let batch: Vec<Skbuff> = self.queue.drain(..n).collect();
+        self.drained_total += batch.len() as u64;
+        batch
+    }
+
+    /// Mark the current BH run finished. Returns `true` when skbuffs
+    /// remain and the BH must be re-scheduled (budget exhausted while
+    /// traffic kept arriving).
+    pub fn finish_run(&mut self) -> bool {
+        if self.queue.is_empty() {
+            self.scheduled = false;
+            false
+        } else {
+            // Stay scheduled; caller re-queues a run.
+            true
+        }
+    }
+
+    /// Skbuffs waiting.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a BH run is pending.
+    pub fn is_scheduled(&self) -> bool {
+        self.scheduled
+    }
+
+    /// Total skbuffs ever drained (diagnostics).
+    pub fn drained_total(&self) -> u64 {
+        self.drained_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use omx_sim::Ps;
+
+    fn skb(n: usize) -> Skbuff {
+        Skbuff::new(0, Bytes::from(vec![0u8; n]), Ps::ZERO)
+    }
+
+    #[test]
+    fn first_enqueue_schedules_once() {
+        let mut bh = BottomHalfQueue::new();
+        assert!(bh.enqueue(skb(10)));
+        assert!(!bh.enqueue(skb(10)), "second enqueue piggybacks");
+        assert_eq!(bh.backlog(), 2);
+        assert!(bh.is_scheduled());
+    }
+
+    #[test]
+    fn batch_respects_budget_and_order() {
+        let mut bh = BottomHalfQueue::new();
+        for i in 0..5 {
+            bh.enqueue(skb(i + 1));
+        }
+        let batch = bh.take_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].len(), 1);
+        assert_eq!(batch[2].len(), 3);
+        assert_eq!(bh.backlog(), 2);
+        // Work remains: finish_run asks for a re-schedule.
+        assert!(bh.finish_run());
+        let batch = bh.take_batch(NAPI_BUDGET);
+        assert_eq!(batch.len(), 2);
+        assert!(!bh.finish_run());
+        assert!(!bh.is_scheduled());
+        assert_eq!(bh.drained_total(), 5);
+    }
+
+    #[test]
+    fn enqueue_after_drain_schedules_again() {
+        let mut bh = BottomHalfQueue::new();
+        bh.enqueue(skb(1));
+        bh.take_batch(64);
+        bh.finish_run();
+        assert!(bh.enqueue(skb(2)), "queue drained, new run needed");
+    }
+
+    #[test]
+    fn empty_take_is_empty() {
+        let mut bh = BottomHalfQueue::new();
+        assert!(bh.take_batch(64).is_empty());
+        assert!(!bh.finish_run());
+    }
+}

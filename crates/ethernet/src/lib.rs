@@ -1,0 +1,33 @@
+//! Generic Linux-Ethernet substrate model.
+//!
+//! Open-MX deliberately targets the *generic* Ethernet layer of the
+//! Linux kernel — no RDMA NICs, no modified drivers — and inherits its
+//! receive architecture: the driver keeps a ring of anonymous
+//! `skbuff`s, the NIC fills the next one by DMA regardless of which
+//! message the frame belongs to, an interrupt schedules a bottom half,
+//! and the protocol's receive callback must then *copy* the payload to
+//! its real destination. This crate models exactly those pieces:
+//!
+//! * [`frame`] — Ethernet frames with realistic wire framing overhead,
+//! * [`skbuff`] — socket buffers carrying real payload bytes,
+//! * [`nic`] — a NIC with an RX ring (overflow drops included) and
+//!   interrupt dispatch,
+//! * [`link`] — a unidirectional 10 GbE link as a FIFO server at the
+//!   9953 Mbit/s effective data rate the paper quotes,
+//! * [`bh`] — per-core bottom-half (softirq) queues with a NAPI-style
+//!   budget.
+//!
+//! Like `omx-hw`, everything is pure state + cost functions returning
+//! times and actions; the `open-mx` cluster world does the scheduling.
+
+pub mod bh;
+pub mod frame;
+pub mod link;
+pub mod nic;
+pub mod skbuff;
+
+pub use bh::BottomHalfQueue;
+pub use frame::EthFrame;
+pub use link::{Link, LinkParams};
+pub use nic::{Nic, NicParams};
+pub use skbuff::Skbuff;

@@ -1,0 +1,255 @@
+//! Coarse per-subchip cache-occupancy model.
+//!
+//! The simulation does not track cache lines; it tracks *regions*
+//! (message buffers, rings) and how many of their bytes are plausibly
+//! resident in each subchip's shared L2. That is enough to reproduce
+//! the effects the paper reports: the 12 GiB/s cached memcpy, the
+//! 6 GiB/s shared-cache ping-pong that collapses once the working set
+//! outgrows the L2 (Fig 10), and the cache *pollution* argument for
+//! I/OAT (offloaded copies never touch the model).
+//!
+//! Policy: LRU over regions, capped at the usable capacity from
+//! [`HwParams::l2_usable_bytes`]. Touching a region makes it most
+//! recently used and, if needed, evicts least-recently-used regions
+//! (partially, byte-granular) to make room.
+
+use crate::params::HwParams;
+use crate::topology::SubchipId;
+use std::collections::HashMap;
+
+/// Key identifying a cached region (one per buffer/ring in the world).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionKey(pub u64);
+
+#[derive(Debug, Default, Clone)]
+struct SubchipCache {
+    /// Regions in LRU order: front = least recently used.
+    lru: Vec<(RegionKey, u64)>,
+}
+
+impl SubchipCache {
+    fn resident(&self, key: RegionKey) -> u64 {
+        self.lru
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
+    }
+
+    fn total(&self) -> u64 {
+        self.lru.iter().map(|(_, b)| b).sum()
+    }
+
+    fn touch(&mut self, key: RegionKey, bytes: u64, capacity: u64) {
+        // Remove any existing entry, then insert at the MRU end with the
+        // new footprint (capped at capacity).
+        self.lru.retain(|(k, _)| *k != key);
+        let bytes = bytes.min(capacity);
+        if bytes == 0 {
+            return;
+        }
+        self.lru.push((key, bytes));
+        // Evict from the LRU end until we fit.
+        let mut total = self.total();
+        let mut i = 0;
+        while total > capacity && i < self.lru.len() {
+            // Never evict the entry we just inserted (last element).
+            if i == self.lru.len() - 1 {
+                break;
+            }
+            let excess = total - capacity;
+            let (_, b) = &mut self.lru[i];
+            if *b <= excess {
+                total -= *b;
+                self.lru.remove(i);
+                // Do not advance i: next entry shifted into place.
+            } else {
+                *b -= excess;
+                total -= excess;
+                i += 1;
+            }
+        }
+    }
+
+    fn invalidate(&mut self, key: RegionKey) {
+        self.lru.retain(|(k, _)| *k != key);
+    }
+}
+
+/// Cache occupancy for every subchip of one host.
+#[derive(Debug, Default, Clone)]
+pub struct CacheModel {
+    subchips: HashMap<SubchipId, SubchipCache>,
+}
+
+impl CacheModel {
+    /// An empty (cold) cache model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a core on `subchip` streamed through `bytes` of
+    /// `region` (a CPU copy touched it — I/OAT copies must NOT call
+    /// this; bypassing the cache is exactly their advantage).
+    pub fn touch(&mut self, params: &HwParams, subchip: SubchipId, key: RegionKey, bytes: u64) {
+        self.subchips.entry(subchip).or_default().touch(
+            key,
+            bytes,
+            params.l2_usable_bytes(),
+        );
+    }
+
+    /// Record a *write* to `region` by a core on `subchip`: coherence
+    /// invalidates every other subchip's copy (MESI exclusive
+    /// ownership), then the writer's L2 holds it.
+    pub fn touch_exclusive(
+        &mut self,
+        params: &HwParams,
+        subchip: SubchipId,
+        key: RegionKey,
+        bytes: u64,
+    ) {
+        for (s, c) in self.subchips.iter_mut() {
+            if *s != subchip {
+                c.invalidate(key);
+            }
+        }
+        self.touch(params, subchip, key, bytes);
+    }
+
+    /// Bytes of `region` currently resident in `subchip`'s L2.
+    pub fn resident(&self, subchip: SubchipId, key: RegionKey) -> u64 {
+        self.subchips
+            .get(&subchip)
+            .map(|c| c.resident(key))
+            .unwrap_or(0)
+    }
+
+    /// Fraction of a `bytes`-long access to `region` expected to hit in
+    /// `subchip`'s L2, in `[0, 1]`.
+    pub fn hit_fraction(&self, subchip: SubchipId, key: RegionKey, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let res = self.resident(subchip, key).min(bytes);
+        res as f64 / bytes as f64
+    }
+
+    /// Drop a region everywhere (buffer freed / unmapped).
+    pub fn invalidate(&mut self, key: RegionKey) {
+        for c in self.subchips.values_mut() {
+            c.invalidate(key);
+        }
+    }
+
+    /// Total bytes resident on `subchip` (diagnostics).
+    pub fn occupancy(&self, subchip: SubchipId) -> u64 {
+        self.subchips.get(&subchip).map(|c| c.total()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HwParams {
+        // 4 MiB L2, 50 % usable → 2 MiB capacity.
+        HwParams::default()
+    }
+
+    const S0: SubchipId = SubchipId(0);
+    const S1: SubchipId = SubchipId(1);
+
+    #[test]
+    fn cold_cache_misses() {
+        let c = CacheModel::new();
+        assert_eq!(c.resident(S0, RegionKey(1)), 0);
+        assert_eq!(c.hit_fraction(S0, RegionKey(1), 4096), 0.0);
+        assert_eq!(c.hit_fraction(S0, RegionKey(1), 0), 0.0);
+    }
+
+    #[test]
+    fn touch_makes_region_resident_per_subchip() {
+        let p = params();
+        let mut c = CacheModel::new();
+        c.touch(&p, S0, RegionKey(1), 64 << 10);
+        assert_eq!(c.resident(S0, RegionKey(1)), 64 << 10);
+        assert_eq!(c.resident(S1, RegionKey(1)), 0, "caches are private");
+        assert_eq!(c.hit_fraction(S0, RegionKey(1), 64 << 10), 1.0);
+        assert_eq!(c.hit_fraction(S0, RegionKey(1), 128 << 10), 0.5);
+    }
+
+    #[test]
+    fn footprint_caps_at_capacity() {
+        let p = params();
+        let cap = p.l2_usable_bytes();
+        let mut c = CacheModel::new();
+        c.touch(&p, S0, RegionKey(1), 16 << 20); // 16 MiB stream
+        assert_eq!(c.resident(S0, RegionKey(1)), cap);
+        // A 16 MiB re-read only hits on the resident tail.
+        let f = c.hit_fraction(S0, RegionKey(1), 16 << 20);
+        assert!((f - cap as f64 / (16u64 << 20) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let p = params();
+        let cap = p.l2_usable_bytes(); // 2 MiB
+        let mut c = CacheModel::new();
+        c.touch(&p, S0, RegionKey(1), cap / 2);
+        c.touch(&p, S0, RegionKey(2), cap / 2);
+        // Both fit exactly.
+        assert_eq!(c.resident(S0, RegionKey(1)), cap / 2);
+        assert_eq!(c.resident(S0, RegionKey(2)), cap / 2);
+        // A third region of half capacity evicts region 1 (LRU).
+        c.touch(&p, S0, RegionKey(3), cap / 2);
+        assert_eq!(c.resident(S0, RegionKey(1)), 0);
+        assert_eq!(c.resident(S0, RegionKey(2)), cap / 2);
+        assert_eq!(c.resident(S0, RegionKey(3)), cap / 2);
+    }
+
+    #[test]
+    fn partial_eviction_trims_lru_region() {
+        let p = params();
+        let cap = p.l2_usable_bytes();
+        let mut c = CacheModel::new();
+        c.touch(&p, S0, RegionKey(1), cap);
+        c.touch(&p, S0, RegionKey(2), cap / 4);
+        assert_eq!(c.resident(S0, RegionKey(2)), cap / 4);
+        assert_eq!(c.resident(S0, RegionKey(1)), cap - cap / 4);
+        assert!(c.occupancy(S0) <= cap);
+    }
+
+    #[test]
+    fn retouching_refreshes_lru_position() {
+        let p = params();
+        let cap = p.l2_usable_bytes();
+        let mut c = CacheModel::new();
+        c.touch(&p, S0, RegionKey(1), cap / 2);
+        c.touch(&p, S0, RegionKey(2), cap / 2);
+        // Refresh region 1, then insert region 3: region 2 must go.
+        c.touch(&p, S0, RegionKey(1), cap / 2);
+        c.touch(&p, S0, RegionKey(3), cap / 2);
+        assert_eq!(c.resident(S0, RegionKey(1)), cap / 2);
+        assert_eq!(c.resident(S0, RegionKey(2)), 0);
+    }
+
+    #[test]
+    fn invalidate_drops_region_everywhere() {
+        let p = params();
+        let mut c = CacheModel::new();
+        c.touch(&p, S0, RegionKey(1), 4096);
+        c.touch(&p, S1, RegionKey(1), 4096);
+        c.invalidate(RegionKey(1));
+        assert_eq!(c.resident(S0, RegionKey(1)), 0);
+        assert_eq!(c.resident(S1, RegionKey(1)), 0);
+    }
+
+    #[test]
+    fn zero_byte_touch_is_noop() {
+        let p = params();
+        let mut c = CacheModel::new();
+        c.touch(&p, S0, RegionKey(1), 0);
+        assert_eq!(c.occupancy(S0), 0);
+    }
+}

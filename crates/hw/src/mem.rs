@@ -1,0 +1,208 @@
+//! The memcpy cost model.
+//!
+//! A CPU copy of `bytes` split into `chunks` pieces costs
+//!
+//! ```text
+//! chunks * memcpy_chunk_overhead + bytes / rate
+//! ```
+//!
+//! where `rate` blends the cached and uncached calibration rates by the
+//! fraction of the source expected to hit in the copying core's L2
+//! (blending happens in the *time* domain, which is the physically
+//! correct way to mix rates). The uncached base rate depends on whether
+//! source and destination are homed on the same socket.
+
+use crate::params::HwParams;
+use crate::topology::Distance;
+use omx_sim::{Ps, Rate};
+
+/// Context of one CPU copy, used to pick the base rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyContext {
+    /// Relationship between the copying core and the home of the
+    /// destination buffer's owner (same subchip, cross socket, ...).
+    pub distance: Distance,
+    /// Fraction of the copied bytes expected L2-resident, in `[0, 1]`.
+    pub cached_fraction: f64,
+    /// Whether the cached portion is served from a *shared* L2 that two
+    /// communicating processes contend on (the Fig 10 same-subchip
+    /// ping-pong case) rather than a single core's private working set.
+    pub shared_cache_pair: bool,
+}
+
+impl CopyContext {
+    /// A fully uncached copy at `distance`.
+    pub fn uncached(distance: Distance) -> Self {
+        CopyContext {
+            distance,
+            cached_fraction: 0.0,
+            shared_cache_pair: false,
+        }
+    }
+}
+
+/// Stateless memcpy cost calculator (all state lives in `HwParams` and
+/// the caller-provided [`CopyContext`]).
+#[derive(Debug, Clone, Default)]
+pub struct MemModel;
+
+impl MemModel {
+    /// Base (uncached) rate for a given distance.
+    pub fn uncached_rate(params: &HwParams, distance: Distance) -> Rate {
+        match distance {
+            Distance::CrossSocket => params.memcpy_rate_cross_socket,
+            _ => params.memcpy_rate_uncached,
+        }
+    }
+
+    /// Cached-portion rate for a context.
+    pub fn cached_rate(params: &HwParams, ctx: &CopyContext) -> Rate {
+        if ctx.shared_cache_pair {
+            params.memcpy_rate_shared_cache_pair
+        } else {
+            params.memcpy_rate_cached
+        }
+    }
+
+    /// Time for a CPU copy of `bytes` in `chunks` pieces under `ctx`.
+    ///
+    /// Zero bytes cost zero (no chunk overhead either: the call is
+    /// elided). `chunks` is clamped to at least 1 for nonzero copies.
+    pub fn copy_time(params: &HwParams, bytes: u64, chunks: u64, ctx: &CopyContext) -> Ps {
+        if bytes == 0 {
+            return Ps::ZERO;
+        }
+        let chunks = chunks.max(1);
+        let f = ctx.cached_fraction.clamp(0.0, 1.0);
+        let cached_bytes = (bytes as f64 * f).round() as u64;
+        let uncached_bytes = bytes - cached_bytes.min(bytes);
+        let t_cached = Self::cached_rate(params, ctx).time_for(cached_bytes.min(bytes));
+        let t_uncached = Self::uncached_rate(params, ctx.distance).time_for(uncached_bytes);
+        params.memcpy_chunk_overhead * chunks + t_cached + t_uncached
+    }
+
+    /// Convenience: copy time with page-sized chunking (the common case
+    /// for skbuff→buffer copies, which split at page boundaries).
+    pub fn copy_time_paged(params: &HwParams, bytes: u64, ctx: &CopyContext) -> Ps {
+        let chunks = bytes.div_ceil(params.page_size).max(1);
+        Self::copy_time(params, bytes, chunks, ctx)
+    }
+
+    /// Effective throughput of a copy (bytes per wall second) — used by
+    /// the microbench figure to report MiB/s.
+    pub fn effective_rate(params: &HwParams, bytes: u64, chunks: u64, ctx: &CopyContext) -> Rate {
+        let t = Self::copy_time(params, bytes, chunks, ctx);
+        Rate::from_transfer(bytes, t).unwrap_or_else(|| Rate::bytes_per_sec(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> HwParams {
+        HwParams::default()
+    }
+
+    #[test]
+    fn zero_bytes_zero_time() {
+        let ctx = CopyContext::uncached(Distance::SameSocket);
+        assert_eq!(MemModel::copy_time(&p(), 0, 5, &ctx), Ps::ZERO);
+    }
+
+    #[test]
+    fn uncached_copy_near_calibrated_rate() {
+        let ctx = CopyContext::uncached(Distance::SameSocket);
+        let r = MemModel::effective_rate(&p(), 1 << 20, 256, &ctx);
+        let gib = r.as_bytes_per_sec() as f64 / (1u64 << 30) as f64;
+        // 256 × 50 ns of chunk overhead on a 1 MiB copy: a bit under 1.6.
+        assert!((1.5..1.6).contains(&gib), "rate {gib} GiB/s");
+    }
+
+    #[test]
+    fn cross_socket_is_slower() {
+        let near = CopyContext::uncached(Distance::SameSocket);
+        let far = CopyContext::uncached(Distance::CrossSocket);
+        let tn = MemModel::copy_time(&p(), 1 << 20, 256, &near);
+        let tf = MemModel::copy_time(&p(), 1 << 20, 256, &far);
+        assert!(tf > tn);
+        let ratio = tf.as_ps() as f64 / tn.as_ps() as f64;
+        assert!((1.25..1.45).contains(&ratio), "1.6/1.2 ≈ 1.33, got {ratio}");
+    }
+
+    #[test]
+    fn fully_cached_hits_12_gib() {
+        let ctx = CopyContext {
+            distance: Distance::SameSubchip,
+            cached_fraction: 1.0,
+            shared_cache_pair: false,
+        };
+        // Chunk startup costs keep the effective rate a little under
+        // the raw 12 GiB/s calibration.
+        let r = MemModel::effective_rate(&p(), 256 << 10, 64, &ctx);
+        let gib = r.as_bytes_per_sec() as f64 / (1u64 << 30) as f64;
+        assert!((10.0..12.0).contains(&gib), "rate {gib} GiB/s");
+    }
+
+    #[test]
+    fn shared_pair_cached_hits_6_gib() {
+        let ctx = CopyContext {
+            distance: Distance::SameSubchip,
+            cached_fraction: 1.0,
+            shared_cache_pair: true,
+        };
+        let r = MemModel::effective_rate(&p(), 256 << 10, 64, &ctx);
+        let gib = r.as_bytes_per_sec() as f64 / (1u64 << 30) as f64;
+        assert!((5.5..6.0).contains(&gib), "rate {gib} GiB/s");
+    }
+
+    #[test]
+    fn blend_is_monotone_in_cached_fraction() {
+        let mut prev = Ps::MAX;
+        for i in 0..=10 {
+            let ctx = CopyContext {
+                distance: Distance::SameSocket,
+                cached_fraction: i as f64 / 10.0,
+                shared_cache_pair: false,
+            };
+            let t = MemModel::copy_time(&p(), 1 << 20, 256, &ctx);
+            assert!(t <= prev, "more cache must not be slower");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn chunking_adds_linear_overhead() {
+        let ctx = CopyContext::uncached(Distance::SameSocket);
+        let t1 = MemModel::copy_time(&p(), 1 << 20, 1, &ctx);
+        let t256 = MemModel::copy_time(&p(), 1 << 20, 256, &ctx);
+        assert_eq!(t256 - t1, p().memcpy_chunk_overhead * 255);
+    }
+
+    #[test]
+    fn paged_chunking_counts_pages() {
+        let ctx = CopyContext::uncached(Distance::SameSocket);
+        let params = p();
+        let a = MemModel::copy_time_paged(&params, 4096, &ctx);
+        let b = MemModel::copy_time(&params, 4096, 1, &ctx);
+        assert_eq!(a, b);
+        let a = MemModel::copy_time_paged(&params, 8192, &ctx);
+        let b = MemModel::copy_time(&params, 8192, 2, &ctx);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_fraction_is_clamped() {
+        let ctx = CopyContext {
+            distance: Distance::SameSocket,
+            cached_fraction: 7.5,
+            shared_cache_pair: false,
+        };
+        let t = MemModel::copy_time(&p(), 4096, 1, &ctx);
+        let full = CopyContext {
+            cached_fraction: 1.0,
+            ..ctx
+        };
+        assert_eq!(t, MemModel::copy_time(&p(), 4096, 1, &full));
+    }
+}

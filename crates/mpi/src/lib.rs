@@ -1,0 +1,26 @@
+//! A rank-script MPI layer over the MX API, plus the Intel MPI
+//! Benchmarks (IMB) kernels the paper evaluates in Figures 11 and 12
+//! and a NAS-IS-like workload (§IV-D).
+//!
+//! MPI semantics are modeled as *phased scripts*: each rank executes a
+//! sequence of phases; a phase posts any number of non-blocking sends
+//! and receives and waits for all of them (MPI `Waitall`), optionally
+//! followed by local compute (reduction arithmetic). That is exactly
+//! the structure of every IMB kernel, and it runs unchanged on both
+//! stacks — Open-MX (± I/OAT, ± regcache) and native MXoE — which is
+//! what the normalized Figure 12 comparison needs.
+//!
+//! * [`ops`] — phase/script types and the rank state machine,
+//! * [`kernels`] — per-rank script builders for the 11 IMB kernels,
+//! * [`runner`] — job assembly, placement (1 or 2 processes per node)
+//!   and timing,
+//! * [`nas`] — the IS-like bucket-sort communication kernel.
+
+pub mod kernels;
+pub mod nas;
+pub mod ops;
+pub mod runner;
+
+pub use kernels::Kernel;
+pub use ops::{Phase, Script};
+pub use runner::{run_kernel, KernelResult, Layout};

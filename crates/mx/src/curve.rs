@@ -1,0 +1,129 @@
+//! Analytic MX ping-pong performance.
+//!
+//! MX receive costs no host CPU, so its ping-pong time decomposes into
+//! library post/reap costs, NIC latencies, wire serialization (with the
+//! small per-fragment firmware overhead) and, above 32 kB, a rendezvous
+//! handshake. No queueing ever builds up in a ping-pong, so the closed
+//! form below *is* the steady-state simulation result — we use it for
+//! the "MX" line of Figures 3, 8 and 11 and validate the event-driven
+//! MXoE endpoints in the cluster against it.
+
+use crate::params::MxParams;
+use omx_ethernet::frame::WIRE_OVERHEAD_BYTES;
+use omx_ethernet::LinkParams;
+use omx_sim::Ps;
+
+/// Bytes of the MX wire header on each data fragment.
+pub const MX_FRAG_HEADER: u64 = 24;
+/// Bytes of a rendezvous/control frame payload.
+pub const MX_CTRL_BYTES: u64 = 32;
+
+fn serialize_time(link: &LinkParams, payload: u64) -> Ps {
+    link.rate.time_for(payload.max(46) + WIRE_OVERHEAD_BYTES)
+}
+
+/// One-way time of an `len`-byte MX message on an idle link.
+pub fn oneway_time(mx: &MxParams, link: &LinkParams, len: u64) -> Ps {
+    let frags = mx.frags_for(len);
+    let full_frags = len / mx.frag_size;
+    let tail = len % mx.frag_size;
+    // Wire occupancy of all fragments (FIFO on the link).
+    let mut wire = serialize_time(link, mx.frag_size + MX_FRAG_HEADER)
+        .checked_add(Ps::ZERO)
+        .unwrap()
+        * full_frags;
+    if tail > 0 || len == 0 {
+        wire += serialize_time(link, tail + MX_FRAG_HEADER);
+    }
+    wire += mx.nic_frag_overhead * frags;
+    let base = mx.lib_post_cost
+        + link.tx_latency
+        + wire
+        + link.propagation
+        + link.rx_latency
+        + mx.nic_match_latency
+        + mx.lib_event_cost;
+    if mx.is_rndv(len) {
+        // Rendezvous: request and clear-to-send control frames cross
+        // the wire before the data flows.
+        let ctrl = link.tx_latency
+            + serialize_time(link, MX_CTRL_BYTES)
+            + link.propagation
+            + link.rx_latency
+            + mx.rndv_host_cost;
+        base + ctrl * 2
+    } else {
+        base
+    }
+}
+
+/// MX ping-pong throughput in MiB/s for an `len`-byte message
+/// (IMB PingPong convention: bytes / half-round-trip).
+pub fn pingpong_throughput_mibs(mx: &MxParams, link: &LinkParams, len: u64) -> f64 {
+    if len == 0 {
+        return 0.0;
+    }
+    let t = oneway_time(mx, link, len);
+    len as f64 / t.as_secs_f64() / (1u64 << 20) as f64
+}
+
+/// MX half-round-trip latency (reported for small messages).
+pub fn pingpong_latency(mx: &MxParams, link: &LinkParams, len: u64) -> Ps {
+    oneway_time(mx, link, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mx() -> MxParams {
+        MxParams::default()
+    }
+    fn link() -> LinkParams {
+        LinkParams::default()
+    }
+
+    #[test]
+    fn small_message_latency_is_microseconds() {
+        let t = pingpong_latency(&mx(), &link(), 16);
+        // MXoE small-message half-RTT is a handful of microseconds.
+        assert!(t > Ps::us(2) && t < Ps::us(6), "latency {t}");
+    }
+
+    #[test]
+    fn large_messages_approach_1140_mibs() {
+        let r = pingpong_throughput_mibs(&mx(), &link(), 4 << 20);
+        assert!((1100.0..1160.0).contains(&r), "4MB rate {r} MiB/s");
+        let r16 = pingpong_throughput_mibs(&mx(), &link(), 16 << 20);
+        assert!(r16 > r, "throughput grows with size");
+        assert!(r16 < 1150.0, "stays below the ≈1141 MiB/s NIC cap: {r16}");
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_size() {
+        let sizes = [16u64, 256, 4096, 65536, 1 << 20, 16 << 20];
+        let mut prev = 0.0;
+        for s in sizes {
+            let r = pingpong_throughput_mibs(&mx(), &link(), s);
+            assert!(r > prev, "rate at {s} not monotone: {r} <= {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn rendezvous_adds_a_visible_step() {
+        let below = oneway_time(&mx(), &link(), 32 << 10);
+        let above = oneway_time(&mx(), &link(), (32 << 10) + 4096);
+        // The extra fragment costs ~3.4 us of wire; the handshake adds
+        // clearly more than that alone.
+        let frag = link().rate.time_for(4096 + 24 + 38);
+        assert!(above - below > frag + Ps::us(1));
+    }
+
+    #[test]
+    fn zero_length_handled() {
+        assert_eq!(pingpong_throughput_mibs(&mx(), &link(), 0), 0.0);
+        let t = oneway_time(&mx(), &link(), 0);
+        assert!(t > Ps::ZERO);
+    }
+}

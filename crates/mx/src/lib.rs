@@ -1,0 +1,25 @@
+//! Native MX / Myrinet Express over Ethernet (MXoE) baseline model.
+//!
+//! The paper compares Open-MX against the native MX stack running on
+//! the same Myri-10G boards (MXoE 1.2.4). MX differs from Open-MX in
+//! exactly the ways that matter for the figures:
+//!
+//! * **OS-bypass**: the library talks to the NIC directly, no syscall
+//!   per operation;
+//! * **NIC-side matching and zero-copy receive**: the Myri-10G firmware
+//!   matches incoming fragments and deposits them straight into the
+//!   posted application buffer — *no host CPU copy at all*, which is
+//!   precisely the copy Open-MX cannot avoid on commodity NICs;
+//! * a rendezvous ("get") protocol above 32 kB, like MX's.
+//!
+//! [`MxParams`] carries the calibrated per-operation costs; the pure
+//! cost helpers in [`curve`] produce the analytic MX ping-pong curve
+//! (Fig 3/8's "MX" line). The event-driven MXoE endpoints used for the
+//! IMB comparisons (Fig 11/12) live in the `open-mx` cluster world and
+//! read their costs from here.
+
+pub mod curve;
+pub mod params;
+
+pub use curve::pingpong_throughput_mibs;
+pub use params::MxParams;

@@ -1,0 +1,243 @@
+//! The discrete-event engine.
+//!
+//! [`Sim<W>`] owns a priority queue of events, each a boxed `FnOnce`
+//! closure over a user-supplied world type `W`. Events scheduled for the
+//! same instant fire in FIFO order (a monotone sequence number breaks
+//! ties), which makes runs deterministic regardless of queue internals.
+//!
+//! The world is passed in at [`Sim::run`] time rather than stored inside
+//! the engine so that closures can borrow the engine (`&mut Sim<W>`,
+//! for scheduling follow-up events) and the world (`&mut W`) at once.
+
+use crate::time::Ps;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: Ps,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+// Order by (time, sequence) only; the closure does not participate.
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A single-threaded deterministic discrete-event simulator.
+pub struct Sim<W> {
+    now: Ps,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A fresh simulator at time zero with an empty queue.
+    pub fn new() -> Self {
+        Sim {
+            now: Ps::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time. Inside an event handler this is the
+    /// event's own timestamp.
+    #[inline]
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// Number of events executed so far (for budget checks and tests).
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `at`. Scheduling in the past
+    /// is a logic error and panics — it would silently reorder causality.
+    pub fn schedule_at(&mut self, at: Ps, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        }));
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Ps, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulation clock overflow");
+        self.schedule_at(at, f);
+    }
+
+    /// Run until the queue is empty. Returns the final time.
+    pub fn run(&mut self, world: &mut W) -> Ps {
+        self.run_until(world, Ps::MAX)
+    }
+
+    /// Run until the queue is empty or the next event would fire after
+    /// `deadline`. Events exactly at the deadline still run. Returns the
+    /// time of the last executed event (or the unchanged clock if none
+    /// ran).
+    pub fn run_until(&mut self, world: &mut W, deadline: Ps) -> Ps {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(world, self);
+        }
+        self.now
+    }
+
+    /// Run at most `n` more events (test helper for stepping through a
+    /// protocol exchange).
+    pub fn step(&mut self, world: &mut W, n: u64) -> u64 {
+        let mut done = 0;
+        while done < n {
+            match self.queue.pop() {
+                Some(Reverse(ev)) => {
+                    self.now = ev.at;
+                    self.executed += 1;
+                    (ev.run)(world, self);
+                    done += 1;
+                }
+                None => break,
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(Ps::ns(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(Ps::ns(10), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(Ps::ns(20), |w: &mut Vec<u32>, _| w.push(2));
+        let end = sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(end, Ps::ns(30));
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        for i in 0..100 {
+            sim.schedule_at(Ps::ns(5), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run(&mut world);
+        assert_eq!(world, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut world = 0u64;
+        fn tick(w: &mut u64, sim: &mut Sim<u64>) {
+            *w += 1;
+            if *w < 5 {
+                sim.schedule_in(Ps::ns(100), tick);
+            }
+        }
+        sim.schedule_at(Ps::ZERO, tick);
+        let end = sim.run(&mut world);
+        assert_eq!(world, 5);
+        assert_eq!(end, Ps::ns(400));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut world = Vec::new();
+        for t in [10u64, 20, 30, 40] {
+            sim.schedule_at(Ps::ns(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        sim.run_until(&mut world, Ps::ns(20));
+        assert_eq!(world, vec![10, 20]);
+        assert_eq!(sim.events_pending(), 2);
+        sim.run(&mut world);
+        assert_eq!(world, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn step_runs_bounded_number() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut world = 0u32;
+        for _ in 0..10 {
+            sim.schedule_in(Ps::ns(1), |w: &mut u32, _| *w += 1);
+        }
+        assert_eq!(sim.step(&mut world, 4), 4);
+        assert_eq!(world, 4);
+        assert_eq!(sim.step(&mut world, 100), 6);
+        assert_eq!(world, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        let mut world = ();
+        sim.schedule_at(Ps::ns(100), |_, sim| {
+            sim.schedule_at(Ps::ns(50), |_, _| {});
+        });
+        sim.run(&mut world);
+    }
+
+    #[test]
+    fn clock_does_not_move_without_events() {
+        let mut sim: Sim<()> = Sim::new();
+        let mut world = ();
+        assert_eq!(sim.run(&mut world), Ps::ZERO);
+        assert_eq!(sim.now(), Ps::ZERO);
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic discrete-event simulation (DES) engine.
+//!
+//! The whole reproduction runs on this engine: the cluster, its NICs,
+//! wires, CPU cores, I/OAT DMA channels and the Open-MX protocol state
+//! machines are all driven by events on a single integer-picosecond
+//! clock. The engine is deliberately single-threaded so that every
+//! experiment regenerates bit-identically; parallelism in the benchmark
+//! harness happens *across* independent simulations, never inside one.
+//!
+//! Main pieces:
+//!
+//! * [`time::Ps`] — picosecond time points/durations and [`time::Rate`]
+//!   (bytes/second) with exact 128-bit arithmetic,
+//! * [`engine::Sim`] — the event queue, generic over a user world type,
+//! * [`resource::FifoServer`] — a serially-reusable resource (a wire, a
+//!   DMA channel, a CPU core) with busy-time integration,
+//! * [`stats`] — busy meters, throughput series and summary statistics,
+//! * [`rng`] — a tiny deterministic SplitMix64 generator.
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::Sim;
+pub use resource::FifoServer;
+pub use rng::SplitMix64;
+pub use stats::{BusyMeter, Series, Summary};
+pub use time::{Ps, Rate};

@@ -1,0 +1,57 @@
+//! Intra-node (shared-memory) communication and core placement.
+//!
+//! ```text
+//! cargo run --release --example intranode
+//! ```
+//!
+//! Open-MX routes local sends through a one-copy driver path (§III-C).
+//! This example places the two processes on cores that share an L2,
+//! on different sockets, and finally enables the synchronous I/OAT
+//! offload — reproducing the three regimes of Figure 10 at a glance.
+
+use openmx_repro::hw::CoreId;
+use openmx_repro::omx::cluster::ClusterParams;
+use openmx_repro::omx::config::OmxConfig;
+use openmx_repro::omx::harness::{run_pingpong, Placement, PingPongConfig};
+
+fn rate(size: u64, core_b: CoreId, ioat: bool) -> f64 {
+    let params = ClusterParams::with_cfg(if ioat {
+        OmxConfig {
+            ioat_shm_threshold: 32 << 10,
+            ..OmxConfig::with_ioat()
+        }
+    } else {
+        OmxConfig::default()
+    });
+    let r = run_pingpong(PingPongConfig::new(
+        params,
+        size,
+        Placement::SameNode {
+            core_a: CoreId(0),
+            core_b,
+        },
+    ));
+    assert!(r.verified);
+    r.throughput_mibs
+}
+
+fn main() {
+    println!("local ping-pong, one-copy driver path (MiB/s):\n");
+    println!(
+        "{:>8} {:>22} {:>18} {:>14}",
+        "size", "shared L2 (cores 0,1)", "cross socket (0,4)", "I/OAT sync"
+    );
+    for size in [64u64 << 10, 512 << 10, 1 << 20, 4 << 20, 16 << 20] {
+        println!(
+            "{:>8} {:>22.0} {:>18.0} {:>14.0}",
+            openmx_repro::sim::stats::format_bytes(size as f64),
+            rate(size, CoreId(1), false),
+            rate(size, CoreId(4), false),
+            rate(size, CoreId(4), true),
+        );
+    }
+    println!();
+    println!("Shared-cache memcpy flies until the working set spills the L2,");
+    println!("cross-socket memcpy crawls at ≈1.2 GiB/s, and the offloaded copy");
+    println!("holds ≈2.3-2.4 GiB/s regardless of placement (Fig 10).");
+}

@@ -1,0 +1,51 @@
+//! Large-message rendezvous transfer with and without I/OAT offload.
+//!
+//! ```text
+//! cargo run --release --example large_transfer
+//! ```
+//!
+//! Replays the paper's core scenario: a 4 MB message crosses the wire
+//! through the rendezvous + pull protocol; the receiving bottom half
+//! either memcpys every 4 kB fragment (saturating a core) or submits
+//! asynchronous I/OAT copies and rides the DMA engine to line rate.
+//! Prints throughput and the receiver's per-category CPU usage.
+
+use openmx_repro::hw::CoreId;
+use openmx_repro::omx::cluster::ClusterParams;
+use openmx_repro::omx::config::OmxConfig;
+use openmx_repro::omx::harness::{run_pingpong, run_stream, Placement, PingPongConfig, StreamConfig};
+
+fn main() {
+    println!("4 MB ping-pong over 10 GbE (line rate ≈ 1186 MiB/s):\n");
+    for (label, cfg) in [
+        ("memcpy receive", OmxConfig::default()),
+        ("I/OAT offloaded receive", OmxConfig::with_ioat()),
+    ] {
+        let params = ClusterParams::with_cfg(cfg.clone());
+        let pp = run_pingpong(PingPongConfig::new(
+            params,
+            4 << 20,
+            Placement::TwoNodes {
+                core_a: CoreId(2),
+                core_b: CoreId(2),
+            },
+        ));
+        assert!(pp.verified, "payload integrity");
+        let params = ClusterParams::with_cfg(cfg);
+        let st = run_stream(StreamConfig::new(params, 4 << 20));
+        println!("{label}:");
+        println!("  ping-pong throughput: {:8.1} MiB/s", pp.throughput_mibs);
+        println!(
+            "  stream: {:8.1} MiB/s with BH {:.0} %, driver {:.0} %, user {:.1} % CPU",
+            st.throughput_mibs,
+            st.bh_util * 100.0,
+            st.driver_util * 100.0,
+            st.user_util * 100.0
+        );
+        println!(
+            "  peak skbuffs held by pending copies: {} (the §III-B bound)\n",
+            st.max_skbuffs_held
+        );
+    }
+    println!("Paper: +~40-50 % throughput and a ~95 %→60 % BH relief from the offload.");
+}

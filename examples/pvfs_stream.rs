@@ -1,0 +1,129 @@
+//! A PVFS-like I/O streaming workload.
+//!
+//! ```text
+//! cargo run --release --example pvfs_stream
+//! ```
+//!
+//! The paper's motivating deployment is PVFS2 over Open-MX between
+//! BlueGene/P compute and I/O nodes (§I, §II-A). This example models
+//! the receive-heavy half of that pattern: a compute node streams
+//! large write requests to an I/O node which must ingest them at line
+//! rate while keeping CPU free for the filesystem — exactly where the
+//! asynchronous copy offload earns its keep.
+
+use openmx_repro::hw::CoreId;
+use openmx_repro::omx::app::{App, AppCtx, Completion};
+use openmx_repro::omx::cluster::{Cluster, ClusterParams};
+use openmx_repro::omx::config::OmxConfig;
+use openmx_repro::omx::{EpAddr, EpIdx, NodeId};
+use openmx_repro::sim::{Ps, Sim};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const WRITE_SIZE: u64 = 1 << 20;
+const WRITES: u32 = 32;
+const MATCH_WRITE: u64 = 0xF11E;
+
+struct ComputeNode {
+    io_node: EpAddr,
+    sent: u32,
+}
+
+impl App for ComputeNode {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.sent = 1;
+        ctx.isend(self.io_node, MATCH_WRITE, vec![0xDA; WRITE_SIZE as usize], Some(1));
+    }
+    fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
+        if matches!(comp, Completion::Send { .. }) && self.sent < WRITES {
+            self.sent += 1;
+            ctx.isend(self.io_node, MATCH_WRITE, vec![0xDA; WRITE_SIZE as usize], Some(1));
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+#[derive(Default)]
+struct IoStats {
+    bytes: u64,
+    writes: u32,
+    fs_time: Ps,
+    done_at: Ps,
+}
+
+struct IoNode {
+    stats: Rc<RefCell<IoStats>>,
+}
+
+impl App for IoNode {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.irecv(MATCH_WRITE, u64::MAX, WRITE_SIZE, Some(2));
+    }
+    fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
+        let Completion::Recv { data, .. } = comp else {
+            return;
+        };
+        let mut st = self.stats.borrow_mut();
+        st.bytes += data.len() as u64;
+        st.writes += 1;
+        // "Filesystem work": checksum + block allocation per write.
+        let fs = Ps::us(120);
+        st.fs_time += fs;
+        st.done_at = ctx.now();
+        let more = st.writes < WRITES;
+        drop(st);
+        ctx.compute(fs);
+        if more {
+            ctx.irecv(MATCH_WRITE, u64::MAX, WRITE_SIZE, Some(2));
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.stats.borrow().writes >= WRITES
+    }
+}
+
+fn run(cfg: OmxConfig) -> (f64, f64, f64) {
+    let stats = Rc::new(RefCell::new(IoStats::default()));
+    let params = ClusterParams::with_cfg(cfg);
+    let mut cluster = Cluster::new(params);
+    let mut sim: Sim<Cluster> = Sim::new();
+    let io_addr = EpAddr {
+        node: NodeId(1),
+        ep: EpIdx(0),
+    };
+    cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(ComputeNode { io_node: io_addr, sent: 0 }));
+    cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(IoNode { stats: stats.clone() }));
+    cluster.start(&mut sim);
+    sim.run(&mut cluster);
+    let st = stats.borrow();
+    assert_eq!(st.writes, WRITES, "all writes ingested");
+    let elapsed = st.done_at.as_secs_f64();
+    let rate = st.bytes as f64 / elapsed / (1u64 << 20) as f64;
+    let meter = cluster.node(NodeId(1)).cpus.merged_meter();
+    let bh = meter.total(openmx_repro::hw::cpu::category::BH).as_secs_f64() / elapsed;
+    let app = meter.total(openmx_repro::hw::cpu::category::APP).as_secs_f64() / elapsed;
+    (rate, bh * 100.0, app * 100.0)
+}
+
+fn main() {
+    println!(
+        "PVFS-like ingest: {} writes of {} MiB into one I/O node\n",
+        WRITES,
+        WRITE_SIZE >> 20
+    );
+    for (label, cfg) in [
+        ("memcpy receive ", OmxConfig::default()),
+        ("I/OAT offloaded", OmxConfig::with_ioat()),
+    ] {
+        let (rate, bh, app) = run(cfg);
+        println!(
+            "{label}: ingest {rate:7.1} MiB/s | receive BH {bh:4.1} % CPU | filesystem work {app:4.1} % CPU"
+        );
+    }
+    println!();
+    println!("With the copy offloaded, the I/O node ingests at line rate and");
+    println!("keeps most of a core free for actual filesystem work — the");
+    println!("PVFS result the paper cites for I/OAT in the TCP stack ([23]).");
+}

@@ -1,0 +1,87 @@
+//! Quickstart: two hosts exchange a message over simulated 10 GbE.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a two-node cluster, opens one Open-MX endpoint per node,
+//! sends a tagged message from node 0 to node 1 and prints what the
+//! receiver observed — the minimal round trip through the public API:
+//! `Cluster::new` → `add_endpoint` (with an [`App`]) → `start` → run.
+
+use openmx_repro::omx::app::{App, AppCtx, Completion};
+use openmx_repro::omx::cluster::{Cluster, ClusterParams};
+use openmx_repro::omx::{EpAddr, EpIdx, NodeId};
+use openmx_repro::hw::CoreId;
+use openmx_repro::sim::Sim;
+
+/// The receiving application: posts one receive and reports it.
+struct Receiver;
+
+impl App for Receiver {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        // Match info 0x42 with a full mask: exactly this tag.
+        ctx.irecv(0x42, u64::MAX, 4096, None);
+    }
+
+    fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
+        if let Completion::Recv { data, match_info, .. } = comp {
+            println!(
+                "[{}] receiver got {} bytes (match_info {match_info:#x}): {:?}...",
+                ctx.now(),
+                data.len(),
+                &data[..8.min(data.len())]
+            );
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// The sending application: one message at startup.
+struct Sender {
+    peer: EpAddr,
+}
+
+impl App for Sender {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        let payload = b"hello from node 0 over simulated 10 GbE!".to_vec();
+        println!("[{}] sender posts {} bytes", ctx.now(), payload.len());
+        ctx.isend(self.peer, 0x42, payload, None);
+    }
+
+    fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
+        if let Completion::Send { .. } = comp {
+            println!("[{}] send completed", ctx.now());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+fn main() {
+    // Default parameters: the paper's testbed — two dual-quad-core
+    // Xeon hosts, I/OAT chipset, 10 GbE back to back.
+    let mut cluster = Cluster::new(ClusterParams::default());
+    let mut sim: Sim<Cluster> = Sim::new();
+
+    let receiver_addr = EpAddr {
+        node: NodeId(1),
+        ep: EpIdx(0),
+    };
+    cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(Sender { peer: receiver_addr }));
+    cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(Receiver));
+
+    cluster.start(&mut sim);
+    let end = sim.run(&mut cluster);
+
+    println!(
+        "simulation finished at {end}: {} frames on the wire, {} bytes delivered",
+        cluster.stats.frames_sent, cluster.stats.bytes_delivered
+    );
+    assert!(cluster.all_apps_done());
+}

@@ -1,0 +1,22 @@
+//! Facade crate for the Open-MX I/OAT reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can reach every layer through a single dependency:
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine,
+//! * [`hw`] — hardware cost models (memory, cache, I/OAT DMA engine, CPUs),
+//! * [`ethernet`] — generic Linux-Ethernet substrate (skbuffs, NIC, wire,
+//!   bottom halves),
+//! * [`omx`] — the Open-MX stack itself (the paper's contribution),
+//! * [`mx`] — the native MX/MXoE baseline model,
+//! * [`mpi`] — the MPI layer and Intel MPI Benchmarks kernels.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+
+pub use omx_ethernet as ethernet;
+pub use omx_hw as hw;
+pub use omx_mpi as mpi;
+pub use omx_mx as mx;
+pub use omx_sim as sim;
+pub use open_mx as omx;

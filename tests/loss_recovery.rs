@@ -1,0 +1,153 @@
+//! Failure injection: frames are dropped on the wire and the
+//! retransmission machinery (acks, pull watchdogs, rendezvous
+//! re-announcement) must still deliver every byte intact.
+
+use openmx_repro::hw::CoreId;
+use openmx_repro::omx::cluster::ClusterParams;
+use openmx_repro::omx::config::OmxConfig;
+use openmx_repro::omx::harness::{run_pingpong, Placement, PingPongConfig};
+
+fn lossy(one_in: u64, seed: u64) -> OmxConfig {
+    OmxConfig {
+        loss_one_in: Some(one_in),
+        seed,
+        ..OmxConfig::default()
+    }
+}
+
+fn run(size: u64, cfg: OmxConfig) -> (f64, u64, u64) {
+    let params = ClusterParams::with_cfg(cfg);
+    let mut c = PingPongConfig::new(
+        params,
+        size,
+        Placement::TwoNodes {
+            core_a: CoreId(2),
+            core_b: CoreId(2),
+        },
+    );
+    c.iters = 6;
+    c.warmup = 1;
+    let r = run_pingpong(c);
+    assert!(r.verified, "loss corrupted a payload at {size} B");
+    (r.throughput_mibs, 0, 0)
+}
+
+#[test]
+fn eager_messages_survive_loss() {
+    // Tiny/small/medium rely on per-message acks and full resends.
+    for (size, seed) in [(16u64, 1u64), (100, 2), (4096, 3), (16 << 10, 4)] {
+        run(size, lossy(40, seed));
+    }
+}
+
+#[test]
+fn large_pulls_survive_loss() {
+    // Lost LargeFrags / PullReqs are recovered by the pull watchdog;
+    // lost RndvReq/Notify by the sender's re-announcement.
+    for seed in [5u64, 6, 7] {
+        run(256 << 10, lossy(200, seed));
+    }
+}
+
+#[test]
+fn large_pulls_survive_loss_with_ioat() {
+    let cfg = OmxConfig {
+        loss_one_in: Some(200),
+        seed: 11,
+        ..OmxConfig::with_ioat()
+    };
+    run(512 << 10, cfg);
+}
+
+#[test]
+fn heavy_loss_still_delivers_eventually() {
+    // One frame in eight vanishes; throughput collapses but integrity
+    // holds.
+    run(8 << 10, lossy(8, 9));
+}
+
+#[test]
+fn retransmissions_are_counted() {
+    // Drive the cluster directly so the stats counters are visible.
+    use openmx_repro::omx::app::{App, AppCtx, Completion};
+    use openmx_repro::omx::cluster::Cluster;
+    use openmx_repro::omx::{EpAddr, EpIdx, NodeId};
+    use openmx_repro::sim::Sim;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct Sender {
+        peer: EpAddr,
+        left: u32,
+    }
+    impl App for Sender {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.isend(self.peer, 1, vec![3u8; 8 << 10], None);
+        }
+        fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
+            if matches!(comp, Completion::Send { .. }) && self.left > 0 {
+                self.left -= 1;
+                ctx.isend(self.peer, 1, vec![3u8; 8 << 10], None);
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    struct Receiver {
+        got: Rc<Cell<u32>>,
+        want: u32,
+    }
+    impl App for Receiver {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.irecv(1, u64::MAX, 8 << 10, None);
+        }
+        fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
+            if let Completion::Recv { data, .. } = comp {
+                assert!(data.iter().all(|&b| b == 3), "payload intact under loss");
+                self.got.set(self.got.get() + 1);
+                if self.got.get() < self.want {
+                    ctx.irecv(1, u64::MAX, 8 << 10, None);
+                }
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.got.get() >= self.want
+        }
+    }
+
+    let got = Rc::new(Cell::new(0u32));
+    let params = ClusterParams::with_cfg(lossy(10, 13));
+    let mut cluster = Cluster::new(params);
+    let mut sim: Sim<Cluster> = Sim::new();
+    let peer = EpAddr {
+        node: NodeId(1),
+        ep: EpIdx(0),
+    };
+    let want = 40;
+    cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(Sender { peer, left: want - 1 }));
+    cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(Receiver { got: got.clone(), want }));
+    cluster.start(&mut sim);
+    sim.run(&mut cluster);
+    assert_eq!(got.get(), want, "all messages delivered despite loss");
+    assert!(cluster.stats.frames_lost > 0, "loss injection fired");
+    assert!(
+        cluster.stats.retransmissions > 0,
+        "retransmissions recovered the losses"
+    );
+    assert!(
+        cluster.stats.duplicates_dropped > 0 || cluster.stats.retransmissions > 0,
+        "duplicate suppression exercised"
+    );
+}
+
+#[test]
+fn deterministic_loss_pattern_reproduces() {
+    let a = run(64 << 10, lossy(50, 42)).0;
+    let b = run(64 << 10, lossy(50, 42)).0;
+    assert_eq!(a, b, "same seed, same simulation");
+    let c = run(64 << 10, lossy(50, 43)).0;
+    // Different seeds drop different frames; timings differ (almost
+    // surely — if this ever flakes the loss pattern is not seeded).
+    assert_ne!(a, c, "different seeds should diverge");
+}

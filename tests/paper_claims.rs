@@ -1,0 +1,167 @@
+//! The paper's headline quantitative claims, asserted as tests. Every
+//! figure regenerator prints these; here they gate the build.
+
+use openmx_repro::hw::{CoreId, HwParams};
+use openmx_repro::omx::cluster::ClusterParams;
+use openmx_repro::omx::config::OmxConfig;
+use openmx_repro::omx::harness::copybench::{copy_rate_mibs, cpu_breakeven_bytes, CopyEngine};
+use openmx_repro::omx::harness::{
+    run_pingpong, run_stream, Placement, PingPongConfig, StreamConfig,
+};
+
+fn net_pingpong(size: u64, cfg: OmxConfig) -> f64 {
+    let params = ClusterParams::with_cfg(cfg);
+    let r = run_pingpong(PingPongConfig::new(
+        params,
+        size,
+        Placement::TwoNodes {
+            core_a: CoreId(2),
+            core_b: CoreId(2),
+        },
+    ));
+    assert!(r.verified);
+    r.throughput_mibs
+}
+
+#[test]
+fn abstract_claim_receive_throughput_up_30_percent() {
+    // "increases the receive throughput by 30 %" — large messages.
+    let base = net_pingpong(4 << 20, OmxConfig::default());
+    let ioat = net_pingpong(4 << 20, OmxConfig::with_ioat());
+    let gain = ioat / base - 1.0;
+    assert!(
+        gain > 0.30,
+        "I/OAT gain {gain:.2} below the paper's 30 % at 4 MB"
+    );
+}
+
+#[test]
+fn abstract_claim_line_rate_for_large_messages() {
+    // "enables Open-MX to reach 10 gigabit/s Ethernet line rate";
+    // §IV-B1: 1114 of 1186 MiB/s.
+    let ioat = net_pingpong(16 << 20, OmxConfig::with_ioat());
+    assert!(
+        ioat > 1100.0 && ioat < 1186.5,
+        "line-rate saturation expected, got {ioat}"
+    );
+}
+
+#[test]
+fn fig3_openmx_plateaus_near_800() {
+    let base = net_pingpong(4 << 20, OmxConfig::default());
+    assert!(
+        (740.0..860.0).contains(&base),
+        "no-I/OAT plateau {base}, paper ≈800 MiB/s"
+    );
+}
+
+#[test]
+fn fig3_counterfactual_approaches_line_rate() {
+    let cfg = OmxConfig {
+        ignore_bh_copy: true,
+        ..OmxConfig::default()
+    };
+    let r = net_pingpong(4 << 20, cfg);
+    assert!(r > 1120.0, "no-copy prediction {r} should near line rate");
+}
+
+#[test]
+fn fig7_copy_rates() {
+    let hw = HwParams::default();
+    let ioat4k = copy_rate_mibs(&hw, CopyEngine::Ioat, 1 << 20, 4096) / 1024.0;
+    let mc4k = copy_rate_mibs(&hw, CopyEngine::Memcpy, 1 << 20, 4096) / 1024.0;
+    let ioat256 = copy_rate_mibs(&hw, CopyEngine::Ioat, 1 << 20, 256);
+    let mc256 = copy_rate_mibs(&hw, CopyEngine::Memcpy, 1 << 20, 256);
+    assert!((2.3..2.5).contains(&ioat4k), "I/OAT 4 kB chunks ≈2.4 GiB/s: {ioat4k}");
+    assert!((1.4..1.65).contains(&mc4k), "memcpy ≈1.5 GiB/s: {mc4k}");
+    assert!(ioat256 < mc256, "256 B chunks must favor memcpy");
+    let be = cpu_breakeven_bytes(&hw);
+    assert!((500..700).contains(&be), "≈600 B break-even: {be}");
+}
+
+#[test]
+fn fig9_cpu_usage_drop() {
+    // "the overall CPU usage drops ... from 95 % to 60 % for
+    // multi-megabyte messages" — we assert the qualitative band.
+    let base = run_stream(StreamConfig::new(ClusterParams::default(), 4 << 20));
+    let p = ClusterParams::with_cfg(OmxConfig::with_ioat());
+    let ioat = run_stream(StreamConfig::new(p, 4 << 20));
+    assert!(base.verified && ioat.verified);
+    assert!(base.bh_util > 0.90, "memcpy BH saturates: {}", base.bh_util);
+    assert!(
+        ioat.bh_util < base.bh_util - 0.25,
+        "offload relief: {} vs {}",
+        ioat.bh_util,
+        base.bh_util
+    );
+    assert!(ioat.throughput_mibs > base.throughput_mibs * 1.3);
+}
+
+#[test]
+fn fig10_shm_rates() {
+    let shm = |core_b: u32, cfg: OmxConfig, size: u64| {
+        let params = ClusterParams::with_cfg(cfg);
+        let r = run_pingpong(PingPongConfig::new(
+            params,
+            size,
+            Placement::SameNode {
+                core_a: CoreId(0),
+                core_b: CoreId(core_b),
+            },
+        ));
+        assert!(r.verified);
+        r.throughput_mibs / 1024.0
+    };
+    // Shared L2 ≈ 5-6 GiB/s below the cache size.
+    let shared = shm(1, OmxConfig::default(), 512 << 10);
+    assert!((4.5..6.0).contains(&shared), "shared-L2 {shared} GiB/s");
+    // Cross socket ≈ 1.2 GiB/s.
+    let cross = shm(4, OmxConfig::default(), 4 << 20);
+    assert!((1.0..1.35).contains(&cross), "cross-socket {cross} GiB/s");
+    // I/OAT ≈ 2.3 GiB/s, ≈ +80 % over uncached memcpy.
+    let ioat_cfg = OmxConfig {
+        ioat_shm_threshold: 32 << 10,
+        ..OmxConfig::with_ioat()
+    };
+    let ioat = shm(4, ioat_cfg, 4 << 20);
+    assert!((2.1..2.5).contains(&ioat), "I/OAT sync {ioat} GiB/s");
+    assert!(ioat / cross > 1.6, "≈+80 % over uncached memcpy");
+    // Beyond the shared cache, the shared-L2 advantage collapses.
+    let spilled = shm(1, OmxConfig::default(), 16 << 20);
+    assert!(spilled < shared / 2.0, "cache spill: {spilled} vs {shared}");
+}
+
+#[test]
+fn fig11_regcache_matters_less_than_ioat() {
+    let full = net_pingpong(4 << 20, OmxConfig::with_ioat());
+    let no_rc = net_pingpong(
+        4 << 20,
+        OmxConfig {
+            regcache: false,
+            ..OmxConfig::with_ioat()
+        },
+    );
+    let no_ioat = net_pingpong(4 << 20, OmxConfig::default());
+    let rc_loss = full - no_rc;
+    let ioat_loss = full - no_ioat;
+    assert!(rc_loss > 0.0, "regcache must help some");
+    assert!(
+        ioat_loss > 2.0 * rc_loss,
+        "I/OAT ({ioat_loss}) must matter far more than regcache ({rc_loss})"
+    );
+}
+
+#[test]
+fn skbuff_holding_is_bounded() {
+    // §III-B: the cleanup routine bounds skbuffs held by pending
+    // copies even for very large messages.
+    let p = ClusterParams::with_cfg(OmxConfig::with_ioat());
+    let r = run_stream(StreamConfig::new(p, 16 << 20));
+    assert!(r.verified);
+    assert!(r.max_skbuffs_held > 0, "async copies hold skbuffs");
+    assert!(
+        r.max_skbuffs_held <= 64,
+        "cleanup must bound held skbuffs, saw {}",
+        r.max_skbuffs_held
+    );
+}

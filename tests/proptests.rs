@@ -1,0 +1,242 @@
+//! Property-based tests on the core data structures and the full
+//! stack: wire-codec round trips and robustness against truncation,
+//! matcher semantics, cache-model invariants, DES determinism and
+//! randomized end-to-end transfer integrity.
+
+use bytes::Bytes;
+use openmx_repro::hw::cache::{CacheModel, RegionKey};
+use openmx_repro::hw::{CoreId, HwParams, SubchipId};
+use openmx_repro::omx::cluster::ClusterParams;
+use openmx_repro::omx::config::OmxConfig;
+use openmx_repro::omx::harness::{run_pingpong, Placement, PingPongConfig};
+use openmx_repro::omx::matching::{matches, Matcher, PostedRecv};
+use openmx_repro::omx::proto::Packet;
+use openmx_repro::omx::ReqId;
+use openmx_repro::sim::{Ps, Rate, Sim};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    let data = proptest::collection::vec(any::<u8>(), 0..4096).prop_map(Bytes::from);
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u64>(), any::<u32>(), data.clone()).prop_map(
+            |(src_ep, dst_ep, match_info, msg_seq, data)| Packet::Tiny {
+                src_ep,
+                dst_ep,
+                match_info,
+                msg_seq,
+                data
+            }
+        ),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u32>(),
+            data.clone()
+        )
+            .prop_map(
+                |(src_ep, dst_ep, match_info, msg_seq, msg_len, frag_idx, frag_count, offset, data)| {
+                    Packet::MediumFrag {
+                        src_ep,
+                        dst_ep,
+                        match_info,
+                        msg_seq,
+                        msg_len,
+                        frag_idx,
+                        frag_count,
+                        offset,
+                        data,
+                    }
+                }
+            ),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(src_ep, dst_ep, match_info, msg_seq, msg_len, sender_handle)| Packet::RndvReq {
+                    src_ep,
+                    dst_ep,
+                    match_info,
+                    msg_seq,
+                    msg_len,
+                    sender_handle
+                }
+            ),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(src_ep, dst_ep, sender_handle, recv_handle, frag_start, frag_count)| {
+                    Packet::PullReq {
+                        src_ep,
+                        dst_ep,
+                        sender_handle,
+                        recv_handle,
+                        frag_start,
+                        frag_count,
+                    }
+                }
+            ),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            data
+        )
+            .prop_map(
+                |(src_ep, dst_ep, recv_handle, frag_idx, offset, data)| Packet::LargeFrag {
+                    src_ep,
+                    dst_ep,
+                    recv_handle,
+                    frag_idx,
+                    offset,
+                    data
+                }
+            ),
+        (any::<u8>(), any::<u8>(), any::<u32>()).prop_map(|(src_ep, dst_ep, msg_seq)| {
+            Packet::Ack {
+                src_ep,
+                dst_ep,
+                msg_seq,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packet_round_trip(pkt in arb_packet()) {
+        let bytes = pkt.pack();
+        let back = Packet::parse(&bytes).expect("round trip parses");
+        prop_assert_eq!(pkt, back);
+    }
+
+    #[test]
+    fn truncated_packets_never_panic(pkt in arb_packet(), cut in 0usize..64) {
+        let bytes = pkt.pack();
+        let cut = cut.min(bytes.len());
+        let short = bytes.slice(..cut);
+        // Either a parse error or a (shorter) packet — never a panic.
+        let _ = Packet::parse(&short);
+    }
+
+    #[test]
+    fn match_predicate_is_mask_respecting(info in any::<u64>(), mask in any::<u64>(), msg in any::<u64>()) {
+        let hit = matches(info, mask, msg);
+        prop_assert_eq!(hit, (msg & mask) == (info & mask));
+        // Wildcard always matches; exact mask means equality.
+        prop_assert!(matches(info, 0, msg));
+        prop_assert_eq!(matches(info, u64::MAX, msg), info == msg);
+    }
+
+    #[test]
+    fn matcher_conserves_requests(infos in proptest::collection::vec(any::<u8>(), 1..40)) {
+        // Post receives for even infos, feed all infos: each message
+        // either matches exactly one posted receive or none; posted
+        // count decreases by exactly the number of hits.
+        let mut m = Matcher::new();
+        let posted: Vec<u64> = infos.iter().filter(|i| **i % 2 == 0).map(|i| *i as u64).collect();
+        for (k, info) in posted.iter().enumerate() {
+            m.post_recv(PostedRecv { req: ReqId(k as u64), match_info: *info, mask: u64::MAX, len: 64 });
+        }
+        let mut hits = 0usize;
+        for info in &infos {
+            if m.match_incoming(*info as u64).is_some() {
+                hits += 1;
+            }
+        }
+        prop_assert_eq!(m.posted_len(), posted.len() - hits);
+        prop_assert!(hits <= posted.len());
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        ops in proptest::collection::vec((0u64..8, 1u64..(8 << 20)), 1..60)
+    ) {
+        let hw = HwParams::default();
+        let mut c = CacheModel::new();
+        let cap = hw.l2_usable_bytes();
+        for (key, bytes) in ops {
+            c.touch(&hw, SubchipId(0), RegionKey(key), bytes);
+            prop_assert!(c.occupancy(SubchipId(0)) <= cap);
+            let frac = c.hit_fraction(SubchipId(0), RegionKey(key), bytes);
+            prop_assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+
+    #[test]
+    fn rate_conversions_are_consistent(bytes in 1u64..(1 << 30), mibs in 1u64..20_000) {
+        let r = Rate::mib_per_sec(mibs);
+        let t = r.time_for(bytes);
+        prop_assert!(t > Ps::ZERO);
+        let back = Rate::from_transfer(bytes, t).expect("nonzero");
+        // Round-up in time_for means recovered ≤ original, within 1 ps
+        // per byte of slack.
+        prop_assert!(back <= r);
+        prop_assert!(back.as_bytes_per_sec() as f64 >= r.as_bytes_per_sec() as f64 * 0.999);
+    }
+
+    #[test]
+    fn des_engine_is_deterministic(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let run = |times: &[u64]| {
+            let mut sim: Sim<Vec<u64>> = Sim::new();
+            let mut world = Vec::new();
+            for &t in times {
+                sim.schedule_at(Ps::ns(t), move |w: &mut Vec<u64>, _| w.push(t));
+            }
+            sim.run(&mut world);
+            world
+        };
+        let a = run(&times);
+        let b = run(&times);
+        prop_assert_eq!(&a, &b);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(a, sorted);
+    }
+}
+
+proptest! {
+    // End-to-end cases are expensive; keep the case count low but the
+    // coverage broad: random sizes across all message classes, random
+    // I/OAT on/off, both placements.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_transfers_are_integral(
+        size in 1u64..(2 << 20),
+        ioat in any::<bool>(),
+        local in any::<bool>(),
+    ) {
+        let params = ClusterParams::with_cfg(if ioat { OmxConfig::with_ioat() } else { OmxConfig::default() });
+        let placement = if local {
+            Placement::SameNode { core_a: CoreId(0), core_b: CoreId(4) }
+        } else {
+            Placement::TwoNodes { core_a: CoreId(2), core_b: CoreId(2) }
+        };
+        let mut cfg = PingPongConfig::new(params, size, placement);
+        cfg.iters = 3;
+        cfg.warmup = 1;
+        let r = run_pingpong(cfg);
+        prop_assert!(r.verified, "corrupted at {} B (ioat={}, local={})", size, ioat, local);
+        prop_assert!(r.throughput_mibs > 0.0);
+    }
+}
