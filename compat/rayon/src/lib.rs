@@ -1,0 +1,90 @@
+//! Offline-compatible subset of `rayon`.
+//!
+//! `par_iter()` here returns the ordinary sequential iterator, so
+//! `.map(..).collect()` chains compile and produce identical results
+//! — the simulation sweeps it parallelizes are pure functions, so
+//! only wall-clock time differs. Swap in the real crate to get
+//! parallelism back.
+
+pub mod prelude {
+    /// `par_iter()` over a borrowed collection.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+        /// Iterate by reference; sequential in this stub.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter()` over an owned collection.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+        /// Iterate by value; sequential in this stub.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Iter = std::ops::Range<u64>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+/// Run two closures (sequentially in this stub) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let xs = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let arr = [5u32; 4];
+        assert_eq!(arr.par_iter().sum::<u32>(), 20);
+    }
+}

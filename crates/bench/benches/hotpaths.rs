@@ -9,7 +9,7 @@ use omx_hw::{Distance, HwParams, IoatEngine};
 use omx_sim::{Ps, Sim};
 use open_mx::cluster::ClusterParams;
 use open_mx::harness::copybench::{copy_time, CopyEngine};
-use open_mx::harness::{run_pingpong, Placement, PingPongConfig};
+use open_mx::harness::{run_pingpong, PingPongConfig, Placement};
 use open_mx::matching::{Matcher, PostedRecv};
 use open_mx::proto::Packet;
 use open_mx::ReqId;
@@ -37,9 +37,7 @@ fn bench_protocol(c: &mut Criterion) {
         offset: 17 * 4096,
         data: Bytes::from(vec![0x5Au8; 4096]),
     };
-    c.bench_function("proto_pack_4k_frag", |b| {
-        b.iter(|| black_box(pkt.pack()))
-    });
+    c.bench_function("proto_pack_4k_frag", |b| b.iter(|| black_box(pkt.pack())));
     let packed = pkt.pack();
     c.bench_function("proto_parse_4k_frag", |b| {
         b.iter(|| black_box(Packet::parse(&packed).expect("parses")))

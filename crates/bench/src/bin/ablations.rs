@@ -9,12 +9,12 @@
 //! * library-level vs in-driver (kernel) matching for medium messages,
 //! * medium-path synchronous I/OAT (the measured degradation).
 
-use omx_bench::banner;
+use omx_bench::{banner, print_breakdown};
 use omx_hw::CoreId;
 use open_mx::autotune;
 use open_mx::cluster::ClusterParams;
 use open_mx::config::{OmxConfig, SyncWaitPolicy};
-use open_mx::harness::{run_pingpong, run_stream, Placement, PingPongConfig, StreamConfig};
+use open_mx::harness::{run_pingpong, run_stream, PingPongConfig, Placement, StreamConfig};
 
 fn net_rate(size: u64, cfg: OmxConfig) -> f64 {
     let params = ClusterParams::with_cfg(cfg);
@@ -157,10 +157,10 @@ fn main() {
     println!();
     println!("--- vectorial receive buffers (§IV-A: tiny chunks vs the threshold) ---");
     {
+        use omx_sim::{Ps, Sim};
         use open_mx::app::{App, AppCtx, Completion};
         use open_mx::cluster::Cluster;
         use open_mx::{EpAddr, EpIdx, NodeId};
-        use omx_sim::{Ps, Sim};
         use std::cell::Cell;
         use std::rc::Rc;
 
@@ -219,7 +219,11 @@ fn main() {
             let offloaded = cluster.ep(peer).counters.copies_offloaded;
             (done_at.get(), offloaded)
         };
-        for (label, seg) in [("contiguous", u64::MAX), ("4kB segments", 4096), ("256B segments", 256)] {
+        for (label, seg) in [
+            ("contiguous", u64::MAX),
+            ("4kB segments", 4096),
+            ("256B segments", 256),
+        ] {
             let (with_threshold, off_a) = run(seg, 1 << 10);
             let (forced, off_b) = run(seg, 1);
             println!(
@@ -264,5 +268,6 @@ fn main() {
             r.throughput_mibs,
             r.max_skbuffs_held
         );
+        print_breakdown(&format!("{label} stream 1MB"), &r.breakdown);
     }
 }

@@ -8,11 +8,11 @@
 //! cross-socket ≈1.2 GiB/s; the offloaded copy holds ≈2.3 GiB/s for
 //! large messages (≈+80 % over uncached memcpy).
 
-use omx_bench::{banner, maybe_json, print_table, sweep_series};
+use omx_bench::{banner, maybe_json, print_breakdown, print_table, sweep_series};
 use omx_hw::CoreId;
 use open_mx::cluster::ClusterParams;
 use open_mx::config::OmxConfig;
-use open_mx::harness::{run_pingpong, size_sweep, Placement, PingPongConfig};
+use open_mx::harness::{run_pingpong, size_sweep, PingPongConfig, Placement};
 
 fn shm_rate(size: u64, core_b: CoreId, ioat: bool) -> f64 {
     let params = ClusterParams::with_cfg(if ioat {
@@ -59,5 +59,17 @@ fn main() {
     println!();
     println!("Paper shape: shared-L2 memcpy ≈6 GiB/s below ~1-2 MB then collapses;");
     println!("cross-socket memcpy ≈1.2 GiB/s; I/OAT ≈2.3 GiB/s beyond 32 kB (+80 %).");
+    let r = run_pingpong(PingPongConfig::new(
+        ClusterParams::with_cfg(OmxConfig {
+            ioat_shm_threshold: 32 << 10,
+            ..OmxConfig::with_ioat()
+        }),
+        4 << 20,
+        Placement::SameNode {
+            core_a: CoreId(0),
+            core_b: CoreId(4),
+        },
+    ));
+    print_breakdown("shm I/OAT pingpong 4MB", &r.breakdown);
     maybe_json(&all);
 }

@@ -6,7 +6,7 @@
 //! cache matters far less than copy offload (Open-MX registration is
 //! cheap — no NIC translation tables).
 
-use omx_bench::{banner, maybe_json, print_table, sweep_series};
+use omx_bench::{banner, maybe_json, print_breakdown, print_table, sweep_series};
 use omx_mpi::runner::{run_kernel, Layout};
 use omx_mpi::Kernel;
 use open_mx::cluster::ClusterParams;
@@ -48,7 +48,9 @@ fn main() {
     let ioat_nrc = sweep_series("Open-MX I/OAT w/o regcache", &sizes, |s| {
         rate(s, mk(true, false))
     });
-    let plain_nrc = sweep_series("Open-MX w/o regcache", &sizes, |s| rate(s, mk(false, false)));
+    let plain_nrc = sweep_series("Open-MX w/o regcache", &sizes, |s| {
+        rate(s, mk(false, false))
+    });
     let all = vec![mx, ioat, plain, ioat_nrc, plain_nrc];
     print_table(&all, "size");
 
@@ -64,5 +66,13 @@ fn main() {
     );
     println!("Paper shape: Open-MX+I/OAT matches MX near line rate for large messages;");
     println!("dropping the regcache costs far less than dropping I/OAT.");
+    let r = run_kernel(
+        Kernel::PingPong,
+        Layout::OnePerNode,
+        4 << 20,
+        6,
+        ClusterParams::with_cfg(mk(true, true)),
+    );
+    print_breakdown("IMB PingPong Open-MX+I/OAT 4MB", &r.breakdown);
     maybe_json(&all);
 }

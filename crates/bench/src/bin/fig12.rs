@@ -6,7 +6,7 @@
 //! thanks to the I/OAT shared-memory path); ReduceScatter with 2 ppn
 //! anomalously slows down with I/OAT.
 
-use omx_bench::banner;
+use omx_bench::{banner, print_breakdown};
 use omx_mpi::runner::{run_kernel, Layout};
 use omx_mpi::Kernel;
 use open_mx::cluster::ClusterParams;
@@ -71,9 +71,20 @@ fn main() {
     for (size, label) in [(128u64 << 10, "128kB"), (4 << 20, "4MB")] {
         for (layout, ppn) in [(Layout::OnePerNode, 1), (Layout::TwoPerNode, 2)] {
             let rows = panel(size, layout);
-            print_panel(&format!("{label} messages, {ppn} process(es) per node"), &rows);
+            print_panel(
+                &format!("{label} messages, {ppn} process(es) per node"),
+                &rows,
+            );
         }
     }
     println!("Paper shape: 128kB ≈68 % of MXoE average with I/OAT (+24 %);");
     println!("4MB 1ppn ≈90 % (+32 %); 4MB 2ppn ≈94 % (+41 %, shm I/OAT).");
+    let r = run_kernel(
+        Kernel::Alltoall,
+        Layout::TwoPerNode,
+        4 << 20,
+        5,
+        ClusterParams::with_cfg(OmxConfig::with_ioat()),
+    );
+    print_breakdown("Alltoall Open-MX+I/OAT 4MB 2ppn", &r.breakdown);
 }

@@ -6,11 +6,11 @@
 //! cost. The paper's point: without the copy, line rate is achievable
 //! — which motivates offloading it.
 
-use omx_bench::{banner, maybe_json, print_table, sweep_series};
+use omx_bench::{banner, maybe_json, print_breakdown, print_table, sweep_series};
+use omx_hw::CoreId;
 use omx_mx::curve::pingpong_throughput_mibs;
 use open_mx::cluster::ClusterParams;
-use open_mx::harness::{run_pingpong, size_sweep, Placement, PingPongConfig};
-use omx_hw::CoreId;
+use open_mx::harness::{run_pingpong, size_sweep, PingPongConfig, Placement};
 
 fn omx_rate(size: u64, ignore_bh_copy: bool) -> f64 {
     let mut params = ClusterParams::default();
@@ -44,9 +44,16 @@ fn main() {
     let all = vec![mx, omx_nocopy, omx];
     print_table(&all, "size");
     println!();
-    println!(
-        "Paper shape: MX ≈1140 MiB/s large; Open-MX plateaus near 800 MiB/s;"
-    );
+    println!("Paper shape: MX ≈1140 MiB/s large; Open-MX plateaus near 800 MiB/s;");
     println!("the no-copy counterfactual approaches line rate (1186 MiB/s).");
+    let r = run_pingpong(PingPongConfig::new(
+        ClusterParams::default(),
+        4 << 20,
+        Placement::TwoNodes {
+            core_a: CoreId(2),
+            core_b: CoreId(2),
+        },
+    ));
+    print_breakdown("Open-MX pingpong 4MB", &r.breakdown);
     maybe_json(&all);
 }

@@ -1,9 +1,9 @@
 //! Figure 7 — pipelined memcpy vs I/OAT copy throughput for 256 B,
 //! 1 kB and 4 kB chunks, copy sizes 256 B … 1 MB.
 
-use omx_bench::{banner, maybe_json, print_table, sweep_series};
+use omx_bench::{banner, maybe_json, print_breakdown, print_table, sweep_series};
 use omx_hw::HwParams;
-use open_mx::harness::copybench::{copy_rate_mibs, CopyEngine};
+use open_mx::harness::copybench::{copy_breakdown, copy_rate_mibs, CopyEngine};
 
 fn main() {
     banner(
@@ -18,14 +18,22 @@ fn main() {
         s *= 2;
     }
     let mut all = Vec::new();
-    for (label, chunk) in [("4kB chunks (page)", 4096u64), ("1kB chunks", 1024), ("256B chunks", 256)] {
+    for (label, chunk) in [
+        ("4kB chunks (page)", 4096u64),
+        ("1kB chunks", 1024),
+        ("256B chunks", 256),
+    ] {
         all.push(sweep_series(
             &format!("Memcpy - {label}"),
             &sizes,
             |total| copy_rate_mibs(&hw, CopyEngine::Memcpy, total, chunk.min(total)),
         ));
     }
-    for (label, chunk) in [("4kB chunks (page)", 4096u64), ("1kB chunks", 1024), ("256B chunks", 256)] {
+    for (label, chunk) in [
+        ("4kB chunks (page)", 4096u64),
+        ("1kB chunks", 1024),
+        ("256B chunks", 256),
+    ] {
         all.push(sweep_series(
             &format!("I/OAT Copy - {label}"),
             &sizes,
@@ -42,6 +50,14 @@ fn main() {
         "1MB / 4kB chunks: I/OAT {:.2} GiB/s, memcpy {:.2} GiB/s",
         ioat4k / 1024.0,
         mc4k / 1024.0
+    );
+    print_breakdown(
+        "I/OAT copy 1MB/4kB chunks",
+        &copy_breakdown(&hw, CopyEngine::Ioat, 1 << 20, 4096),
+    );
+    print_breakdown(
+        "memcpy 1MB/4kB chunks",
+        &copy_breakdown(&hw, CopyEngine::Memcpy, 1 << 20, 4096),
     );
     maybe_json(&all);
 }

@@ -6,12 +6,12 @@
 //! saturation (≈1114 of 1186 MiB/s) for multi-megabyte messages, still
 //! below the no-copy counterfactual around 256 kB.
 
-use omx_bench::{banner, maybe_json, print_table, sweep_series};
+use omx_bench::{banner, maybe_json, print_breakdown, print_table, sweep_series};
 use omx_hw::CoreId;
 use omx_mx::curve::pingpong_throughput_mibs;
 use open_mx::cluster::ClusterParams;
 use open_mx::config::OmxConfig;
-use open_mx::harness::{run_pingpong, size_sweep, Placement, PingPongConfig};
+use open_mx::harness::{run_pingpong, size_sweep, PingPongConfig, Placement};
 
 fn omx_rate(size: u64, cfg: OmxConfig) -> f64 {
     let params = ClusterParams::with_cfg(cfg);
@@ -71,5 +71,19 @@ fn main() {
         at(&all[2], 256 << 10),
         gap_256k * 100.0
     );
+    for (label, cfg) in [
+        ("Open-MX pingpong 4MB", OmxConfig::default()),
+        ("Open-MX+I/OAT pingpong 4MB", OmxConfig::with_ioat()),
+    ] {
+        let r = run_pingpong(PingPongConfig::new(
+            ClusterParams::with_cfg(cfg),
+            4 << 20,
+            Placement::TwoNodes {
+                core_a: CoreId(2),
+                core_b: CoreId(2),
+            },
+        ));
+        print_breakdown(label, &r.breakdown);
+    }
     maybe_json(&all);
 }

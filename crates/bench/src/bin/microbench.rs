@@ -2,12 +2,14 @@
 //! constants): descriptor submission cost, completion-check cost,
 //! memcpy rates, and the memcpy/I/OAT break-even points.
 
-use omx_bench::banner;
+use omx_bench::{banner, print_breakdown};
 use omx_hw::{HwParams, IoatEngine};
 use omx_sim::Ps;
 use open_mx::autotune;
 use open_mx::config::OmxConfig;
-use open_mx::harness::copybench::{copy_rate_mibs, cpu_breakeven_bytes, CopyEngine};
+use open_mx::harness::copybench::{
+    copy_breakdown, copy_rate_mibs, cpu_breakeven_bytes, CopyEngine,
+};
 
 fn main() {
     banner(
@@ -46,16 +48,10 @@ fn main() {
     // Cached break-even: how much can the shared-cache memcpy move in
     // one submission time.
     let mut cached_be = 64u64;
-    while hw
-        .memcpy_rate_shared_cache_pair
-        .time_for(cached_be)
-        < hw.ioat_submit_cpu
-    {
+    while hw.memcpy_rate_shared_cache_pair.time_for(cached_be) < hw.ioat_submit_cpu {
         cached_be += 64;
     }
-    println!(
-        "cached break-even:                        {cached_be:>6} B    (paper: ~2 kB)"
-    );
+    println!("cached break-even:                        {cached_be:>6} B    (paper: ~2 kB)");
     println!(
         "submit cost for a 1 MB copy (256 desc):   {}  of CPU time",
         IoatEngine::submit_cpu_cost(&hw, 256)
@@ -74,5 +70,9 @@ fn main() {
         "one 4 kB descriptor executes in {} (≥ the {} submission: submission pipelines)",
         one_page,
         Ps::ns(350)
+    );
+    print_breakdown(
+        "I/OAT copy 16MB/4kB chunks",
+        &copy_breakdown(&hw, CopyEngine::Ioat, 16 << 20, 4096),
     );
 }

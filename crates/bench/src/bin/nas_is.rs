@@ -4,7 +4,7 @@
 //! NAS parallel benchmarks, especially on IS which relies on large
 //! messages."
 
-use omx_bench::banner;
+use omx_bench::{banner, print_breakdown};
 use omx_mpi::nas::is_scripts;
 use omx_mpi::runner::{run_scripts, Layout};
 use open_mx::cluster::ClusterParams;
@@ -45,4 +45,11 @@ fn main() {
     }
     println!();
     println!("Paper shape: up to ~10 % end-to-end gain on IS from I/OAT offload.");
+    let layout = Layout::OnePerNode;
+    let r = run_scripts(
+        ClusterParams::with_cfg(OmxConfig::with_ioat()),
+        layout,
+        is_scripts(layout.np(), 32 << 20, 4),
+    );
+    print_breakdown("NAS-IS Open-MX+I/OAT 32M keys", &r.breakdown);
 }

@@ -44,3 +44,17 @@ pub fn maybe_json(series: &[Series]) {
         );
     }
 }
+
+/// Emit one labelled component breakdown as a single JSON line.
+///
+/// Every fig binary prints at least one of these for a representative
+/// configuration, so the per-component time accounting (wire, BH
+/// memcpy, I/OAT channel, submit CPU, idle) is machine-readable
+/// without `--json`.
+pub fn print_breakdown<T: serde::Serialize>(label: &str, breakdown: &T) {
+    println!(
+        "{{\"component_breakdown\":{{\"label\":{:?},\"data\":{}}}}}",
+        label,
+        serde_json::to_string(breakdown).expect("serialize")
+    );
+}

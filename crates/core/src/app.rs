@@ -18,6 +18,10 @@ pub enum Completion {
     Send {
         /// The completed request.
         req: ReqId,
+        /// `true` when the send was aborted after exhausting its
+        /// retransmission attempts: the data was *not* delivered. The
+        /// buffer is still reusable — the driver has dropped all state.
+        failed: bool,
     },
     /// A receive finished; `data` is the filled buffer.
     Recv {
@@ -34,7 +38,7 @@ impl Completion {
     /// The request id of either kind.
     pub fn req(&self) -> ReqId {
         match self {
-            Completion::Send { req } | Completion::Recv { req, .. } => *req,
+            Completion::Send { req, .. } | Completion::Recv { req, .. } => *req,
         }
     }
 }
@@ -71,14 +75,22 @@ impl AppCtx<'_> {
     /// Post a non-blocking send of `data` to `dest` with the given
     /// match information. `tag` is the stable buffer identity (enables
     /// the registration cache and the cache model to recognize reuse).
-    pub fn isend(&mut self, dest: EpAddr, match_info: u64, data: Vec<u8>, tag: Option<u64>) -> ReqId {
-        self.cluster.post_isend(self.sim, self.me, dest, match_info, data, tag)
+    pub fn isend(
+        &mut self,
+        dest: EpAddr,
+        match_info: u64,
+        data: Vec<u8>,
+        tag: Option<u64>,
+    ) -> ReqId {
+        self.cluster
+            .post_isend(self.sim, self.me, dest, match_info, data, tag)
     }
 
     /// Post a non-blocking receive of up to `max_len` bytes matching
     /// `(match_info, mask)`.
     pub fn irecv(&mut self, match_info: u64, mask: u64, max_len: u64, tag: Option<u64>) -> ReqId {
-        self.cluster.post_irecv(self.sim, self.me, match_info, mask, max_len, tag)
+        self.cluster
+            .post_irecv(self.sim, self.me, match_info, mask, max_len, tag)
     }
 
     /// Post a non-blocking receive into a *scattered* buffer of
@@ -93,8 +105,15 @@ impl AppCtx<'_> {
         seg_size: u64,
         tag: Option<u64>,
     ) -> ReqId {
-        self.cluster
-            .post_irecv_vectored(self.sim, self.me, match_info, mask, max_len, Some(seg_size), tag)
+        self.cluster.post_irecv_vectored(
+            self.sim,
+            self.me,
+            match_info,
+            mask,
+            max_len,
+            Some(seg_size),
+            tag,
+        )
     }
 
     /// Charge `dur` of application compute time on this endpoint's

@@ -54,8 +54,7 @@ pub fn calibrate(hw: &HwParams, cfg: &OmxConfig) -> TunedThresholds {
 
     // Network threshold: the pull window. Below it there is nothing to
     // overlap with — every copy would drain at the last fragment.
-    let window =
-        cfg.pull_blocks_outstanding as u64 * cfg.pull_block_frags as u64 * cfg.frag_size;
+    let window = cfg.pull_blocks_outstanding as u64 * cfg.pull_block_frags as u64 * cfg.frag_size;
     let net_msg_threshold = next_power_of_two(window);
 
     // Shared-memory threshold: while source + destination fit in the

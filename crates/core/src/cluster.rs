@@ -20,7 +20,7 @@ use omx_ethernet::{BottomHalfQueue, EthFrame, Link, LinkParams, Nic, NicParams};
 use omx_hw::cpu::category;
 use omx_hw::{CacheModel, CoreId, CpuSet, HwParams, IoatEngine, Topology};
 use omx_mx::MxParams;
-use omx_sim::{Ps, Sim, SplitMix64};
+use omx_sim::{Metrics, Ps, Sim, SplitMix64};
 use std::collections::HashMap;
 
 /// Everything needed to build a cluster.
@@ -103,6 +103,8 @@ pub struct Stats {
     pub messages_delivered: u64,
     /// Payload bytes delivered to applications.
     pub bytes_delivered: u64,
+    /// Sends aborted after exhausting their retransmission attempts.
+    pub sends_failed: u64,
 }
 
 /// The simulation world.
@@ -117,6 +119,10 @@ pub struct Cluster {
     pub apps: Vec<Option<Box<dyn App>>>,
     /// Counters.
     pub stats: Stats,
+    /// Shared metrics registry (disabled when `cfg.metrics` is off).
+    /// Every link, NIC, BH queue and I/OAT engine reports into it;
+    /// recording never charges simulated time.
+    pub metrics: Metrics,
     next_req: u64,
     rng: SplitMix64,
 }
@@ -134,6 +140,13 @@ impl ClusterParams {
 impl Cluster {
     /// Build an idle cluster with full-mesh links and no endpoints.
     pub fn new(p: ClusterParams) -> Self {
+        let metrics = if !p.cfg.metrics {
+            Metrics::disabled()
+        } else if p.cfg.trace_capacity > 0 {
+            Metrics::with_trace(p.cfg.trace_capacity)
+        } else {
+            Metrics::new()
+        };
         let mut links = HashMap::new();
         for a in 0..p.nodes as u32 {
             for b in 0..p.nodes as u32 {
@@ -141,23 +154,37 @@ impl Cluster {
                 // loopback, which is how native MXoE moves intra-node
                 // traffic (Open-MX intercepts local sends in the
                 // driver and never reaches a link).
-                links.insert((a, b), Link::new(p.link));
+                let mut link = Link::new(p.link);
+                // Wire busy time is attributed to the *sending* node.
+                link.attach_metrics(metrics.clone(), a);
+                links.insert((a, b), link);
             }
         }
         let nodes = (0..p.nodes as u32)
-            .map(|i| Node {
-                id: NodeId(i),
-                cpus: CpuSet::new(p.topology),
-                cache: CacheModel::new(),
-                ioat: IoatEngine::new(&p.hw),
-                nic: Nic::new(p.nic),
-                bh: (0..p.topology.num_cores())
-                    .map(|_| BottomHalfQueue::new())
-                    .collect(),
-                driver: Driver::new(),
-                endpoints: Vec::new(),
-                mx: MxNodeState::default(),
-                predictor: crate::predict::CopyPredictor::new(),
+            .map(|i| {
+                let mut ioat = IoatEngine::new(&p.hw);
+                ioat.attach_metrics(metrics.clone(), i);
+                let mut nic = Nic::new(p.nic);
+                nic.attach_metrics(metrics.clone(), i);
+                let bh = (0..p.topology.num_cores())
+                    .map(|_| {
+                        let mut q = BottomHalfQueue::new();
+                        q.attach_metrics(metrics.clone(), i);
+                        q
+                    })
+                    .collect();
+                Node {
+                    id: NodeId(i),
+                    cpus: CpuSet::new(p.topology),
+                    cache: CacheModel::new(),
+                    ioat,
+                    nic,
+                    bh,
+                    driver: Driver::new(),
+                    endpoints: Vec::new(),
+                    mx: MxNodeState::default(),
+                    predictor: crate::predict::CopyPredictor::new(),
+                }
             })
             .collect();
         let seed = p.cfg.seed;
@@ -167,6 +194,7 @@ impl Cluster {
             links,
             apps: Vec::new(),
             stats: Stats::default(),
+            metrics,
             next_req: 1,
             rng: SplitMix64::new(seed),
         }
@@ -385,7 +413,13 @@ impl Cluster {
         assert!(seg_size.is_none_or(|s| s > 0), "segments must be nonzero");
         let req = self.alloc_req();
         let core = self.ep(me).core;
-        let (_, fin) = self.run_core(me.node, core, sim.now(), self.p.cfg.lib_post_cost, category::USER_LIB);
+        let (_, fin) = self.run_core(
+            me.node,
+            core,
+            sim.now(),
+            self.p.cfg.lib_post_cost,
+            category::USER_LIB,
+        );
         self.ep_mut(me).recvs.insert(
             req,
             RecvState {
@@ -489,7 +523,9 @@ impl Cluster {
                 let need_run = n.bh[core.0 as usize].enqueue(skb.expect("delivered"));
                 if need_run {
                     let delay = self.p.hw.bh_dispatch_delay;
-                    sim.schedule_at(now + delay, move |c: &mut Cluster, s| c.run_bh(s, node, core));
+                    sim.schedule_at(now + delay, move |c: &mut Cluster, s| {
+                        c.run_bh(s, node, core)
+                    });
                 }
             }
             RxOutcome::DeliveredWithIrq(core) => {
@@ -577,12 +613,9 @@ impl Cluster {
             if let Some(t) = st.tag {
                 let subchip = c.p.topology.subchip_of(core);
                 let hw = c.p.hw.clone();
-                c.node_mut(addr.node).cache.touch(
-                    &hw,
-                    subchip,
-                    omx_hw::cache::RegionKey(t),
-                    total,
-                );
+                c.node_mut(addr.node)
+                    .cache
+                    .touch(&hw, subchip, omx_hw::cache::RegionKey(t), total);
             }
             c.stats.messages_delivered += 1;
             c.stats.bytes_delivered += total;
@@ -614,7 +647,7 @@ impl Cluster {
             if drop_now {
                 ep.sends.remove(&req);
             }
-            c.call_app(s, addr, Completion::Send { req });
+            c.call_app(s, addr, Completion::Send { req, failed: false });
         });
     }
 
@@ -639,7 +672,10 @@ mod tests {
         assert_eq!(c.nodes.len(), 2);
         assert!(c.links.contains_key(&(0, 1)));
         assert!(c.links.contains_key(&(1, 0)));
-        assert!(c.links.contains_key(&(0, 0)), "NIC loopback for MXoE local traffic");
+        assert!(
+            c.links.contains_key(&(0, 0)),
+            "NIC loopback for MXoE local traffic"
+        );
     }
 
     struct Nop;

@@ -107,6 +107,18 @@ pub struct OmxConfig {
     /// RNG seed for loss injection and channel selection jitter.
     pub seed: u64,
 
+    // ---------------- observability ----------------
+    /// Enable the per-component metrics registry (counters, gauges and
+    /// busy-time integrals on links, NIC rings, BH queues, I/OAT
+    /// channels and driver copy paths). Recording never charges
+    /// simulated time, so timing results are identical either way;
+    /// disabling only removes the bookkeeping.
+    pub metrics: bool,
+    /// Capacity of the structured event-trace ring (0 = tracing off).
+    /// The ring is bounded: when full, the oldest events are evicted
+    /// and counted as dropped.
+    pub trace_capacity: usize,
+
     // ---------------- calibrated Open-MX software costs ----------------
     /// BH cost to decode and route one incoming fragment (header
     /// parse, endpoint/handle lookup, bookkeeping).
@@ -158,6 +170,8 @@ impl Default for OmxConfig {
             ignore_bh_copy: false,
             loss_one_in: None,
             seed: 0x0031_4159_2653_5897,
+            metrics: true,
+            trace_capacity: 0,
             bh_frag_process: Ps::ns(1900),
             bh_copy_slowdown: 1.18,
             tx_frag_cost: Ps::ns(500),

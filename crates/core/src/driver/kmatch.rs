@@ -93,8 +93,10 @@ impl Cluster {
             && len >= self.p.cfg.ioat_frag_threshold;
         let fin = if offload {
             let ndesc = self.desc_count(offset as u64, len);
-            let work = self.p.cfg.bh_frag_process + IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let work = self.p.cfg.bh_frag_process + submit;
             let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
+            self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             let hw = self.p.hw.clone();
             let n = self.node_mut(node);
             let ch = n.ioat.pick_channel_rr();
@@ -109,8 +111,11 @@ impl Cluster {
             self.node_mut(node).driver.hold_skbuffs(1);
             submit_fin
         } else {
-            let work = self.p.cfg.bh_frag_process + self.bh_copy_cost(len);
+            let copy = self.bh_copy_cost(len);
+            let work = self.p.cfg.bh_frag_process + copy;
             let (_, f) = self.run_core(node, core, now, work, category::BH);
+            self.metrics.busy(node.0, "bh.copy", copy);
+            self.metrics.count(node.0, "bh.copy_bytes", len);
             f
         };
         // Apply the bytes.
@@ -155,6 +160,7 @@ impl Cluster {
         if let Some(t) = last {
             let wait = t.saturating_sub(fin) + self.p.hw.ioat_poll_cost;
             let (_, f) = self.run_core(node, core, fin, wait, category::BH);
+            self.metrics.busy(node.0, "ioat.poll_wait", wait);
             fin = f;
         }
         let asm = self

@@ -107,7 +107,13 @@ impl Cluster {
         );
         // Request the first window of blocks (driver context).
         for b in 0..first_blocks {
-            let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::DRIVER);
+            let (_, f) = self.run_core(
+                node,
+                core,
+                fin,
+                self.p.cfg.ctrl_frame_cost,
+                category::DRIVER,
+            );
             fin = f;
             self.send_block_request(sim, node, handle, b, fin);
         }
@@ -155,8 +161,13 @@ impl Cluster {
         frag_start: u32,
         frag_count: u32,
     ) -> Ps {
-        let (_, mut fin) =
-            self.run_core(node, core, sim.now(), self.p.cfg.bh_frag_process, category::BH);
+        let (_, mut fin) = self.run_core(
+            node,
+            core,
+            sim.now(),
+            self.p.cfg.bh_frag_process,
+            category::BH,
+        );
         let Some(tx) = self.node(node).driver.tx_large.get(&sender_handle).copied() else {
             self.stats.duplicates_dropped += 1;
             return fin;
@@ -173,8 +184,11 @@ impl Cluster {
                 .get_mut(&tx.req)
                 .expect("large send alive");
             // Pull requests are proof the receiver is making progress:
-            // reset the rendezvous retransmission deadline.
+            // reset the rendezvous retransmission deadline and the
+            // give-up budget (exhaustion must mean *consecutive*
+            // silence, not accumulated timeouts over a long transfer).
             st.last_activity = fin;
+            st.retx_attempts = 0;
             (st.dest, st.data.clone())
         };
         let frag = self.p.cfg.frag_size;
@@ -230,16 +244,13 @@ impl Cluster {
             Some(true) => {}
         }
         let (me, req, msg_len, channel) = {
-            let p = self.node(node).driver.pulls.get(&recv_handle).expect("checked");
-            (
-                EpAddr {
-                    node,
-                    ep: p.ep,
-                },
-                p.req,
-                p.msg_len,
-                p.channel,
-            )
+            let p = self
+                .node(node)
+                .driver
+                .pulls
+                .get(&recv_handle)
+                .expect("checked");
+            (EpAddr { node, ep: p.ep }, p.req, p.msg_len, p.channel)
         };
         let len = data.len() as u64;
         // A vectorial destination splits the copy at segment
@@ -261,8 +272,10 @@ impl Cluster {
         let mut copy_handle = None;
         if offload {
             let ndesc = self.desc_count(offset, len).max(len.div_ceil(chunk_eff));
-            let work = self.p.cfg.bh_frag_process + IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let work = self.p.cfg.bh_frag_process + submit;
             let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
+            self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             fin = submit_fin;
             let hw = self.p.hw.clone();
             let multichannel = self.p.cfg.ioat_multichannel_split;
@@ -279,8 +292,11 @@ impl Cluster {
             c.bytes_offloaded += len;
             c.rx_large_frags += 1;
         } else {
-            let work = self.p.cfg.bh_frag_process + self.bh_copy_cost_chunked(len, chunk_eff);
+            let copy = self.bh_copy_cost_chunked(len, chunk_eff);
+            let work = self.p.cfg.bh_frag_process + copy;
             let (_, f) = self.run_core(node, core, now, work, category::BH);
+            self.metrics.busy(node.0, "bh.copy", copy);
+            self.metrics.count(node.0, "bh.copy_bytes", len);
             fin = f;
             let c = &mut self.ep_mut(me).counters;
             c.copies_memcpy += 1;
@@ -394,6 +410,7 @@ impl Cluster {
             // Busy-poll until every pending copy completed.
             let wait = t.saturating_sub(fin) + self.p.hw.ioat_poll_cost;
             let (_, f) = self.run_core(node, core, fin, wait, category::BH);
+            self.metrics.busy(node.0, "ioat.poll_wait", wait);
             fin = f;
         }
         let pull = self
@@ -404,10 +421,7 @@ impl Cluster {
             .expect("completing an existing pull");
         let held: u64 = pull.pending_copies.iter().map(|(_, s)| s).sum();
         self.node_mut(node).driver.release_skbuffs(held);
-        let me = EpAddr {
-            node,
-            ep: pull.ep,
-        };
+        let me = EpAddr { node, ep: pull.ep };
         // Duplicate-suppress and release the pinned region.
         self.ep_mut(me).record_completed_seq(pull.src, pull.msg_seq);
         let region = self.ep(me).recvs.get(&pull.req).and_then(|r| r.region);
@@ -513,7 +527,13 @@ impl Cluster {
         };
         for b in stalled {
             self.stats.pull_retransmissions += 1;
-            let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::DRIVER);
+            let (_, f) = self.run_core(
+                node,
+                core,
+                fin,
+                self.p.cfg.ctrl_frame_cost,
+                category::DRIVER,
+            );
             fin = f;
             self.send_block_request(sim, node, handle, b, fin);
         }

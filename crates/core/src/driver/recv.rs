@@ -2,6 +2,7 @@
 //! callback for eager (tiny/small/medium) traffic, acks and duplicate
 //! suppression. The large-message pull paths live in `pull.rs`.
 
+use crate::app::Completion;
 use crate::cluster::Cluster;
 use crate::config::MsgClass;
 use crate::events::Event;
@@ -21,7 +22,10 @@ const MAX_RETX_ATTEMPTS: u32 = 10;
 impl Cluster {
     /// CPU cost of the BH copying `bytes` out of an skbuff with page
     /// chunking. Honors the Fig 3 counterfactual switch.
-    pub(crate) fn bh_copy_cost(&self, bytes: u64) -> Ps {
+    ///
+    /// Public so calibration tools and property tests can probe the
+    /// copy-cost model directly.
+    pub fn bh_copy_cost(&self, bytes: u64) -> Ps {
         if self.p.cfg.ignore_bh_copy || bytes == 0 {
             return Ps::ZERO;
         }
@@ -40,7 +44,7 @@ impl Cluster {
 
     /// Like [`Self::bh_copy_cost`] but with an explicit chunk
     /// granularity (vectorial destination buffers).
-    pub(crate) fn bh_copy_cost_chunked(&self, bytes: u64, chunk: u64) -> Ps {
+    pub fn bh_copy_cost_chunked(&self, bytes: u64, chunk: u64) -> Ps {
         if self.p.cfg.ignore_bh_copy || bytes == 0 {
             return Ps::ZERO;
         }
@@ -60,7 +64,9 @@ impl Cluster {
     /// page": one per destination page boundary crossed).
     pub(crate) fn desc_count(&self, offset: u64, len: u64) -> u64 {
         if len == 0 {
-            return 1;
+            // Nothing to move: no descriptor is built or submitted
+            // (mirrors `IoatEngine::descriptors_for`).
+            return 0;
         }
         let page = self.p.hw.page_size;
         let first = offset / page;
@@ -137,8 +143,13 @@ impl Cluster {
                         dest,
                     },
                 );
-                let (_, fin) =
-                    self.run_core(me.node, core, fin, self.p.cfg.ctrl_frame_cost, category::DRIVER);
+                let (_, fin) = self.run_core(
+                    me.node,
+                    core,
+                    fin,
+                    self.p.cfg.ctrl_frame_cost,
+                    category::DRIVER,
+                );
                 let pkt = Packet::RndvReq {
                     src_ep: me.ep.0,
                     dst_ep: dest.ep.0,
@@ -170,7 +181,13 @@ impl Cluster {
         let mut fin = now;
         match class {
             MsgClass::Tiny => {
-                let (_, f) = self.run_core(me.node, core, now, self.p.cfg.tx_frag_cost, category::DRIVER);
+                let (_, f) = self.run_core(
+                    me.node,
+                    core,
+                    now,
+                    self.p.cfg.tx_frag_cost,
+                    category::DRIVER,
+                );
                 fin = f;
                 let pkt = Packet::Tiny {
                     src_ep: me.ep.0,
@@ -182,7 +199,13 @@ impl Cluster {
                 self.send_packet(sim, me.node, dest.node, &pkt, fin);
             }
             MsgClass::Small => {
-                let (_, f) = self.run_core(me.node, core, now, self.p.cfg.tx_frag_cost, category::DRIVER);
+                let (_, f) = self.run_core(
+                    me.node,
+                    core,
+                    now,
+                    self.p.cfg.tx_frag_cost,
+                    category::DRIVER,
+                );
                 fin = f;
                 let pkt = Packet::Small {
                     src_ep: me.ep.0,
@@ -200,8 +223,13 @@ impl Cluster {
                 for i in 0..count {
                     let lo = i * frag;
                     let hi = (lo + frag).min(total);
-                    let (_, f) =
-                        self.run_core(me.node, core, fin, self.p.cfg.tx_frag_cost, category::DRIVER);
+                    let (_, f) = self.run_core(
+                        me.node,
+                        core,
+                        fin,
+                        self.p.cfg.tx_frag_cost,
+                        category::DRIVER,
+                    );
                     fin = f;
                     let pkt = Packet::MediumFrag {
                         src_ep: me.ep.0,
@@ -255,11 +283,27 @@ impl Cluster {
         }
         let attempts = st.retx_attempts;
         if attempts >= MAX_RETX_ATTEMPTS {
-            return; // give up; the workload is mis-configured
+            // Give up: the peer is unreachable. Complete the send with
+            // an error instead of leaking its state forever.
+            self.fail_send(sim, me, req);
+            return;
         }
         let class = st.class;
-        self.ep_mut(me).sends.get_mut(&req).expect("checked").retx_attempts = attempts + 1;
+        self.ep_mut(me)
+            .sends
+            .get_mut(&req)
+            .expect("checked")
+            .retx_attempts = attempts + 1;
         self.stats.retransmissions += 1;
+        self.metrics.count(me.node.0, "driver.retransmissions", 1);
+        self.metrics.trace(
+            sim.now(),
+            me.node.0,
+            "driver",
+            "retransmit",
+            req.0,
+            u64::from(attempts + 1),
+        );
         let now = sim.now();
         let fin = match class {
             MsgClass::Large => {
@@ -276,8 +320,13 @@ impl Cluster {
                     )
                 };
                 let core = self.ep(me).core;
-                let (_, fin) =
-                    self.run_core(me.node, core, now, self.p.cfg.ctrl_frame_cost, category::DRIVER);
+                let (_, fin) = self.run_core(
+                    me.node,
+                    core,
+                    now,
+                    self.p.cfg.ctrl_frame_cost,
+                    category::DRIVER,
+                );
                 let pkt = Packet::RndvReq {
                     src_ep: me.ep.0,
                     dst_ep: dest.ep.0,
@@ -292,6 +341,42 @@ impl Cluster {
             _ => self.tx_eager_frames(sim, me, req, now),
         };
         self.schedule_eager_retx(sim, me, req, fin);
+    }
+
+    /// Abort a send whose retransmission attempts are exhausted: drop
+    /// every piece of driver state it holds (the pinned region, the
+    /// sender-side large handle, the `sends` entry) and deliver an
+    /// error completion so the failure surfaces to the application
+    /// instead of hanging or leaking.
+    fn fail_send(&mut self, sim: &mut Sim<Cluster>, me: EpAddr, req: ReqId) {
+        let Some(st) = self.ep_mut(me).sends.remove(&req) else {
+            return;
+        };
+        if let Some(r) = st.region {
+            self.ep_mut(me).regions.release(r);
+        }
+        if let Some(h) = st.sender_handle {
+            self.node_mut(me.node).driver.tx_large.remove(&h);
+        }
+        self.stats.sends_failed += 1;
+        self.metrics.count(me.node.0, "driver.send_failures", 1);
+        self.metrics.trace(
+            sim.now(),
+            me.node.0,
+            "driver",
+            "send_failed",
+            req.0,
+            u64::from(st.retx_attempts),
+        );
+        if !st.completed {
+            // Tiny/small sends already delivered their (successful)
+            // buffer-reuse completion at handoff; everything else gets
+            // the error completion now.
+            let at = sim.now();
+            sim.schedule_at(at, move |c: &mut Cluster, s| {
+                c.call_app(s, me, Completion::Send { req, failed: true });
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -322,14 +407,18 @@ impl Cluster {
                 match_info,
                 msg_seq,
                 data,
-            } => self.rx_tiny(sim, node, core, src_node, src_ep, dst_ep, match_info, msg_seq, data),
+            } => self.rx_tiny(
+                sim, node, core, src_node, src_ep, dst_ep, match_info, msg_seq, data,
+            ),
             Packet::Small {
                 src_ep,
                 dst_ep,
                 match_info,
                 msg_seq,
                 data,
-            } => self.rx_small(sim, node, core, src_node, src_ep, dst_ep, match_info, msg_seq, data),
+            } => self.rx_small(
+                sim, node, core, src_node, src_ep, dst_ep, match_info, msg_seq, data,
+            ),
             Packet::MediumFrag {
                 src_ep,
                 dst_ep,
@@ -370,7 +459,16 @@ impl Cluster {
                 frag_start,
                 frag_count,
                 ..
-            } => self.rx_pull_req(sim, node, core, dst_ep, sender_handle, recv_handle, frag_start, frag_count),
+            } => self.rx_pull_req(
+                sim,
+                node,
+                core,
+                dst_ep,
+                sender_handle,
+                recv_handle,
+                frag_start,
+                frag_count,
+            ),
             Packet::LargeFrag {
                 recv_handle,
                 frag_idx,
@@ -378,9 +476,11 @@ impl Cluster {
                 data,
                 ..
             } => self.rx_large_frag(sim, node, core, recv_handle, frag_idx, offset, data),
-            Packet::Notify { dst_ep, sender_handle, .. } => {
-                self.rx_notify(sim, node, core, dst_ep, sender_handle)
-            }
+            Packet::Notify {
+                dst_ep,
+                sender_handle,
+                ..
+            } => self.rx_notify(sim, node, core, dst_ep, sender_handle),
             Packet::Ack {
                 src_ep,
                 dst_ep,
@@ -434,7 +534,13 @@ impl Cluster {
     ) -> Ps {
         let src = self.addr_of(src_node, src_ep);
         let me = self.addr_of(node, dst_ep);
-        let (_, fin) = self.run_core(node, core, sim.now(), self.p.cfg.bh_frag_process, category::BH);
+        let (_, fin) = self.run_core(
+            node,
+            core,
+            sim.now(),
+            self.p.cfg.bh_frag_process,
+            category::BH,
+        );
         if self.ep(me).seq_completed(src, msg_seq) {
             self.stats.duplicates_dropped += 1;
             return self.send_ack(sim, node, core, src, dst_ep, msg_seq, fin);
@@ -470,8 +576,12 @@ impl Cluster {
     ) -> Ps {
         let src = self.addr_of(src_node, src_ep);
         let me = self.addr_of(node, dst_ep);
-        let process = self.p.cfg.bh_frag_process + self.bh_copy_cost(data.len() as u64);
+        let copy = self.bh_copy_cost(data.len() as u64);
+        let process = self.p.cfg.bh_frag_process + copy;
         let (_, fin) = self.run_core(node, core, sim.now(), process, category::BH);
+        self.metrics.busy(node.0, "bh.copy", copy);
+        self.metrics
+            .count(node.0, "bh.copy_bytes", data.len() as u64);
         {
             let c = &mut self.ep_mut(me).counters;
             c.copies_memcpy += 1;
@@ -537,7 +647,8 @@ impl Cluster {
                 .or_insert_with(|| vec![false; frag_count as usize]);
             if seen[frag_idx as usize] {
                 self.stats.duplicates_dropped += 1;
-                let (_, fin) = self.run_core(node, core, now, self.p.cfg.bh_frag_process, category::BH);
+                let (_, fin) =
+                    self.run_core(node, core, now, self.p.cfg.bh_frag_process, category::BH);
                 return fin;
             }
             seen[frag_idx as usize] = true;
@@ -562,8 +673,10 @@ impl Cluster {
             // starts just past the packet header and is never page
             // aligned: "one or two chunks per page" (§IV-A) — here two.
             let ndesc = self.desc_count(offset as u64, len) + 1;
-            work += IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            work += submit;
             let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
+            self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             let hw = self.p.hw.clone();
             let n = self.node_mut(node);
             let ch = n.ioat.pick_channel_rr();
@@ -571,13 +684,17 @@ impl Cluster {
             // Busy-poll until the copy completes.
             let wait = handle.finish.saturating_sub(submit_fin) + self.p.hw.ioat_poll_cost;
             let (_, f) = self.run_core(node, core, submit_fin, wait, category::BH);
+            self.metrics.busy(node.0, "ioat.poll_wait", wait);
             fin = f;
             let c = &mut self.ep_mut(me).counters;
             c.copies_offloaded += 1;
             c.bytes_offloaded += len;
         } else {
-            work += self.bh_copy_cost(len);
+            let copy = self.bh_copy_cost(len);
+            work += copy;
             let (_, f) = self.run_core(node, core, now, work, category::BH);
+            self.metrics.busy(node.0, "bh.copy", copy);
+            self.metrics.count(node.0, "bh.copy_bytes", len);
             fin = f;
             let c = &mut self.ep_mut(me).counters;
             c.copies_memcpy += 1;
@@ -639,7 +756,13 @@ impl Cluster {
     ) -> Ps {
         let src = self.addr_of(src_node, src_ep);
         let me = self.addr_of(node, dst_ep);
-        let (_, fin) = self.run_core(node, core, sim.now(), self.p.cfg.bh_frag_process, category::BH);
+        let (_, fin) = self.run_core(
+            node,
+            core,
+            sim.now(),
+            self.p.cfg.bh_frag_process,
+            category::BH,
+        );
         if self.ep(me).seq_completed(src, msg_seq) {
             // The pull finished but the Notify was lost: re-notify.
             self.stats.duplicates_dropped += 1;
@@ -667,7 +790,20 @@ impl Cluster {
             || self.ep(me).rndv_pending.contains(&(src, msg_seq));
         if active {
             self.stats.duplicates_dropped += 1;
-            return fin;
+            // The announcement is a retransmission for a transfer we
+            // are still working on (pull in flight, or the original
+            // waiting on the library): answer with an ack as proof of
+            // life, or a congested receiver looks dead to the sender
+            // and the retransmission budget aborts a healthy send.
+            let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::BH);
+            let pkt = Packet::Ack {
+                src_ep: dst_ep,
+                dst_ep: src_ep,
+                msg_seq,
+            };
+            self.stats.acks_sent += 1;
+            self.send_packet(sim, node, src.node, &pkt, f);
+            return f;
         }
         self.ep_mut(me).rndv_pending.insert((src, msg_seq));
         self.ep_mut(me).counters.rx_rndv += 1;
@@ -695,7 +831,13 @@ impl Cluster {
         sender_handle: u32,
     ) -> Ps {
         let me = self.addr_of(node, dst_ep);
-        let (_, fin) = self.run_core(node, core, sim.now(), self.p.cfg.bh_frag_process, category::BH);
+        let (_, fin) = self.run_core(
+            node,
+            core,
+            sim.now(),
+            self.p.cfg.bh_frag_process,
+            category::BH,
+        );
         let Some(tx) = self.node_mut(node).driver.tx_large.remove(&sender_handle) else {
             self.stats.duplicates_dropped += 1;
             return fin;
@@ -726,7 +868,13 @@ impl Cluster {
     ) -> Ps {
         let me = self.addr_of(node, dst_ep);
         let acker = self.addr_of(src_node, src_ep);
-        let (_, fin) = self.run_core(node, core, sim.now(), self.p.cfg.ctrl_frame_cost, category::BH);
+        let (_, fin) = self.run_core(
+            node,
+            core,
+            sim.now(),
+            self.p.cfg.ctrl_frame_cost,
+            category::BH,
+        );
         let found = self
             .ep(me)
             .sends
@@ -738,6 +886,16 @@ impl Cluster {
         };
         let (class, completed) = {
             let st = self.ep_mut(me).sends.get_mut(&req).expect("just found");
+            if matches!(st.class, MsgClass::Large) {
+                // Liveness ack for an announced rendezvous: the
+                // receiver knows the transfer but has not finished the
+                // pull. Refresh the retransmission budget only — the
+                // send must stay un-acked so re-announcement keeps
+                // running (it is also what recovers a lost Notify).
+                st.last_activity = fin;
+                st.retx_attempts = 0;
+                return fin;
+            }
             st.acked = true;
             (st.class, st.completed)
         };

@@ -39,7 +39,11 @@ impl Cluster {
         let distance = topo.distance(dst_core, src_core);
         let subchip = topo.subchip_of(dst_core);
         let cached_fraction = src_tag
-            .map(|t| self.node(node).cache.hit_fraction(subchip, RegionKey(t), len))
+            .map(|t| {
+                self.node(node)
+                    .cache
+                    .hit_fraction(subchip, RegionKey(t), len)
+            })
             .unwrap_or(0.0);
         let ctx = CopyContext {
             distance,
@@ -59,6 +63,8 @@ impl Cluster {
         if let Some(t) = dst_tag {
             cache.touch_exclusive(&hw, subchip, RegionKey(t), len);
         }
+        self.metrics.busy(node.0, "shm.copy", cost);
+        self.metrics.count(node.0, "shm.copy_bytes", len);
         cost
     }
 
@@ -292,7 +298,13 @@ impl Cluster {
             let dst_key = dst_tag.unwrap_or(req.0 | (1 << 62));
             let reg_src = self.ep_mut(me).regions.register(&hw, src_key, msg_len);
             let reg_dst = self.ep_mut(me).regions.register(&hw, dst_key, msg_len);
-            let (_, f) = self.run_core(node, core, fin, reg_src.cost + reg_dst.cost, category::DRIVER);
+            let (_, f) = self.run_core(
+                node,
+                core,
+                fin,
+                reg_src.cost + reg_dst.cost,
+                category::DRIVER,
+            );
             fin = f;
             // Submit one descriptor per page. Submission pipelines with
             // execution: the channel starts after the *first*
@@ -301,6 +313,7 @@ impl Cluster {
             let ndesc = IoatEngine::descriptors_for(msg_len, self.p.hw.page_size);
             let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
             let (_, submit_fin) = self.run_core(node, core, fin, submit, category::DRIVER);
+            self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             let first_desc_at = fin + self.p.hw.ioat_submit_cpu;
             let hw = self.p.hw.clone();
             let multichannel = self.p.cfg.ioat_multichannel_split;
@@ -343,6 +356,7 @@ impl Cluster {
                 SyncWaitPolicy::BusyPoll => {
                     let wait = handle_finish.saturating_sub(submit_fin) + self.p.hw.ioat_poll_cost;
                     let (_, f) = self.run_core(node, core, submit_fin, wait, category::DRIVER);
+                    self.metrics.busy(node.0, "ioat.poll_wait", wait);
                     f
                 }
                 SyncWaitPolicy::SleepPredicted => {
@@ -354,12 +368,20 @@ impl Cluster {
                     };
                     let wake = predicted.max(submit_fin);
                     let f = if wake >= handle_finish {
-                        let (_, f) =
-                            self.run_core(node, core, wake, self.p.hw.ioat_poll_cost, category::DRIVER);
+                        let (_, f) = self.run_core(
+                            node,
+                            core,
+                            wake,
+                            self.p.hw.ioat_poll_cost,
+                            category::DRIVER,
+                        );
+                        self.metrics
+                            .busy(node.0, "ioat.poll_wait", self.p.hw.ioat_poll_cost);
                         f
                     } else {
                         let wait = handle_finish.saturating_sub(wake) + self.p.hw.ioat_poll_cost;
                         let (_, f) = self.run_core(node, core, wake, wait, category::DRIVER);
+                        self.metrics.busy(node.0, "ioat.poll_wait", wait);
                         f
                     };
                     let actual = handle_finish.saturating_sub(submit_fin);
@@ -389,11 +411,6 @@ impl Cluster {
             st.acked = true;
         }
         self.push_event_at(sim, src, Event::SendDone { req: tx.req }, fin);
-        self.push_event_at(
-            sim,
-            me,
-            Event::RecvLargeDone { req, len: msg_len },
-            fin,
-        );
+        self.push_event_at(sim, me, Event::RecvLargeDone { req, len: msg_len }, fin);
     }
 }

@@ -154,7 +154,14 @@ pub struct Endpoint {
 
 impl Endpoint {
     /// A fresh endpoint.
-    pub fn new(addr: EpAddr, core: CoreId, app: usize, recvq_slots: usize, slot_bytes: usize, regcache: bool) -> Self {
+    pub fn new(
+        addr: EpAddr,
+        core: CoreId,
+        app: usize,
+        recvq_slots: usize,
+        slot_bytes: usize,
+        regcache: bool,
+    ) -> Self {
         Endpoint {
             addr,
             core,

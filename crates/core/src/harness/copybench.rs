@@ -59,6 +59,42 @@ pub fn copy_rate_mibs(hw: &HwParams, engine: CopyEngine, total: u64, chunk: u64)
     total as f64 / t.as_secs_f64() / (1u64 << 20) as f64
 }
 
+/// Analytic per-component accounting for one pipelined copy stream.
+///
+/// The copybench has no cluster, so the breakdown is derived from the
+/// same closed-form model as [`copy_time`]: for memcpy all elapsed
+/// time is CPU copy; for I/OAT the channel executes `chunks`
+/// descriptors while the CPU spends `chunks + 1` submission slots
+/// (submission pipelines with execution, so the components overlap and
+/// their sum may exceed `elapsed_ns` — `idle_ns` is floored at zero).
+pub fn copy_breakdown(
+    hw: &HwParams,
+    engine: CopyEngine,
+    total: u64,
+    chunk: u64,
+) -> super::ComponentBreakdown {
+    let elapsed = copy_time(hw, engine, total, chunk);
+    let chunks = total.div_ceil(chunk).max(1);
+    let ns = |p: Ps| p.as_ps() as f64 / 1e3;
+    let (bh_copy, channel, submit) = match engine {
+        CopyEngine::Memcpy | CopyEngine::MemcpyCached => (elapsed, Ps::ZERO, Ps::ZERO),
+        CopyEngine::Ioat => {
+            let t_hw = hw.ioat_desc_overhead + hw.ioat_raw_rate.time_for(chunk);
+            (Ps::ZERO, t_hw * chunks, hw.ioat_submit_cpu * (chunks + 1))
+        }
+    };
+    let accounted = bh_copy + channel + submit;
+    super::ComponentBreakdown {
+        elapsed_ns: ns(elapsed),
+        wire_ns: 0.0,
+        bh_copy_ns: ns(bh_copy),
+        ioat_channel_ns: ns(channel),
+        submit_cpu_ns: ns(submit),
+        poll_wait_ns: 0.0,
+        idle_ns: ns(elapsed.saturating_sub(accounted)),
+    }
+}
+
 /// The §IV-A break-even: largest chunk still cheaper to memcpy than to
 /// submit (CPU-cost comparison, the paper's "600 bytes").
 pub fn cpu_breakeven_bytes(hw: &HwParams) -> u64 {

@@ -11,9 +11,71 @@ pub mod copybench;
 pub mod pingpong;
 pub mod stream;
 
-pub use copybench::{copy_rate_mibs, CopyEngine};
-pub use pingpong::{run_pingpong, Placement, PingPongConfig, PingPongResult};
+pub use copybench::{copy_breakdown, copy_rate_mibs, CopyEngine};
+pub use pingpong::{run_pingpong, PingPongConfig, PingPongResult, Placement};
 pub use stream::{run_stream, StreamConfig, StreamResult};
+
+use crate::cluster::Cluster;
+use omx_sim::Ps;
+use serde::Serialize;
+
+/// Where the time of a run went, per component, in nanoseconds.
+///
+/// Computed from the cluster's metrics registry after a run: wire
+/// serialization, BH/driver memcpy time (network receive copies plus
+/// the one-copy shared-memory path), I/OAT channel occupancy, the CPU
+/// cost of building and submitting descriptors, and whatever is left
+/// of the elapsed window (`idle_ns`, floored at zero — components on
+/// different resources overlap in time, so their sum may legitimately
+/// exceed the elapsed wall clock).
+///
+/// With `OmxConfig::metrics` disabled every component reads zero and
+/// `idle_ns == elapsed_ns`; throughput numbers are identical either
+/// way because recording never charges simulated time.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComponentBreakdown {
+    /// Elapsed window of the measurement.
+    pub elapsed_ns: f64,
+    /// Wire serialization busy time summed over all links.
+    pub wire_ns: f64,
+    /// CPU memcpy time in the receive paths (BH ring/large copies and
+    /// shared-memory one-copy moves).
+    pub bh_copy_ns: f64,
+    /// I/OAT DMA channel busy time (descriptor execution).
+    pub ioat_channel_ns: f64,
+    /// CPU time spent building and submitting I/OAT descriptors.
+    pub submit_cpu_ns: f64,
+    /// CPU time spent busy-polling I/OAT completions.
+    pub poll_wait_ns: f64,
+    /// `elapsed - (wire + bh_copy + ioat_channel + submit_cpu)`,
+    /// floored at zero.
+    pub idle_ns: f64,
+}
+
+impl ComponentBreakdown {
+    /// Assemble the breakdown from a finished cluster's registry over
+    /// the measurement window `elapsed`.
+    pub fn from_cluster(cluster: &Cluster, elapsed: Ps) -> Self {
+        let m = &cluster.metrics;
+        let wire = m.busy_total_all_scopes("link.wire");
+        let bh_copy = m.busy_total_all_scopes("bh.copy") + m.busy_total_all_scopes("shm.copy");
+        let ioat_channel = m.busy_total_all_scopes("ioat.channel");
+        let submit_cpu = m.busy_total_all_scopes("ioat.submit_cpu");
+        let poll_wait = m.busy_total_all_scopes("ioat.poll_wait");
+        let accounted = wire + bh_copy + ioat_channel + submit_cpu;
+        let idle = elapsed.saturating_sub(accounted);
+        let ns = |p: Ps| p.as_ps() as f64 / 1e3;
+        ComponentBreakdown {
+            elapsed_ns: ns(elapsed),
+            wire_ns: ns(wire),
+            bh_copy_ns: ns(bh_copy),
+            ioat_channel_ns: ns(ioat_channel),
+            submit_cpu_ns: ns(submit_cpu),
+            poll_wait_ns: ns(poll_wait),
+            idle_ns: ns(idle),
+        }
+    }
+}
 
 /// The message-size sweep used by the paper's throughput figures
 /// (16 B … `max` by powers of two).

@@ -81,10 +81,13 @@ pub struct PingPongResult {
     pub half_rtt: Summary,
     /// IMB-convention throughput: size / median half-RTT, in MiB/s.
     pub throughput_mibs: f64,
-    /// Whether every received payload matched its expected pattern.
+    /// Whether every received payload matched its expected pattern and
+    /// no send was aborted by retransmission exhaustion.
     pub verified: bool,
     /// Simulation end time.
     pub end_time: Ps,
+    /// Per-component time accounting over the whole run.
+    pub breakdown: super::ComponentBreakdown,
 }
 
 fn pattern(iter: u32, size: u64) -> Vec<u8> {
@@ -236,8 +239,9 @@ pub fn run_pingpong(cfg: PingPongConfig) -> PingPongResult {
         rtts: sh.rtts.clone(),
         half_rtt,
         throughput_mibs,
-        verified: sh.corrupt == 0,
+        verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0,
         end_time,
+        breakdown: super::ComponentBreakdown::from_cluster(&cluster, end_time),
     }
 }
 
@@ -273,6 +277,34 @@ mod tests {
         let r = quick(ClusterParams::default(), 16 << 10);
         assert!(r.verified);
         assert!(r.throughput_mibs > 100.0, "rate {}", r.throughput_mibs);
+    }
+
+    #[test]
+    fn metrics_and_tracing_never_perturb_timing() {
+        // The observability layer must be a pure observer: the same
+        // run with the registry off, on, or on with tracing produces
+        // byte-identical per-iteration timings.
+        let run_with = |metrics: bool, trace_capacity: usize| {
+            let cfg = OmxConfig {
+                metrics,
+                trace_capacity,
+                ..OmxConfig::with_ioat()
+            };
+            quick(ClusterParams::with_cfg(cfg), 256 << 10)
+        };
+        let off = run_with(false, 0);
+        let on = run_with(true, 0);
+        let traced = run_with(true, 4096);
+        assert_eq!(off.rtts, on.rtts, "metrics changed timing");
+        assert_eq!(off.rtts, traced.rtts, "tracing changed timing");
+        assert_eq!(off.end_time, traced.end_time);
+        // Disabled registry reads zero everywhere and attributes the
+        // whole window to idle.
+        assert_eq!(off.breakdown.wire_ns, 0.0);
+        assert_eq!(off.breakdown.elapsed_ns, off.breakdown.idle_ns);
+        // Enabled registry actually observed the run.
+        assert!(on.breakdown.wire_ns > 0.0);
+        assert!(on.breakdown.ioat_channel_ns > 0.0);
     }
 
     #[test]

@@ -58,13 +58,16 @@ pub struct StreamResult {
     pub user_util: f64,
     /// Achieved stream throughput in MiB/s.
     pub throughput_mibs: f64,
-    /// Whether every payload matched its pattern.
+    /// Whether every payload matched its pattern and no send was
+    /// aborted by retransmission exhaustion.
     pub verified: bool,
     /// Peak skbuffs held by pending I/OAT copies on the receiver (the
     /// §III-B resource bound).
     pub max_skbuffs_held: u64,
     /// Stream duration.
     pub elapsed: Ps,
+    /// Per-component time accounting over the stream window.
+    pub breakdown: super::ComponentBreakdown,
 }
 
 fn pattern(i: u32, size: u64) -> Vec<u8> {
@@ -189,9 +192,10 @@ pub fn run_stream(cfg: StreamConfig) -> StreamResult {
         driver_util: util(category::DRIVER),
         user_util: util(category::USER_LIB),
         throughput_mibs: bytes as f64 / horizon.as_secs_f64() / (1u64 << 20) as f64,
-        verified: sh.corrupt == 0,
+        verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0,
         max_skbuffs_held: recv_node.driver.skbuffs_held_max,
         elapsed,
+        breakdown: super::ComponentBreakdown::from_cluster(&cluster, horizon),
     }
 }
 

@@ -30,10 +30,7 @@ impl Cluster {
 
     /// Drain the endpoint's event ring in library context.
     pub(crate) fn lib_poll(&mut self, sim: &mut Sim<Cluster>, me: EpAddr) {
-        loop {
-            let Some(ev) = self.ep_mut(me).events.pop() else {
-                break;
-            };
+        while let Some(ev) = self.ep_mut(me).events.pop() {
             self.lib_handle_event(sim, me, ev);
         }
     }

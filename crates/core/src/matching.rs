@@ -130,11 +130,7 @@ impl Matcher {
 
     /// Find a buffered unexpected *eager* message by its reassembly key
     /// (later fragments of a message that arrived unexpected).
-    pub fn unexpected_eager_mut(
-        &mut self,
-        src: EpAddr,
-        msg_seq: u32,
-    ) -> Option<&mut Unexpected> {
+    pub fn unexpected_eager_mut(&mut self, src: EpAddr, msg_seq: u32) -> Option<&mut Unexpected> {
         self.unexpected.iter_mut().find(|u| match u {
             Unexpected::Eager {
                 src: s, msg_seq: q, ..

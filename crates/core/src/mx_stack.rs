@@ -51,12 +51,7 @@ impl Cluster {
         let now = sim.now();
         let (dest, match_info, msg_seq, data) = {
             let st = self.ep(me).sends.get(&req).expect("send exists");
-            (
-                st.dest,
-                st.match_info,
-                st.msg_seq,
-                st.data.clone(),
-            )
+            (st.dest, st.match_info, st.msg_seq, st.data.clone())
         };
         let mx = self.p.mx;
         if dest.node == me.node {
@@ -257,8 +252,7 @@ impl Cluster {
                     node,
                     ep: EpIdx(dst_ep),
                 };
-                let Some(tx) = self.node(node).driver.tx_large.get(&sender_handle).copied()
-                else {
+                let Some(tx) = self.node(node).driver.tx_large.get(&sender_handle).copied() else {
                     return;
                 };
                 let (dest, data) = {
@@ -301,16 +295,20 @@ impl Cluster {
                     node,
                     ep: EpIdx(dst_ep),
                 };
-                let Some(tx) = self.node_mut(node).driver.tx_large.remove(&sender_handle)
-                else {
+                let Some(tx) = self.node_mut(node).driver.tx_large.remove(&sender_handle) else {
                     return;
                 };
                 if let Some(st) = self.ep_mut(me).sends.get_mut(&tx.req) {
                     st.acked = true;
                 }
                 let core = self.ep(me).core;
-                let (_, fin) =
-                    self.run_core(node, core, now, self.p.mx.lib_event_cost, category::USER_LIB);
+                let (_, fin) = self.run_core(
+                    node,
+                    core,
+                    now,
+                    self.p.mx.lib_event_cost,
+                    category::USER_LIB,
+                );
                 self.finish_send(sim, me, tx.req, fin);
             }
             other => debug_assert!(false, "unexpected MX packet {other:?}"),
@@ -396,7 +394,13 @@ impl Cluster {
             self.ep_mut(me).assemblies.remove(&key);
             let core = self.ep(me).core;
             let at = now + self.p.mx.nic_match_latency;
-            let (_, fin) = self.run_core(me.node, core, at, self.p.mx.lib_event_cost, category::USER_LIB);
+            let (_, fin) = self.run_core(
+                me.node,
+                core,
+                at,
+                self.p.mx.lib_event_cost,
+                category::USER_LIB,
+            );
             self.finish_recv(sim, me, req, fin);
         }
     }
@@ -486,7 +490,8 @@ impl Cluster {
             self.send_payload(sim, node, src.node, pkt.pack(), now, Ps::ZERO);
             let core = self.ep(me).core;
             let at = now + self.p.mx.nic_match_latency;
-            let (_, fin) = self.run_core(node, core, at, self.p.mx.lib_event_cost, category::USER_LIB);
+            let (_, fin) =
+                self.run_core(node, core, at, self.p.mx.lib_event_cost, category::USER_LIB);
             self.finish_recv(sim, me, req, fin);
         }
     }

@@ -90,7 +90,10 @@ mod tests {
             // is hard to separate, and under-prediction only costs a
             // short busy-poll after an early wake.
             let tol = if bytes <= 4096 { 0.25 } else { 0.15 };
-            assert!(err < tol, "{bytes} B: predicted {predicted} actual {actual}");
+            assert!(
+                err < tol,
+                "{bytes} B: predicted {predicted} actual {actual}"
+            );
         }
         assert_eq!(p.samples(), 150);
     }
@@ -102,7 +105,10 @@ mod tests {
         // waking before large fractions of the copy remain.
         let p = CopyPredictor::new();
         let predicted = p.predict(4096);
-        assert!(predicted >= Ps::ns(1500), "prior {predicted} too optimistic");
+        assert!(
+            predicted >= Ps::ns(1500),
+            "prior {predicted} too optimistic"
+        );
     }
 
     #[test]

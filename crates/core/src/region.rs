@@ -71,11 +71,7 @@ impl RegionTable {
     /// pinning cost is charged.
     pub fn register(&mut self, params: &HwParams, tag: u64, len: u64) -> Registration {
         if self.cache_enabled {
-            if let Some(pos) = self
-                .cache
-                .iter()
-                .position(|r| r.tag == tag && r.len == len)
-            {
+            if let Some(pos) = self.cache.iter().position(|r| r.tag == tag && r.len == len) {
                 // Refresh LRU position.
                 let region = self.cache.remove(pos);
                 self.cache.push(region);

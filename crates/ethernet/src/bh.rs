@@ -8,6 +8,7 @@
 //! remains) re-schedules itself.
 
 use crate::skbuff::Skbuff;
+use omx_sim::Metrics;
 use std::collections::VecDeque;
 
 /// Per-core bottom-half state.
@@ -17,6 +18,8 @@ pub struct BottomHalfQueue {
     /// Whether a BH run is already scheduled (avoids duplicate runs).
     scheduled: bool,
     drained_total: u64,
+    metrics: Metrics,
+    scope: u32,
 }
 
 /// NAPI default weight: max skbuffs processed per BH invocation.
@@ -28,10 +31,23 @@ impl BottomHalfQueue {
         Self::default()
     }
 
+    /// Report enqueue/drain counters and the backlog high watermark to
+    /// `metrics` under `scope`.
+    pub fn attach_metrics(&mut self, metrics: Metrics, scope: u32) {
+        self.metrics = metrics;
+        self.scope = scope;
+    }
+
     /// IRQ path: enqueue a filled skbuff. Returns `true` when the
     /// caller must schedule a BH run (none was pending).
     pub fn enqueue(&mut self, skb: Skbuff) -> bool {
         self.queue.push_back(skb);
+        self.metrics.count(self.scope, "bh.enqueued", 1);
+        self.metrics.gauge_max(
+            self.scope,
+            "bh.backlog_high_watermark",
+            self.queue.len() as i64,
+        );
         if self.scheduled {
             false
         } else {
@@ -46,6 +62,8 @@ impl BottomHalfQueue {
         let n = self.queue.len().min(budget);
         let batch: Vec<Skbuff> = self.queue.drain(..n).collect();
         self.drained_total += batch.len() as u64;
+        self.metrics
+            .count(self.scope, "bh.drained", batch.len() as u64);
         batch
     }
 

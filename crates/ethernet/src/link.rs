@@ -8,7 +8,7 @@
 //! against.
 
 use crate::frame::EthFrame;
-use omx_sim::{FifoServer, Ps, Rate};
+use omx_sim::{FifoServer, Metrics, Ps, Rate};
 use serde::{Deserialize, Serialize};
 
 /// Link timing parameters.
@@ -62,6 +62,17 @@ impl Link {
         &self.params
     }
 
+    /// Report wire serialization busy time and frame/byte counters to
+    /// `metrics` under `scope`.
+    pub fn attach_metrics(&mut self, metrics: Metrics, scope: u32) {
+        self.server.attach_meter(metrics, scope, "link.wire");
+    }
+
+    /// Total wire serialization time integrated over all frames.
+    pub fn wire_busy_total(&self) -> Ps {
+        self.server.busy_total()
+    }
+
     /// Transmit `frame` handed to the NIC at `now`; returns the time
     /// the frame is fully received into the remote NIC (ready for ring
     /// DMA). Frames queue FIFO behind earlier transmissions.
@@ -75,9 +86,7 @@ impl Link {
     /// which caps its large-message rate at ≈1140 MiB/s).
     pub fn transmit_with_overhead(&mut self, now: Ps, frame: &EthFrame, extra: Ps) -> Ps {
         let serialize = self.params.rate.time_for(frame.wire_bytes()) + extra;
-        let (_start, tx_done) = self
-            .server
-            .admit(now + self.params.tx_latency, serialize);
+        let (_start, tx_done) = self.server.admit(now + self.params.tx_latency, serialize);
         self.frames += 1;
         self.payload_bytes += frame.payload_len();
         tx_done + self.params.propagation + self.params.rx_latency

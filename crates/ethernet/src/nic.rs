@@ -9,8 +9,8 @@
 
 use crate::frame::EthFrame;
 use crate::skbuff::Skbuff;
-use omx_sim::Ps;
 use omx_hw::CoreId;
+use omx_sim::{Metrics, Ps};
 use serde::{Deserialize, Serialize};
 
 /// NIC configuration.
@@ -62,6 +62,8 @@ pub struct Nic {
     last_irq: Option<Ps>,
     frames_received: u64,
     frames_dropped: u64,
+    metrics: Metrics,
+    scope: u32,
 }
 
 impl Nic {
@@ -74,7 +76,16 @@ impl Nic {
             last_irq: None,
             frames_received: 0,
             frames_dropped: 0,
+            metrics: Metrics::disabled(),
+            scope: 0,
         }
+    }
+
+    /// Report frame/drop/IRQ counters and the ring high watermark to
+    /// `metrics` under `scope`.
+    pub fn attach_metrics(&mut self, metrics: Metrics, scope: u32) {
+        self.metrics = metrics;
+        self.scope = scope;
     }
 
     /// The NIC parameters.
@@ -87,17 +98,27 @@ impl Nic {
     pub fn receive(&mut self, now: Ps, frame: &EthFrame) -> (Option<Skbuff>, RxOutcome) {
         if self.pending >= self.params.rx_ring_size {
             self.frames_dropped += 1;
+            self.metrics.count(self.scope, "nic.ring_drops", 1);
+            self.metrics
+                .trace(now, self.scope, "nic", "ring_drop", frame.payload_len(), 0);
             return (None, RxOutcome::DroppedRingFull);
         }
         self.pending += 1;
         self.frames_received += 1;
+        self.metrics.count(self.scope, "nic.frames", 1);
+        self.metrics
+            .count(self.scope, "nic.bytes", frame.payload_len());
+        self.metrics
+            .gauge_max(self.scope, "nic.ring_high_watermark", self.pending as i64);
         let skb = Skbuff::new(frame.src, frame.payload.clone(), now);
         let coalesced = matches!(self.last_irq, Some(t)
             if now.saturating_sub(t) < self.params.irq_coalesce);
         if coalesced {
+            self.metrics.count(self.scope, "nic.irqs_coalesced", 1);
             (Some(skb), RxOutcome::DeliveredCoalesced)
         } else {
             self.last_irq = Some(now);
+            self.metrics.count(self.scope, "nic.irqs", 1);
             (Some(skb), RxOutcome::DeliveredWithIrq(self.params.irq_core))
         }
     }

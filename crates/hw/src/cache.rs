@@ -92,11 +92,10 @@ impl CacheModel {
     /// `region` (a CPU copy touched it — I/OAT copies must NOT call
     /// this; bypassing the cache is exactly their advantage).
     pub fn touch(&mut self, params: &HwParams, subchip: SubchipId, key: RegionKey, bytes: u64) {
-        self.subchips.entry(subchip).or_default().touch(
-            key,
-            bytes,
-            params.l2_usable_bytes(),
-        );
+        self.subchips
+            .entry(subchip)
+            .or_default()
+            .touch(key, bytes, params.l2_usable_bytes());
     }
 
     /// Record a *write* to `region` by a core on `subchip`: coherence

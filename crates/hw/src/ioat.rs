@@ -20,7 +20,7 @@
 //! cache pollution.
 
 use crate::params::HwParams;
-use omx_sim::{FifoServer, Ps};
+use omx_sim::{FifoServer, Metrics, Ps};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one submitted copy (channel + in-channel cookie).
@@ -51,6 +51,9 @@ pub struct IoatEngine {
     rr_next: usize,
     bytes_copied: u64,
     descriptors: u64,
+    /// Observability sink (disabled by default; see [`Self::attach_metrics`]).
+    metrics: Metrics,
+    scope: u32,
 }
 
 impl IoatEngine {
@@ -63,7 +66,22 @@ impl IoatEngine {
             rr_next: 0,
             bytes_copied: 0,
             descriptors: 0,
+            metrics: Metrics::disabled(),
+            scope: 0,
         }
+    }
+
+    /// Report per-channel busy time, the shared memory-port busy time,
+    /// and byte/descriptor counters to `metrics` under `scope`.
+    pub fn attach_metrics(&mut self, metrics: Metrics, scope: u32) {
+        for ch in &mut self.channels {
+            ch.server
+                .attach_meter(metrics.clone(), scope, "ioat.channel");
+        }
+        self.memory_port
+            .attach_meter(metrics.clone(), scope, "ioat.mem_port");
+        self.metrics = metrics;
+        self.scope = scope;
     }
 
     /// Number of channels.
@@ -96,16 +114,21 @@ impl IoatEngine {
     }
 
     /// Number of descriptors needed to copy `bytes` with chunks of at
-    /// most `chunk` bytes (page-aligned splitting in practice).
+    /// most `chunk` bytes (page-aligned splitting in practice). A
+    /// zero-length copy needs no descriptor at all.
     pub fn descriptors_for(bytes: u64, chunk: u64) -> u64 {
         assert!(chunk > 0, "chunk size must be positive");
-        bytes.div_ceil(chunk).max(1)
+        bytes.div_ceil(chunk)
     }
 
     /// Queue a copy of `bytes` as `descriptors` descriptors on
     /// `channel` at time `now` (after the submitting CPU has paid
     /// [`Self::submit_cpu_cost`]). Returns the handle carrying the
     /// hardware completion time.
+    ///
+    /// A zero-length copy costs nothing: no descriptor is queued, no
+    /// channel or memory-port time is consumed, and the returned handle
+    /// completes immediately at `now`.
     pub fn submit(
         &mut self,
         params: &HwParams,
@@ -114,9 +137,21 @@ impl IoatEngine {
         bytes: u64,
         descriptors: u64,
     ) -> CopyHandle {
+        if bytes == 0 {
+            let ch = &mut self.channels[channel];
+            let cookie = ch.next_cookie;
+            ch.next_cookie += 1;
+            self.metrics.count(self.scope, "ioat.zero_len_copies", 1);
+            return CopyHandle {
+                channel,
+                cookie,
+                finish: now,
+            };
+        }
         let descriptors = descriptors.max(1);
         let ch = &mut self.channels[channel];
-        let service = params.ioat_desc_overhead * descriptors + params.ioat_raw_rate.time_for(bytes);
+        let service =
+            params.ioat_desc_overhead * descriptors + params.ioat_raw_rate.time_for(bytes);
         let (_, ch_finish) = ch.server.admit(now, service);
         // The shared memory port serializes the actual data movement
         // across channels; a copy completes when both its channel and
@@ -129,6 +164,11 @@ impl IoatEngine {
         ch.next_cookie += 1;
         self.bytes_copied += bytes;
         self.descriptors += descriptors;
+        self.metrics.count(self.scope, "ioat.bytes", bytes);
+        self.metrics
+            .count(self.scope, "ioat.descriptors", descriptors);
+        self.metrics
+            .trace(now, self.scope, "ioat", "submit", bytes, channel as u64);
         CopyHandle {
             channel,
             cookie,
@@ -253,13 +293,51 @@ mod tests {
     fn descriptor_helpers() {
         assert_eq!(IoatEngine::descriptors_for(4096, 4096), 1);
         assert_eq!(IoatEngine::descriptors_for(4097, 4096), 2);
-        assert_eq!(IoatEngine::descriptors_for(0, 4096), 1);
+        // A zero-length copy needs no descriptor.
+        assert_eq!(IoatEngine::descriptors_for(0, 4096), 0);
         assert_eq!(IoatEngine::descriptors_for(1 << 20, 4096), 256);
         let params = p();
         assert_eq!(
             IoatEngine::submit_cpu_cost(&params, 3),
             params.ioat_submit_cpu * 3
         );
+    }
+
+    #[test]
+    fn zero_length_copy_is_free_and_immediate() {
+        let params = p();
+        let mut e = IoatEngine::new(&params);
+        let h = e.submit(&params, Ps::us(7), 0, 0, 0);
+        assert_eq!(h.finish, Ps::us(7), "completes immediately");
+        assert!(e.is_complete(Ps::us(7), &h));
+        assert_eq!(e.bytes_copied(), 0);
+        assert_eq!(e.descriptors_submitted(), 0);
+        assert_eq!(e.channel_busy_total(0), Ps::ZERO);
+        assert_eq!(e.channel_busy_until(0), Ps::ZERO);
+        // A later real copy on the same channel is not delayed.
+        let h2 = e.submit(&params, Ps::us(7), 0, 4096, 1);
+        let expect = Ps::us(7) + params.ioat_desc_overhead + params.ioat_raw_rate.time_for(4096);
+        assert_eq!(h2.finish, expect);
+        assert!(h2.cookie > h.cookie, "cookies stay monotone");
+    }
+
+    #[test]
+    fn diagnostics_match_metrics_registry() {
+        let params = p();
+        let m = Metrics::new();
+        let mut e = IoatEngine::new(&params);
+        e.attach_metrics(m.clone(), 5);
+        e.submit(&params, Ps::ZERO, 0, 4096, 1);
+        e.submit(&params, Ps::ZERO, 1, 1 << 20, 256);
+        e.submit(&params, Ps::ZERO, 0, 0, 0); // free, not counted
+        assert_eq!(m.counter(5, "ioat.bytes"), e.bytes_copied());
+        assert_eq!(m.counter(5, "ioat.descriptors"), e.descriptors_submitted());
+        assert_eq!(m.counter(5, "ioat.zero_len_copies"), 1);
+        let metered_busy = m.busy_total(5, "ioat.channel");
+        let engine_busy =
+            (0..e.num_channels()).fold(Ps::ZERO, |acc, ch| acc + e.channel_busy_total(ch));
+        assert_eq!(metered_busy, engine_busy);
+        assert!(m.busy_total(5, "ioat.mem_port") > Ps::ZERO);
     }
 
     #[test]

@@ -199,9 +199,8 @@ fn reduce(np: usize, size: u64) -> Vec<Vec<Phase>> {
                     phases.push(Phase::send(r - bit, size, s as u32));
                     break; // this rank is done for the iteration
                 } else if r % group == 0 && r + bit < np {
-                    phases.push(
-                        Phase::recv(r + bit, size, s as u32).with_compute(reduce_cost(size)),
-                    );
+                    phases
+                        .push(Phase::recv(r + bit, size, s as u32).with_compute(reduce_cost(size)));
                 }
             }
             phases
@@ -321,7 +320,11 @@ mod tests {
             "{} np={np}: sends and receives must pair up",
             kernel.name()
         );
-        assert!(!sends.is_empty(), "{} np={np}: kernel moved no data", kernel.name());
+        assert!(
+            !sends.is_empty(),
+            "{} np={np}: kernel moved no data",
+            kernel.name()
+        );
     }
 
     #[test]

@@ -34,8 +34,15 @@ pub fn is_scripts(np: usize, total_keys_bytes: u64, iters: u32) -> Vec<Script> {
             for s in 0..np.trailing_zeros() {
                 let partner = rank ^ (1usize << s);
                 script.push(
-                    Phase::sendrecv(partner, bucket_bytes, 100 + s, partner, bucket_bytes, 100 + s)
-                        .with_compute(reduce_cost(bucket_bytes)),
+                    Phase::sendrecv(
+                        partner,
+                        bucket_bytes,
+                        100 + s,
+                        partner,
+                        bucket_bytes,
+                        100 + s,
+                    )
+                    .with_compute(reduce_cost(bucket_bytes)),
                 );
             }
             // Alltoall of bucket sizes (tiny).

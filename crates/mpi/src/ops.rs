@@ -58,7 +58,14 @@ impl Phase {
     }
 
     /// A combined send+receive phase (`MPI_Sendrecv`).
-    pub fn sendrecv(to: usize, sbytes: u64, stag: u32, from: usize, rbytes: u64, rtag: u32) -> Phase {
+    pub fn sendrecv(
+        to: usize,
+        sbytes: u64,
+        stag: u32,
+        from: usize,
+        rbytes: u64,
+        rtag: u32,
+    ) -> Phase {
         Phase {
             sends: vec![SendOp {
                 to,

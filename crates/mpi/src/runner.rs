@@ -71,6 +71,8 @@ pub struct KernelResult {
     pub end: Ps,
     /// Rank-0 mark timestamps.
     pub marks: Vec<Ps>,
+    /// Per-component time accounting over the whole job.
+    pub breakdown: open_mx::harness::ComponentBreakdown,
 }
 
 impl KernelResult {
@@ -102,10 +104,7 @@ impl RankApp {
     /// Stable buffer identity per (peer, tag, direction) so repeated
     /// iterations reuse registrations (the Fig 11 regcache effect).
     fn buf_tag(&self, peer: usize, tag: u32, send: bool) -> u64 {
-        ((self.rank as u64) << 40)
-            | ((peer as u64) << 24)
-            | ((tag as u64) << 1)
-            | u64::from(send)
+        ((self.rank as u64) << 40) | ((peer as u64) << 24) | ((tag as u64) << 1) | u64::from(send)
     }
 
     fn advance(&mut self, ctx: &mut AppCtx<'_>) {
@@ -220,6 +219,7 @@ pub fn run_scripts(params: ClusterParams, layout: Layout, scripts: Vec<Script>) 
         time_per_iter,
         end,
         marks,
+        breakdown: open_mx::harness::ComponentBreakdown::from_cluster(&cluster, end),
     }
 }
 
@@ -266,7 +266,11 @@ mod tests {
         assert_eq!(Layout::OnePerNode.np(), 2);
         assert_eq!(Layout::TwoPerNode.np(), 4);
         assert_eq!(Layout::TwoPerNode.spec(0), (NodeId(0), CoreId(2)));
-        assert_eq!(Layout::TwoPerNode.spec(1), (NodeId(1), CoreId(2)), "round-robin: rank 1 is remote");
+        assert_eq!(
+            Layout::TwoPerNode.spec(1),
+            (NodeId(1), CoreId(2)),
+            "round-robin: rank 1 is remote"
+        );
         assert_eq!(Layout::TwoPerNode.spec(2), (NodeId(0), CoreId(4)));
         assert_eq!(Layout::TwoPerNode.spec(3), (NodeId(1), CoreId(4)));
         assert_eq!(Layout::TwoPerNode.addr(3).ep, EpIdx(1));

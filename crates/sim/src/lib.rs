@@ -15,15 +15,20 @@
 //! * [`resource::FifoServer`] — a serially-reusable resource (a wire, a
 //!   DMA channel, a CPU core) with busy-time integration,
 //! * [`stats`] — busy meters, throughput series and summary statistics,
+//! * [`metrics`] — a cross-crate metrics registry (counters, gauges,
+//!   busy-time integrals) plus an optional bounded event trace; purely
+//!   observational, it never charges simulated time,
 //! * [`rng`] — a tiny deterministic SplitMix64 generator.
 
 pub mod engine;
+pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::Sim;
+pub use metrics::{Metrics, MetricsSnapshot, TraceEvent};
 pub use resource::FifoServer;
 pub use rng::SplitMix64;
 pub use stats::{BusyMeter, Series, Summary};

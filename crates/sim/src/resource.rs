@@ -6,12 +6,19 @@
 //! integrates its busy time so utilization can be reported afterwards
 //! (that integral is what Figure 9 of the paper plots, per category).
 
+use crate::metrics::Metrics;
 use crate::time::Ps;
 
 /// A FIFO single-server queue with busy-time integration.
 ///
 /// The server itself holds no job payloads; callers keep their own state
 /// and use the returned completion times to schedule events.
+///
+/// A server can optionally carry a meter ([`Self::attach_meter`]): each
+/// admitted job then also accumulates into a named busy integral and
+/// job counter in a shared [`Metrics`] registry, so per-resource
+/// occupancy shows up in snapshots without the owner exposing every
+/// internal server.
 #[derive(Debug, Clone)]
 pub struct FifoServer {
     /// Time at which the server next becomes idle.
@@ -20,6 +27,15 @@ pub struct FifoServer {
     busy_total: Ps,
     /// Number of jobs admitted.
     jobs: u64,
+    /// Optional metrics destination for admitted jobs.
+    meter: Option<Meter>,
+}
+
+#[derive(Debug, Clone)]
+struct Meter {
+    metrics: Metrics,
+    scope: u32,
+    name: &'static str,
 }
 
 impl Default for FifoServer {
@@ -35,7 +51,22 @@ impl FifoServer {
             busy_until: Ps::ZERO,
             busy_total: Ps::ZERO,
             jobs: 0,
+            meter: None,
         }
+    }
+
+    /// Report every admitted job's service time and count to
+    /// `metrics` under `(scope, name)`. Replaces any earlier meter.
+    pub fn attach_meter(&mut self, metrics: Metrics, scope: u32, name: &'static str) {
+        self.meter = if metrics.is_enabled() {
+            Some(Meter {
+                metrics,
+                scope,
+                name,
+            })
+        } else {
+            None
+        };
     }
 
     /// Admit a job of length `service` at time `now`.
@@ -48,6 +79,10 @@ impl FifoServer {
         self.busy_until = finish;
         self.busy_total += service;
         self.jobs += 1;
+        if let Some(meter) = &self.meter {
+            meter.metrics.busy(meter.scope, meter.name, service);
+            meter.metrics.count(meter.scope, meter.name, 1);
+        }
         (start, finish)
     }
 
@@ -140,6 +175,23 @@ mod tests {
         s.admit(Ps::ZERO, Ps::ns(100));
         // Horizon shorter than busy time clamps to 1.0.
         assert_eq!(s.utilization(Ps::ns(50)), 1.0);
+    }
+
+    #[test]
+    fn attached_meter_mirrors_busy_time() {
+        let m = Metrics::new();
+        let mut s = FifoServer::new();
+        s.attach_meter(m.clone(), 3, "wire");
+        s.admit(Ps::ZERO, Ps::ns(100));
+        s.admit(Ps::ns(500), Ps::ns(50));
+        assert_eq!(m.busy_total(3, "wire"), s.busy_total());
+        assert_eq!(m.counter(3, "wire"), s.jobs());
+        // A disabled registry never attaches, keeping admit at two
+        // compares and three adds.
+        let mut s2 = FifoServer::new();
+        s2.attach_meter(Metrics::disabled(), 0, "wire");
+        s2.admit(Ps::ZERO, Ps::ns(1));
+        assert_eq!(Metrics::disabled().counter(0, "wire"), 0);
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl Series {
     /// figure output is always sorted.
     pub fn push(&mut self, x: f64, y: f64) {
         if let Some(last) = self.points.last() {
-            assert!(x >= last.x, "series '{}' points must be x-sorted", self.name);
+            assert!(
+                x >= last.x,
+                "series '{}' points must be x-sorted",
+                self.name
+            );
         }
         self.points.push(Point { x, y });
     }

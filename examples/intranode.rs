@@ -12,7 +12,7 @@
 use openmx_repro::hw::CoreId;
 use openmx_repro::omx::cluster::ClusterParams;
 use openmx_repro::omx::config::OmxConfig;
-use openmx_repro::omx::harness::{run_pingpong, Placement, PingPongConfig};
+use openmx_repro::omx::harness::{run_pingpong, PingPongConfig, Placement};
 
 fn rate(size: u64, core_b: CoreId, ioat: bool) -> f64 {
     let params = ClusterParams::with_cfg(if ioat {

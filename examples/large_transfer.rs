@@ -13,7 +13,9 @@
 use openmx_repro::hw::CoreId;
 use openmx_repro::omx::cluster::ClusterParams;
 use openmx_repro::omx::config::OmxConfig;
-use openmx_repro::omx::harness::{run_pingpong, run_stream, Placement, PingPongConfig, StreamConfig};
+use openmx_repro::omx::harness::{
+    run_pingpong, run_stream, PingPongConfig, Placement, StreamConfig,
+};
 
 fn main() {
     println!("4 MB ping-pong over 10 GbE (line rate ≈ 1186 MiB/s):\n");

@@ -32,12 +32,22 @@ struct ComputeNode {
 impl App for ComputeNode {
     fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
         self.sent = 1;
-        ctx.isend(self.io_node, MATCH_WRITE, vec![0xDA; WRITE_SIZE as usize], Some(1));
+        ctx.isend(
+            self.io_node,
+            MATCH_WRITE,
+            vec![0xDA; WRITE_SIZE as usize],
+            Some(1),
+        );
     }
     fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
         if matches!(comp, Completion::Send { .. }) && self.sent < WRITES {
             self.sent += 1;
-            ctx.isend(self.io_node, MATCH_WRITE, vec![0xDA; WRITE_SIZE as usize], Some(1));
+            ctx.isend(
+                self.io_node,
+                MATCH_WRITE,
+                vec![0xDA; WRITE_SIZE as usize],
+                Some(1),
+            );
         }
     }
     fn is_done(&self) -> bool {
@@ -93,8 +103,21 @@ fn run(cfg: OmxConfig) -> (f64, f64, f64) {
         node: NodeId(1),
         ep: EpIdx(0),
     };
-    cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(ComputeNode { io_node: io_addr, sent: 0 }));
-    cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(IoNode { stats: stats.clone() }));
+    cluster.add_endpoint(
+        NodeId(0),
+        CoreId(2),
+        Box::new(ComputeNode {
+            io_node: io_addr,
+            sent: 0,
+        }),
+    );
+    cluster.add_endpoint(
+        NodeId(1),
+        CoreId(2),
+        Box::new(IoNode {
+            stats: stats.clone(),
+        }),
+    );
     cluster.start(&mut sim);
     sim.run(&mut cluster);
     let st = stats.borrow();
@@ -102,8 +125,14 @@ fn run(cfg: OmxConfig) -> (f64, f64, f64) {
     let elapsed = st.done_at.as_secs_f64();
     let rate = st.bytes as f64 / elapsed / (1u64 << 20) as f64;
     let meter = cluster.node(NodeId(1)).cpus.merged_meter();
-    let bh = meter.total(openmx_repro::hw::cpu::category::BH).as_secs_f64() / elapsed;
-    let app = meter.total(openmx_repro::hw::cpu::category::APP).as_secs_f64() / elapsed;
+    let bh = meter
+        .total(openmx_repro::hw::cpu::category::BH)
+        .as_secs_f64()
+        / elapsed;
+    let app = meter
+        .total(openmx_repro::hw::cpu::category::APP)
+        .as_secs_f64()
+        / elapsed;
     (rate, bh * 100.0, app * 100.0)
 }
 

@@ -9,10 +9,10 @@
 //! receiver observed — the minimal round trip through the public API:
 //! `Cluster::new` → `add_endpoint` (with an [`App`]) → `start` → run.
 
+use openmx_repro::hw::CoreId;
 use openmx_repro::omx::app::{App, AppCtx, Completion};
 use openmx_repro::omx::cluster::{Cluster, ClusterParams};
 use openmx_repro::omx::{EpAddr, EpIdx, NodeId};
-use openmx_repro::hw::CoreId;
 use openmx_repro::sim::Sim;
 
 /// The receiving application: posts one receive and reports it.
@@ -25,7 +25,10 @@ impl App for Receiver {
     }
 
     fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
-        if let Completion::Recv { data, match_info, .. } = comp {
+        if let Completion::Recv {
+            data, match_info, ..
+        } = comp
+        {
             println!(
                 "[{}] receiver got {} bytes (match_info {match_info:#x}): {:?}...",
                 ctx.now(),
@@ -73,7 +76,13 @@ fn main() {
         node: NodeId(1),
         ep: EpIdx(0),
     };
-    cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(Sender { peer: receiver_addr }));
+    cluster.add_endpoint(
+        NodeId(0),
+        CoreId(2),
+        Box::new(Sender {
+            peer: receiver_addr,
+        }),
+    );
     cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(Receiver));
 
     cluster.start(&mut sim);

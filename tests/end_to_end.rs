@@ -4,7 +4,7 @@
 use openmx_repro::hw::CoreId;
 use openmx_repro::omx::cluster::ClusterParams;
 use openmx_repro::omx::config::{OmxConfig, StackKind, SyncWaitPolicy};
-use openmx_repro::omx::harness::{run_pingpong, Placement, PingPongConfig};
+use openmx_repro::omx::harness::{run_pingpong, PingPongConfig, Placement};
 
 fn pingpong(size: u64, cfg: OmxConfig, placement: Placement) -> f64 {
     let params = ClusterParams::with_cfg(cfg);
@@ -27,7 +27,18 @@ fn net() -> Placement {
 fn every_message_class_delivers_verified_payloads() {
     // Tiny, small, medium (single and multi fragment), large across
     // the rendezvous threshold, multi-block pulls.
-    for size in [1u64, 32, 33, 128, 129, 4096, 4097, 32 << 10, (32 << 10) + 1, 256 << 10] {
+    for size in [
+        1u64,
+        32,
+        33,
+        128,
+        129,
+        4096,
+        4097,
+        32 << 10,
+        (32 << 10) + 1,
+        256 << 10,
+    ] {
         pingpong(size, OmxConfig::default(), net());
     }
 }
@@ -194,7 +205,11 @@ fn unexpected_messages_are_buffered_and_adopted() {
         ep: EpIdx(0),
     };
     cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(EarlySender { peer }));
-    cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(LateReceiver { got: got.clone() }));
+    cluster.add_endpoint(
+        NodeId(1),
+        CoreId(2),
+        Box::new(LateReceiver { got: got.clone() }),
+    );
     cluster.start(&mut sim);
     sim.run(&mut cluster);
     let got = got.borrow();

@@ -7,7 +7,7 @@ use openmx_repro::mx::curve::pingpong_throughput_mibs;
 use openmx_repro::omx::app::{App, AppCtx, Completion};
 use openmx_repro::omx::cluster::{Cluster, ClusterParams};
 use openmx_repro::omx::config::{OmxConfig, StackKind, SyncWaitPolicy};
-use openmx_repro::omx::harness::{run_pingpong, Placement, PingPongConfig};
+use openmx_repro::omx::harness::{run_pingpong, PingPongConfig, Placement};
 use openmx_repro::omx::{EpAddr, EpIdx, NodeId};
 use openmx_repro::sim::{Ps, Sim};
 use std::cell::Cell;
@@ -38,8 +38,14 @@ fn dca_lifts_the_memcpy_plateau_but_not_past_offload() {
         },
     );
     let ioat = net_rate(4 << 20, OmxConfig::with_ioat());
-    assert!(dca > plain * 1.1, "DCA must help the copy: {dca} vs {plain}");
-    assert!(ioat > dca, "overlap still beats a warmer copy: {ioat} vs {dca}");
+    assert!(
+        dca > plain * 1.1,
+        "DCA must help the copy: {dca} vs {plain}"
+    );
+    assert!(
+        ioat > dca,
+        "overlap still beats a warmer copy: {ioat} vs {dca}"
+    );
 }
 
 struct OneShotSender {
@@ -194,8 +200,16 @@ fn counters_track_message_classes_and_copy_paths() {
         node: NodeId(0),
         ep: EpIdx(0),
     };
-    cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(MultiSender { peer, step: 0 }));
-    cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(MultiReceiver { got: got.clone() }));
+    cluster.add_endpoint(
+        NodeId(0),
+        CoreId(2),
+        Box::new(MultiSender { peer, step: 0 }),
+    );
+    cluster.add_endpoint(
+        NodeId(1),
+        CoreId(2),
+        Box::new(MultiReceiver { got: got.clone() }),
+    );
     cluster.start(&mut sim);
     sim.run(&mut cluster);
     assert_eq!(got.get(), 4);
@@ -220,7 +234,10 @@ fn counters_track_message_classes_and_copy_paths() {
     assert!(rx.copies_memcpy >= 3, "small + medium fragments memcpy'd");
     assert_eq!(rx.rx_bytes, 16 + 100 + (8 << 10) + (128 << 10));
     assert_eq!(rx.unexpected, 0, "receives were pre-posted");
-    assert!(rx.events >= 6, "tiny + small + 2 medium frags + rndv + done");
+    assert!(
+        rx.events >= 6,
+        "tiny + small + 2 medium frags + rndv + done"
+    );
     // Tiny payloads ride inside the event (no BH copy), so the copy
     // accounting covers small + medium + large only.
     assert_eq!(rx.offload_fraction(), {

@@ -5,7 +5,7 @@
 use openmx_repro::hw::CoreId;
 use openmx_repro::omx::cluster::ClusterParams;
 use openmx_repro::omx::config::OmxConfig;
-use openmx_repro::omx::harness::{run_pingpong, Placement, PingPongConfig};
+use openmx_repro::omx::harness::{run_pingpong, PingPongConfig, Placement};
 
 fn lossy(one_in: u64, seed: u64) -> OmxConfig {
     OmxConfig {
@@ -125,8 +125,22 @@ fn retransmissions_are_counted() {
         ep: EpIdx(0),
     };
     let want = 40;
-    cluster.add_endpoint(NodeId(0), CoreId(2), Box::new(Sender { peer, left: want - 1 }));
-    cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(Receiver { got: got.clone(), want }));
+    cluster.add_endpoint(
+        NodeId(0),
+        CoreId(2),
+        Box::new(Sender {
+            peer,
+            left: want - 1,
+        }),
+    );
+    cluster.add_endpoint(
+        NodeId(1),
+        CoreId(2),
+        Box::new(Receiver {
+            got: got.clone(),
+            want,
+        }),
+    );
     cluster.start(&mut sim);
     sim.run(&mut cluster);
     assert_eq!(got.get(), want, "all messages delivered despite loss");
@@ -139,6 +153,98 @@ fn retransmissions_are_counted() {
         cluster.stats.duplicates_dropped > 0 || cluster.stats.retransmissions > 0,
         "duplicate suppression exercised"
     );
+}
+
+#[test]
+fn retransmit_exhaustion_fails_send_without_leaks() {
+    // A peer that never receives anything (every frame dropped) must
+    // not hang the sender forever: after MAX_RETX_ATTEMPTS the driver
+    // completes the send with `failed: true` and reaps every piece of
+    // state it held — the `sends` entry, the pinned region backing a
+    // large send, the tx-large handle, any held skbuffs — and the
+    // retransmission timer chain stops so the simulation drains.
+    use openmx_repro::omx::app::{App, AppCtx, Completion};
+    use openmx_repro::omx::cluster::Cluster;
+    use openmx_repro::omx::{EpAddr, EpIdx, NodeId};
+    use openmx_repro::sim::Sim;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct DoomedSender {
+        peer: EpAddr,
+        size: u64,
+        failed: Rc<Cell<bool>>,
+    }
+    impl App for DoomedSender {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.isend(self.peer, 7, vec![9u8; self.size as usize], None);
+        }
+        fn on_completion(&mut self, _ctx: &mut AppCtx<'_>, comp: Completion) {
+            if let Completion::Send { failed, .. } = comp {
+                self.failed.set(failed);
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    struct Deaf;
+    impl App for Deaf {
+        fn on_start(&mut self, _ctx: &mut AppCtx<'_>) {}
+        fn on_completion(&mut self, _ctx: &mut AppCtx<'_>, _c: Completion) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    // Medium (ack-completed) and large (rendezvous + pinned region).
+    for size in [16u64 << 10, 256 << 10] {
+        let failed = Rc::new(Cell::new(false));
+        let cfg = OmxConfig {
+            loss_one_in: Some(1), // every frame vanishes: peer unreachable
+            regcache: false,      // so pinned_count() == 0 proves release
+            ..OmxConfig::default()
+        };
+        let mut cluster = Cluster::new(ClusterParams::with_cfg(cfg));
+        let mut sim: Sim<Cluster> = Sim::new();
+        let me = EpAddr {
+            node: NodeId(0),
+            ep: EpIdx(0),
+        };
+        let peer = EpAddr {
+            node: NodeId(1),
+            ep: EpIdx(0),
+        };
+        cluster.add_endpoint(
+            NodeId(0),
+            CoreId(2),
+            Box::new(DoomedSender {
+                peer,
+                size,
+                failed: failed.clone(),
+            }),
+        );
+        cluster.add_endpoint(NodeId(1), CoreId(2), Box::new(Deaf));
+        cluster.start(&mut sim);
+        sim.run(&mut cluster);
+        assert!(failed.get(), "{size} B: app must see the error completion");
+        assert_eq!(cluster.stats.sends_failed, 1, "{size} B");
+        assert!(
+            cluster.stats.retransmissions >= 10,
+            "{size} B: exhaustion needs the full attempt budget, saw {}",
+            cluster.stats.retransmissions
+        );
+        let ep = cluster.ep(me);
+        assert!(ep.sends.is_empty(), "{size} B: send state leaked");
+        assert_eq!(
+            ep.regions.pinned_count(),
+            0,
+            "{size} B: pinned region leaked"
+        );
+        let drv = &cluster.node(NodeId(0)).driver;
+        assert!(drv.tx_large.is_empty(), "{size} B: tx-large handle leaked");
+        assert_eq!(drv.skbuffs_held, 0, "{size} B: skbuffs leaked");
+    }
 }
 
 #[test]

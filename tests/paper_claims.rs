@@ -6,7 +6,7 @@ use openmx_repro::omx::cluster::ClusterParams;
 use openmx_repro::omx::config::OmxConfig;
 use openmx_repro::omx::harness::copybench::{copy_rate_mibs, cpu_breakeven_bytes, CopyEngine};
 use openmx_repro::omx::harness::{
-    run_pingpong, run_stream, Placement, PingPongConfig, StreamConfig,
+    run_pingpong, run_stream, PingPongConfig, Placement, StreamConfig,
 };
 
 fn net_pingpong(size: u64, cfg: OmxConfig) -> f64 {
@@ -72,7 +72,10 @@ fn fig7_copy_rates() {
     let mc4k = copy_rate_mibs(&hw, CopyEngine::Memcpy, 1 << 20, 4096) / 1024.0;
     let ioat256 = copy_rate_mibs(&hw, CopyEngine::Ioat, 1 << 20, 256);
     let mc256 = copy_rate_mibs(&hw, CopyEngine::Memcpy, 1 << 20, 256);
-    assert!((2.3..2.5).contains(&ioat4k), "I/OAT 4 kB chunks ≈2.4 GiB/s: {ioat4k}");
+    assert!(
+        (2.3..2.5).contains(&ioat4k),
+        "I/OAT 4 kB chunks ≈2.4 GiB/s: {ioat4k}"
+    );
     assert!((1.4..1.65).contains(&mc4k), "memcpy ≈1.5 GiB/s: {mc4k}");
     assert!(ioat256 < mc256, "256 B chunks must favor memcpy");
     let be = cpu_breakeven_bytes(&hw);

@@ -8,7 +8,7 @@ use openmx_repro::hw::cache::{CacheModel, RegionKey};
 use openmx_repro::hw::{CoreId, HwParams, SubchipId};
 use openmx_repro::omx::cluster::ClusterParams;
 use openmx_repro::omx::config::OmxConfig;
-use openmx_repro::omx::harness::{run_pingpong, Placement, PingPongConfig};
+use openmx_repro::omx::harness::{run_pingpong, PingPongConfig, Placement};
 use openmx_repro::omx::matching::{matches, Matcher, PostedRecv};
 use openmx_repro::omx::proto::Packet;
 use openmx_repro::omx::ReqId;
@@ -18,15 +18,20 @@ use proptest::prelude::*;
 fn arb_packet() -> impl Strategy<Value = Packet> {
     let data = proptest::collection::vec(any::<u8>(), 0..4096).prop_map(Bytes::from);
     prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u64>(), any::<u32>(), data.clone()).prop_map(
-            |(src_ep, dst_ep, match_info, msg_seq, data)| Packet::Tiny {
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u64>(),
+            any::<u32>(),
+            data.clone()
+        )
+            .prop_map(|(src_ep, dst_ep, match_info, msg_seq, data)| Packet::Tiny {
                 src_ep,
                 dst_ep,
                 match_info,
                 msg_seq,
                 data
-            }
-        ),
+            }),
         (
             any::<u8>(),
             any::<u8>(),
@@ -39,7 +44,17 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
             data.clone()
         )
             .prop_map(
-                |(src_ep, dst_ep, match_info, msg_seq, msg_len, frag_idx, frag_count, offset, data)| {
+                |(
+                    src_ep,
+                    dst_ep,
+                    match_info,
+                    msg_seq,
+                    msg_len,
+                    frag_idx,
+                    frag_count,
+                    offset,
+                    data,
+                )| {
                     Packet::MediumFrag {
                         src_ep,
                         dst_ep,
@@ -99,16 +114,16 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
             any::<u64>(),
             data
         )
-            .prop_map(
-                |(src_ep, dst_ep, recv_handle, frag_idx, offset, data)| Packet::LargeFrag {
+            .prop_map(|(src_ep, dst_ep, recv_handle, frag_idx, offset, data)| {
+                Packet::LargeFrag {
                     src_ep,
                     dst_ep,
                     recv_handle,
                     frag_idx,
                     offset,
-                    data
+                    data,
                 }
-            ),
+            }),
         (any::<u8>(), any::<u8>(), any::<u32>()).prop_map(|(src_ep, dst_ep, msg_seq)| {
             Packet::Ack {
                 src_ep,
@@ -192,6 +207,30 @@ proptest! {
         // per byte of slack.
         prop_assert!(back <= r);
         prop_assert!(back.as_bytes_per_sec() as f64 >= r.as_bytes_per_sec() as f64 * 0.999);
+    }
+
+    #[test]
+    fn bh_copy_cost_chunked_is_monotone_and_bounded_below(
+        bytes in 0u64..(8 << 20),
+        extra in 0u64..(8 << 20),
+        chunk in 1u64..(64 << 10),
+    ) {
+        use openmx_repro::omx::cluster::Cluster;
+        let cl = Cluster::new(ClusterParams::default());
+        // More bytes never cost less at a fixed chunk size.
+        let small = cl.bh_copy_cost_chunked(bytes, chunk);
+        let big = cl.bh_copy_cost_chunked(bytes + extra, chunk);
+        prop_assert!(big >= small, "chunked cost not monotone: {big} < {small}");
+        // At page granularity the chunked model can only add
+        // per-chunk overhead over the contiguous copy, never remove
+        // cost (equality holds for page-aligned sizes).
+        let page = 4096;
+        let chunked = cl.bh_copy_cost_chunked(bytes, page);
+        let contiguous = cl.bh_copy_cost(bytes);
+        prop_assert!(
+            chunked >= contiguous,
+            "page-chunked {chunked} cheaper than contiguous {contiguous} for {bytes} B"
+        );
     }
 
     #[test]
