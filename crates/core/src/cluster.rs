@@ -15,12 +15,15 @@ use crate::mx_stack::MxNodeState;
 use crate::proto::Packet;
 use crate::{EpAddr, EpIdx, NodeId, ReqId};
 use omx_ethernet::bh::NAPI_BUDGET;
+use omx_ethernet::fault::LinkFaultState;
 use omx_ethernet::nic::RxOutcome;
 use omx_ethernet::{BottomHalfQueue, EthFrame, Link, LinkParams, Nic, NicParams};
 use omx_hw::cpu::category;
+use omx_hw::ioat::ChannelProbe;
 use omx_hw::{CacheModel, CoreId, CpuSet, HwParams, IoatEngine, Topology};
 use omx_mx::MxParams;
 use omx_sim::{Metrics, Ps, Sim, SplitMix64};
+use serde::Serialize;
 use std::collections::HashMap;
 
 /// Everything needed to build a cluster.
@@ -83,7 +86,7 @@ pub struct Node {
 }
 
 /// Aggregate counters over one run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Serialize)]
 pub struct Stats {
     /// Frames handed to links.
     pub frames_sent: u64,
@@ -91,6 +94,14 @@ pub struct Stats {
     pub frames_lost: u64,
     /// Frames dropped by RX-ring overflow.
     pub frames_ring_dropped: u64,
+    /// Frames discarded by the NIC's hardware FCS check (corruption
+    /// injection) — counted apart from ring drops so wire damage and
+    /// host overload are distinguishable.
+    pub frames_corrupt_dropped: u64,
+    /// Frames delivered twice by duplication injection.
+    pub frames_duplicated: u64,
+    /// Frames held back (reordered) by reordering injection.
+    pub frames_reordered: u64,
     /// Eager message retransmissions.
     pub retransmissions: u64,
     /// Pull-request retransmissions.
@@ -105,6 +116,18 @@ pub struct Stats {
     pub bytes_delivered: u64,
     /// Sends aborted after exhausting their retransmission attempts.
     pub sends_failed: u64,
+    /// Offloaded copies rescued onto the CPU after a stuck channel was
+    /// detected, plus offloads steered to memcpy because the chosen
+    /// channel was quarantined.
+    pub ioat_fallback_copies: u64,
+    /// I/OAT channels newly blacklisted after a completion-poll
+    /// deadline fired.
+    pub ioat_quarantines: u64,
+    /// Quarantined channels given another chance after their cool-down
+    /// expired.
+    pub ioat_reprobes: u64,
+    /// Retransmission-timeout escalations (exponential backoff steps).
+    pub backoff_escalations: u64,
 }
 
 /// The simulation world.
@@ -125,6 +148,12 @@ pub struct Cluster {
     pub metrics: Metrics,
     next_req: u64,
     rng: SplitMix64,
+    /// Per-link fault channels, present only for links whose plan
+    /// parameters are active — fault-free links never touch the RNG.
+    link_faults: HashMap<(u32, u32), LinkFaultState>,
+    /// Dedicated stream for retransmit-backoff jitter, derived from
+    /// the seed so jitter draws never perturb the loss pattern.
+    backoff_rng: SplitMix64,
 }
 
 impl ClusterParams {
@@ -162,9 +191,19 @@ impl Cluster {
         }
         let nodes = (0..p.nodes as u32)
             .map(|i| {
+                let node_faults = p.cfg.fault_plan.node_params(i);
                 let mut ioat = IoatEngine::new(&p.hw);
                 ioat.attach_metrics(metrics.clone(), i);
-                let mut nic = Nic::new(p.nic);
+                let mut nic_params = p.nic;
+                if let Some(nf) = node_faults {
+                    for f in &nf.ioat_faults {
+                        ioat.inject_channel_stall(f.channel, f.at, f.duration);
+                    }
+                    if let Some(ring) = nf.rx_ring_size {
+                        nic_params.rx_ring_size = ring;
+                    }
+                }
+                let mut nic = Nic::new(nic_params);
                 nic.attach_metrics(metrics.clone(), i);
                 let bh = (0..p.topology.num_cores())
                     .map(|_| {
@@ -188,6 +227,25 @@ impl Cluster {
             })
             .collect();
         let seed = p.cfg.seed;
+        // Per-link fault channels: the uniform loss_one_in knob is
+        // folded in as a degenerate Gilbert–Elliott channel; links
+        // whose combined parameters stay inert get no state at all, so
+        // a clean run draws zero fault randomness.
+        let mut link_faults = HashMap::new();
+        for a in 0..p.nodes as u32 {
+            for b in 0..p.nodes as u32 {
+                let lp = p
+                    .cfg
+                    .fault_plan
+                    .link_params(a, b)
+                    .combined_with_uniform_loss(p.cfg.loss_one_in);
+                if lp.is_active() {
+                    link_faults.insert((a, b), LinkFaultState::new(lp));
+                }
+            }
+        }
+        let rng = SplitMix64::new(seed);
+        let backoff_rng = rng.derive(0xB0FF);
         Cluster {
             p,
             nodes,
@@ -196,7 +254,9 @@ impl Cluster {
             stats: Stats::default(),
             metrics,
             next_req: 1,
-            rng: SplitMix64::new(seed),
+            rng,
+            link_faults,
+            backoff_rng,
         }
     }
 
@@ -281,9 +341,62 @@ impl Cluster {
         r
     }
 
-    /// Deterministic RNG (loss injection).
-    pub(crate) fn rng(&mut self) -> &mut SplitMix64 {
-        &mut self.rng
+    /// One exponential-backoff step of a retransmission timeout:
+    /// double it, add deterministic jitter (up to a quarter of the old
+    /// value, drawn from the dedicated backoff stream so concurrent
+    /// retransmit timers desynchronize), cap at `cfg.rto_max`, and
+    /// count the escalation.
+    pub(crate) fn escalate_rto(&mut self, node: NodeId, rto: Ps) -> Ps {
+        let jitter = Ps::ps(self.backoff_rng.next_below(rto.as_ps() / 4 + 1));
+        let next = (rto * 2 + jitter).min(self.p.cfg.rto_max);
+        self.stats.backoff_escalations += 1;
+        self.metrics.count(node.0, "driver.backoff_escalations", 1);
+        next
+    }
+
+    /// Probe an I/OAT channel's health on `node`, counting quarantine
+    /// releases into the run stats. `true` = usable.
+    pub(crate) fn ioat_channel_usable(&mut self, node: NodeId, channel: usize, now: Ps) -> bool {
+        match self.nodes[node.0 as usize].ioat.probe_channel(channel, now) {
+            ChannelProbe::Healthy => true,
+            ChannelProbe::Reprobed => {
+                self.stats.ioat_reprobes += 1;
+                true
+            }
+            ChannelProbe::Quarantined => false,
+        }
+    }
+
+    /// Round-robin pick skipping quarantined channels. When every
+    /// channel is quarantined the plain round-robin pick is returned —
+    /// callers still gate each submit on [`Self::ioat_channel_usable`],
+    /// so an all-dead engine degrades to pure memcpy.
+    pub(crate) fn pick_healthy_channel(&mut self, node: NodeId, now: Ps) -> usize {
+        let n = self.nodes[node.0 as usize].ioat.num_channels();
+        for _ in 0..n {
+            let ch = self.nodes[node.0 as usize].ioat.pick_channel_rr();
+            if self.ioat_channel_usable(node, ch, now) {
+                return ch;
+            }
+        }
+        self.nodes[node.0 as usize].ioat.pick_channel_rr()
+    }
+
+    /// Blacklist `channel` on `node` until `until`, counting the event
+    /// if the channel was not already quarantined.
+    pub(crate) fn quarantine_channel(&mut self, node: NodeId, channel: usize, until: Ps) {
+        if self.nodes[node.0 as usize].ioat.quarantine(channel, until) {
+            self.stats.ioat_quarantines += 1;
+        }
+    }
+
+    /// Count one offload-to-memcpy fallback of `bytes` bytes.
+    pub(crate) fn record_ioat_fallback(&mut self, node: NodeId, at: Ps, bytes: u64) {
+        self.stats.ioat_fallback_copies += 1;
+        self.metrics.count(node.0, "ioat.fallback_copies", 1);
+        self.metrics.count(node.0, "ioat.fallback_bytes", bytes);
+        self.metrics
+            .trace(at, node.0, "ioat", "memcpy_fallback", bytes, 0);
     }
 
     /// Charge `work` on a node core; returns `(start, finish)`.
@@ -332,6 +445,7 @@ impl Cluster {
             );
         }
         let msg_seq = self.ep_mut(me).next_seq(dest);
+        let base_rto = self.p.cfg.retransmit_timeout;
         self.ep_mut(me).sends.insert(
             req,
             SendState {
@@ -348,6 +462,7 @@ impl Cluster {
                 region: None,
                 retx_attempts: 0,
                 last_activity: sim.now(),
+                rto: base_rto,
             },
         );
         match self.p.cfg.stack {
@@ -481,20 +596,48 @@ impl Cluster {
     ) {
         sim.schedule_at(at, move |c: &mut Cluster, s| {
             c.stats.frames_sent += 1;
-            // Loss injection targets the Open-MX reliability machinery;
+            // Fault injection targets the Open-MX reliability machinery;
             // the MXoE baseline has none (its reliability lives in the
             // NIC firmware, out of scope), so its frames are exempt.
-            if c.p.cfg.stack == StackKind::OpenMx {
-                if let Some(one_in) = c.p.cfg.loss_one_in {
-                    if c.rng().next_below(one_in) == 0 {
-                        c.stats.frames_lost += 1;
-                        return;
-                    }
+            // Note the disjoint field borrows: the fault channel and
+            // the RNG are separate Cluster fields.
+            let disp = if c.p.cfg.stack == StackKind::OpenMx {
+                match c.link_faults.get_mut(&(src.0, dst.0)) {
+                    Some(faults) => faults.next_frame(&mut c.rng),
+                    None => omx_ethernet::fault::FrameDisposition::CLEAN,
                 }
+            } else {
+                omx_ethernet::fault::FrameDisposition::CLEAN
+            };
+            if disp.dropped {
+                c.stats.frames_lost += 1;
+                c.metrics.count(src.0, "fault.frames_dropped", 1);
+                return;
             }
-            let frame = EthFrame::new(src.0, dst.0, payload);
+            let mut frame = EthFrame::new(src.0, dst.0, payload);
+            if disp.corrupted {
+                frame.fcs_corrupt = true;
+                c.metrics.count(src.0, "fault.frames_corrupted", 1);
+            }
             let link = c.links.get_mut(&(src.0, dst.0)).expect("link exists");
-            let arrival = link.transmit_with_overhead(s.now(), &frame, extra);
+            let mut arrival = link.transmit_with_overhead(s.now(), &frame, extra);
+            if disp.reorder_extra > 0 {
+                // Hold the frame back by k serialization times: frames
+                // sent right behind it overtake it on arrival.
+                arrival += link.serialization_time(&frame) * disp.reorder_extra as u64;
+                c.stats.frames_reordered += 1;
+                c.metrics.count(src.0, "fault.frames_reordered", 1);
+            }
+            if disp.duplicated {
+                // The duplicate occupies real wire time like any frame.
+                let dup = frame.clone();
+                let dup_arrival = link.transmit_with_overhead(s.now(), &dup, extra);
+                c.stats.frames_duplicated += 1;
+                c.metrics.count(src.0, "fault.frames_duplicated", 1);
+                s.schedule_at(dup_arrival, move |c: &mut Cluster, s| {
+                    c.on_frame(s, dst, dup);
+                });
+            }
             s.schedule_at(arrival, move |c: &mut Cluster, s| {
                 c.on_frame(s, dst, frame);
             });
@@ -517,6 +660,11 @@ impl Cluster {
         match outcome {
             RxOutcome::DroppedRingFull => {
                 self.stats.frames_ring_dropped += 1;
+            }
+            RxOutcome::DroppedCorrupt => {
+                // Hardware FCS check discarded the frame before it
+                // consumed a ring slot; retransmission recovers it.
+                self.stats.frames_corrupt_dropped += 1;
             }
             RxOutcome::DeliveredCoalesced => {
                 let core = n.nic.params().irq_core;

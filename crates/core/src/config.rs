@@ -5,6 +5,7 @@
 //! regenerators flip exactly these switches (I/OAT on/off, registration
 //! cache on/off, the counterfactual "ignore the BH copy" of Fig 3).
 
+use crate::fault::FaultPlan;
 use omx_sim::Ps;
 use serde::{Deserialize, Serialize};
 
@@ -52,8 +53,13 @@ pub struct OmxConfig {
     pub pull_block_frags: u32,
     /// Pull blocks kept outstanding (paper footnote 3: 2).
     pub pull_blocks_outstanding: u32,
-    /// Retransmission timeout for missing pull fragments.
+    /// Initial retransmission timeout (eager resends and missing pull
+    /// fragments). Under repeated timeouts the effective RTO backs off
+    /// exponentially (with deterministic jitter) up to [`Self::rto_max`]
+    /// and resets on any sign of peer liveness.
     pub retransmit_timeout: Ps,
+    /// Cap on the adaptive retransmission timeout.
+    pub rto_max: Ps,
 
     // ---------------- I/OAT offload ----------------
     /// Master switch for the DMA engine offload.
@@ -102,8 +108,22 @@ pub struct OmxConfig {
     /// Fig 3's prediction mode: process receives normally but charge
     /// zero CPU time for the BH data copy.
     pub ignore_bh_copy: bool,
-    /// Drop one frame in N on every link (None = lossless).
+    /// Drop one frame in N on every link (None = lossless). Kept as a
+    /// convenience knob: it is folded into [`Self::fault_plan`]'s link
+    /// parameters as a degenerate (memoryless) Gilbert–Elliott channel.
     pub loss_one_in: Option<u64>,
+    /// Declarative fault plan: bursty loss, corruption, duplication,
+    /// reordering per link; RX ring pressure and scheduled I/OAT
+    /// channel faults per node (see [`crate::fault::FaultPlan`]). The
+    /// default plan is empty and injects nothing.
+    pub fault_plan: FaultPlan,
+    /// A pending I/OAT copy whose completion lies further than this
+    /// past the poll time is declared stuck: the driver falls back to
+    /// CPU memcpy and quarantines the channel (Linux dmaengine style).
+    pub ioat_stall_deadline: Ps,
+    /// How long a quarantined I/OAT channel is blacklisted before the
+    /// driver re-probes it.
+    pub ioat_quarantine_cooldown: Ps,
     /// RNG seed for loss injection and channel selection jitter.
     pub seed: u64,
 
@@ -156,6 +176,7 @@ impl Default for OmxConfig {
             pull_block_frags: 8,
             pull_blocks_outstanding: 2,
             retransmit_timeout: Ps::us(500),
+            rto_max: Ps::ms(8),
             ioat_enabled: false,
             dca_enabled: false,
             ioat_net_msg_threshold: 64 << 10,
@@ -169,6 +190,9 @@ impl Default for OmxConfig {
             kernel_matching: false,
             ignore_bh_copy: false,
             loss_one_in: None,
+            fault_plan: FaultPlan::default(),
+            ioat_stall_deadline: Ps::ms(2),
+            ioat_quarantine_cooldown: Ps::ms(20),
             seed: 0x0031_4159_2653_5897,
             metrics: true,
             trace_capacity: 0,
@@ -224,6 +248,14 @@ impl OmxConfig {
     /// Fragments of an `len`-byte message.
     pub fn frags_for(&self, len: u64) -> u64 {
         len.div_ceil(self.frag_size).max(1)
+    }
+
+    /// Whether any fault injection is configured (fault plan or the
+    /// legacy uniform-loss knob). Harnesses use this to decide whether
+    /// NIC drops mean "injected hazard, recovery expected" or "silent
+    /// overload that must fail verification loudly".
+    pub fn fault_injection_active(&self) -> bool {
+        !self.fault_plan.is_inactive() || matches!(self.loss_one_in, Some(n) if n > 0)
     }
 }
 
@@ -284,5 +316,40 @@ mod tests {
         let c = OmxConfig::with_ioat();
         assert!(c.offload_shm_copy(1 << 20));
         assert!(!c.offload_shm_copy((1 << 20) - 1));
+    }
+
+    #[test]
+    fn fault_injection_detection() {
+        let c = OmxConfig::default();
+        assert!(!c.fault_injection_active(), "default config is clean");
+        let lossy = OmxConfig {
+            loss_one_in: Some(100),
+            ..OmxConfig::default()
+        };
+        assert!(lossy.fault_injection_active());
+        let planned = OmxConfig {
+            fault_plan: FaultPlan::flaky_10g(),
+            ..OmxConfig::default()
+        };
+        assert!(planned.fault_injection_active());
+    }
+
+    #[test]
+    fn config_with_fault_plan_serializes() {
+        // The whole config (fault plan included) lands in the JSON
+        // record of a run, so it must serialize cleanly.
+        let c = OmxConfig {
+            fault_plan: FaultPlan::flaky_10g(),
+            ..OmxConfig::with_ioat()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        for key in [
+            "fault_plan",
+            "rto_max",
+            "ioat_stall_deadline",
+            "p_enter_bad",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
     }
 }

@@ -42,6 +42,11 @@ pub struct Counters {
     pub copies_memcpy: u64,
     /// Receive copies submitted to the I/OAT engine.
     pub copies_offloaded: u64,
+    /// Copies that fell back from the I/OAT engine to the CPU — either
+    /// steered away from a quarantined channel at submit time or
+    /// rescued after a stuck channel tripped the completion-poll
+    /// deadline.
+    pub copies_fallback: u64,
     /// Bytes copied by memcpy.
     pub bytes_memcpy: u64,
     /// Bytes copied by the DMA engine.

@@ -87,10 +87,21 @@ impl Cluster {
         // Copy path: matched fragments may be offloaded asynchronously
         // — the whole point of this extension.
         let len = data.len() as u64;
-        let offload = matched
+        let mut offload = matched
             && self.p.cfg.ioat_enabled
             && !self.p.cfg.ignore_bh_copy
             && len >= self.p.cfg.ioat_frag_threshold;
+        // Graceful degradation: quarantined channels demote the copy
+        // to the memcpy path.
+        let mut ch = 0;
+        if offload {
+            ch = self.pick_healthy_channel(node, now);
+            if !self.ioat_channel_usable(node, ch, now) {
+                self.record_ioat_fallback(node, now, len);
+                self.ep_mut(me).counters.copies_fallback += 1;
+                offload = false;
+            }
+        }
         let fin = if offload {
             let ndesc = self.desc_count(offset as u64, len);
             let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
@@ -99,7 +110,6 @@ impl Cluster {
             self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             let hw = self.p.hw.clone();
             let n = self.node_mut(node);
-            let ch = n.ioat.pick_channel_rr();
             let h = n.ioat.submit(&hw, submit_fin, ch, len, ndesc);
             self.node_mut(node)
                 .driver

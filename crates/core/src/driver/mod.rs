@@ -16,6 +16,19 @@ use omx_hw::ioat::CopyHandle;
 use omx_sim::Ps;
 use std::collections::HashMap;
 
+/// One outstanding asynchronous receive copy: its completion handle,
+/// the skbuffs it pins and the bytes it moves (needed to re-do the
+/// copy on the CPU if the channel dies underneath it).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingCopy {
+    /// I/OAT completion handle.
+    pub handle: CopyHandle,
+    /// Ring skbuffs held until the copy retires.
+    pub skbs: u64,
+    /// Payload bytes the copy moves.
+    pub bytes: u64,
+}
+
 /// Receiver-side state of one in-progress large-message pull.
 #[derive(Debug)]
 pub struct PullState {
@@ -44,11 +57,17 @@ pub struct PullState {
     /// I/OAT channel assigned to this message (one channel per
     /// message, §V).
     pub channel: usize,
-    /// Outstanding asynchronous copies: completion handle + the number
-    /// of skbuffs each holds.
-    pub pending_copies: Vec<(CopyHandle, u64)>,
+    /// Outstanding asynchronous copies.
+    pub pending_copies: Vec<PendingCopy>,
     /// Last time any fragment arrived (retransmission watchdog).
     pub last_progress: Ps,
+    /// Generation stamp distinguishing this pull from earlier users of
+    /// the same (reused) handle — stale watchdogs no-op on mismatch.
+    pub generation: u64,
+    /// Current adaptive watchdog timeout (exponential backoff while
+    /// the pull is stalled, reset to `cfg.retransmit_timeout` on
+    /// progress).
+    pub rto: Ps,
 }
 
 impl PullState {
@@ -66,9 +85,9 @@ impl PullState {
     /// §III-B). Returns how many skbuffs were freed.
     pub fn reap_completed(&mut self, now: Ps) -> u64 {
         let mut freed = 0;
-        self.pending_copies.retain(|(h, skbs)| {
-            if h.finish <= now {
-                freed += *skbs;
+        self.pending_copies.retain(|pc| {
+            if pc.handle.finish <= now {
+                freed += pc.skbs;
                 false
             } else {
                 true
@@ -79,7 +98,25 @@ impl PullState {
 
     /// Latest completion time among pending copies.
     pub fn last_copy_finish(&self) -> Option<Ps> {
-        self.pending_copies.iter().map(|(h, _)| h.finish).max()
+        self.pending_copies.iter().map(|pc| pc.handle.finish).max()
+    }
+
+    /// Extract pending copies whose completion lies further than
+    /// `deadline` past `now` — the completion-poll deadline has fired
+    /// for them and the driver will re-do them on the CPU. The stuck
+    /// entries are removed from the pending list.
+    pub fn take_stuck(&mut self, now: Ps, deadline: Ps) -> Vec<PendingCopy> {
+        let horizon = now + deadline;
+        let mut stuck = Vec::new();
+        self.pending_copies.retain(|pc| {
+            if pc.handle.finish > horizon {
+                stuck.push(*pc);
+                false
+            } else {
+                true
+            }
+        });
+        stuck
     }
 }
 
@@ -104,6 +141,10 @@ pub struct Driver {
     pub tx_large: HashMap<u32, TxLargeState>,
     /// Next receiver pull handle.
     pub next_pull_handle: u32,
+    /// Monotone generation counter stamped onto every new pull, so a
+    /// watchdog armed for a dead pull can detect that its handle was
+    /// recycled (never wraps in practice: u64).
+    pub next_pull_generation: u64,
     /// Next sender large handle.
     pub next_tx_handle: u32,
     /// Skbuffs currently held by pending asynchronous copies (the
@@ -122,10 +163,18 @@ impl Driver {
         Self::default()
     }
 
-    /// Allocate a receiver-side pull handle.
+    /// Allocate a receiver-side pull handle. Handles are a small
+    /// wrapping namespace (as in the real driver) — reuse is expected
+    /// and generations disambiguate.
     pub fn alloc_pull_handle(&mut self) -> u32 {
-        self.next_pull_handle += 1;
+        self.next_pull_handle = self.next_pull_handle.wrapping_add(1);
         self.next_pull_handle
+    }
+
+    /// Allocate a pull generation stamp (never reused).
+    pub fn alloc_pull_generation(&mut self) -> u64 {
+        self.next_pull_generation += 1;
+        self.next_pull_generation
     }
 
     /// Allocate a sender-side large handle.
@@ -193,24 +242,28 @@ mod tests {
             bytes_done: 0,
             channel: 0,
             pending_copies: vec![
-                (
-                    CopyHandle {
+                PendingCopy {
+                    handle: CopyHandle {
                         channel: 0,
                         cookie: 0,
                         finish: Ps::us(1),
                     },
-                    1,
-                ),
-                (
-                    CopyHandle {
+                    skbs: 1,
+                    bytes: 4096,
+                },
+                PendingCopy {
+                    handle: CopyHandle {
                         channel: 0,
                         cookie: 1,
                         finish: Ps::us(3),
                     },
-                    1,
-                ),
+                    skbs: 1,
+                    bytes: 4096,
+                },
             ],
             last_progress: Ps::ZERO,
+            generation: 1,
+            rto: Ps::us(500),
         };
         assert_eq!(p.block_of(0, 8), 0);
         assert_eq!(p.block_of(8, 8), 1);
@@ -223,5 +276,64 @@ mod tests {
         assert!(p.pending_copies.is_empty());
         p.frag_seen.iter_mut().for_each(|b| *b = true);
         assert!(p.all_arrived());
+    }
+
+    #[test]
+    fn take_stuck_extracts_past_deadline_copies() {
+        let pc = |cookie: u64, finish: Ps| PendingCopy {
+            handle: CopyHandle {
+                channel: 0,
+                cookie,
+                finish,
+            },
+            skbs: 1,
+            bytes: 4096,
+        };
+        let mut p = PullState {
+            ep: EpIdx(0),
+            req: ReqId(1),
+            src: EpAddr {
+                node: NodeId(1),
+                ep: EpIdx(0),
+            },
+            sender_handle: 1,
+            msg_seq: 0,
+            msg_len: 64 << 10,
+            frags_total: 16,
+            frag_seen: vec![false; 16],
+            block_remaining: vec![8, 8],
+            next_block: 2,
+            bytes_done: 0,
+            channel: 0,
+            pending_copies: vec![pc(0, Ps::us(10)), pc(1, omx_hw::ioat::STALLED_FOREVER)],
+            last_progress: Ps::ZERO,
+            generation: 1,
+            rto: Ps::us(500),
+        };
+        // A deadline beyond every completion finds nothing stuck.
+        let stuck = p.take_stuck(Ps::us(5), Ps::secs(7200));
+        assert!(stuck.is_empty());
+        assert_eq!(p.pending_copies.len(), 2);
+        // The never-finishing copy trips the deadline; the healthy one
+        // stays pending.
+        let stuck = p.take_stuck(Ps::us(6), Ps::ms(2));
+        assert_eq!(stuck.len(), 1);
+        assert_eq!(stuck[0].handle.cookie, 1);
+        assert_eq!(p.pending_copies.len(), 1);
+        assert_eq!(p.pending_copies[0].handle.cookie, 0);
+    }
+
+    #[test]
+    fn pull_handles_wrap_and_generations_do_not() {
+        let mut d = Driver::new();
+        d.next_pull_handle = u32::MAX - 1;
+        let a = d.alloc_pull_handle();
+        let b = d.alloc_pull_handle();
+        let c = d.alloc_pull_handle();
+        assert_eq!(a, u32::MAX);
+        assert_eq!(b, 0, "handle namespace wraps");
+        assert_eq!(c, 1);
+        assert_eq!(d.alloc_pull_generation(), 1);
+        assert_eq!(d.alloc_pull_generation(), 2);
     }
 }

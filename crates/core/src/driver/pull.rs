@@ -12,7 +12,7 @@
 //! retransmission timeout.
 
 use crate::cluster::Cluster;
-use crate::driver::PullState;
+use crate::driver::{PendingCopy, PullState};
 use crate::events::Event;
 use crate::proto::Packet;
 use crate::{EpAddr, NodeId, ReqId};
@@ -84,8 +84,12 @@ impl Cluster {
             .map(|b| (frags_total - b * bf).min(bf))
             .collect();
         let handle = self.node_mut(node).driver.alloc_pull_handle();
-        let channel = self.node_mut(node).ioat.pick_channel_rr();
+        let generation = self.node_mut(node).driver.alloc_pull_generation();
+        // Prefer a channel that is not quarantined; if every channel is
+        // blacklisted the fragment path falls back to memcpy anyway.
+        let channel = self.pick_healthy_channel(node, fin);
         let first_blocks = blocks_total.min(self.p.cfg.pull_blocks_outstanding);
+        let base_rto = self.p.cfg.retransmit_timeout;
         self.node_mut(node).driver.pulls.insert(
             handle,
             PullState {
@@ -103,6 +107,8 @@ impl Cluster {
                 channel,
                 pending_copies: Vec::new(),
                 last_progress: from,
+                generation,
+                rto: base_rto,
             },
         );
         // Request the first window of blocks (driver context).
@@ -117,7 +123,7 @@ impl Cluster {
             fin = f;
             self.send_block_request(sim, node, handle, b, fin);
         }
-        self.schedule_pull_watchdog(sim, node, handle, 0, fin);
+        self.schedule_pull_watchdog(sim, node, handle, generation, 0, fin);
     }
 
     /// Build and send the PullReq for block `b` of pull `handle`.
@@ -177,6 +183,7 @@ impl Cluster {
             ep: crate::EpIdx(dst_ep),
         };
         debug_assert_eq!(tx.ep, me.ep, "pull request routed to wrong endpoint");
+        let base_rto = self.p.cfg.retransmit_timeout;
         let (dest, data) = {
             let st = self
                 .ep_mut(me)
@@ -184,11 +191,13 @@ impl Cluster {
                 .get_mut(&tx.req)
                 .expect("large send alive");
             // Pull requests are proof the receiver is making progress:
-            // reset the rendezvous retransmission deadline and the
-            // give-up budget (exhaustion must mean *consecutive*
-            // silence, not accumulated timeouts over a long transfer).
+            // reset the rendezvous retransmission deadline, the give-up
+            // budget (exhaustion must mean *consecutive* silence, not
+            // accumulated timeouts over a long transfer) and the
+            // adaptive backoff.
             st.last_activity = fin;
             st.retx_attempts = 0;
+            st.rto = base_rto;
             (st.dest, st.data.clone())
         };
         let frag = self.p.cfg.frag_size;
@@ -268,6 +277,26 @@ impl Cluster {
         let offload = self.p.cfg.offload_net_copy(msg_len, chunk_eff)
             && !self.p.cfg.ignore_bh_copy
             && !in_warm_head;
+        // Graceful degradation: a quarantined (or scheduled-dead)
+        // channel demotes this fragment to the memcpy path instead of
+        // feeding more copies to hardware known to be stuck.
+        let ch = if offload {
+            let multichannel = self.p.cfg.ioat_multichannel_split;
+            let n = self.node_mut(node);
+            if multichannel {
+                n.ioat.pick_channel_least_loaded()
+            } else {
+                channel
+            }
+        } else {
+            channel
+        };
+        let channel_ok = !offload || self.ioat_channel_usable(node, ch, now);
+        if offload && !channel_ok {
+            self.record_ioat_fallback(node, now, len);
+            self.ep_mut(me).counters.copies_fallback += 1;
+        }
+        let offload = offload && channel_ok;
         let mut fin;
         let mut copy_handle = None;
         if offload {
@@ -278,13 +307,7 @@ impl Cluster {
             self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             fin = submit_fin;
             let hw = self.p.hw.clone();
-            let multichannel = self.p.cfg.ioat_multichannel_split;
             let n = self.node_mut(node);
-            let ch = if multichannel {
-                n.ioat.pick_channel_least_loaded()
-            } else {
-                channel
-            };
             copy_handle = Some(n.ioat.submit(&hw, submit_fin, ch, len, ndesc));
             self.node_mut(node).driver.hold_skbuffs(1);
             let c = &mut self.ep_mut(me).counters;
@@ -325,7 +348,11 @@ impl Cluster {
             p.bytes_done += len;
             p.last_progress = fin;
             if let Some(h) = copy_handle {
-                p.pending_copies.push((h, 1));
+                p.pending_copies.push(PendingCopy {
+                    handle: h,
+                    skbs: 1,
+                    bytes: len,
+                });
             }
             let b = (frag_idx / bf) as usize;
             p.block_remaining[b] -= 1;
@@ -357,7 +384,10 @@ impl Cluster {
     }
 
     /// The §III-B cleanup routine: poll the DMA channel once, release
-    /// the skbuffs of completed copies.
+    /// the skbuffs of completed copies. The same poll doubles as the
+    /// stuck-channel detector: any copy whose completion lies further
+    /// than the stall deadline in the future is re-done on the CPU and
+    /// its channel quarantined.
     pub(crate) fn pull_cleanup(
         &mut self,
         sim: &mut Sim<Cluster>,
@@ -377,6 +407,7 @@ impl Cluster {
             return from;
         }
         let (_, fin) = self.run_core(node, core, from, self.p.hw.ioat_poll_cost, category::BH);
+        let fin = self.rescue_stuck_copies(node, core, recv_handle, fin);
         let freed = self
             .node_mut(node)
             .driver
@@ -385,6 +416,42 @@ impl Cluster {
             .map(|p| p.reap_completed(fin))
             .unwrap_or(0);
         self.node_mut(node).driver.release_skbuffs(freed);
+        fin
+    }
+
+    /// Completion-poll deadline handling (the dmaengine-style recovery
+    /// half of the fault model): pending copies whose completion is
+    /// further than `cfg.ioat_stall_deadline` away are declared stuck.
+    /// The driver re-does each on the CPU (the fragment data was
+    /// already applied at arrival, so this charges the memcpy time and
+    /// frees the pinned skbuffs) and quarantines the offending channel
+    /// until the re-probe cool-down expires.
+    fn rescue_stuck_copies(
+        &mut self,
+        node: NodeId,
+        core: CoreId,
+        recv_handle: u32,
+        from: Ps,
+    ) -> Ps {
+        let deadline = self.p.cfg.ioat_stall_deadline;
+        let (stuck, ep) = match self.node_mut(node).driver.pulls.get_mut(&recv_handle) {
+            Some(p) => (p.take_stuck(from, deadline), Some(p.ep)),
+            None => (Vec::new(), None),
+        };
+        let mut fin = from;
+        for pc in stuck {
+            let copy = self.bh_copy_cost(pc.bytes);
+            let (_, f) = self.run_core(node, core, fin, copy, category::BH);
+            self.metrics.busy(node.0, "bh.copy", copy);
+            fin = f;
+            self.record_ioat_fallback(node, fin, pc.bytes);
+            if let Some(ep) = ep {
+                self.ep_mut(EpAddr { node, ep }).counters.copies_fallback += 1;
+            }
+            self.node_mut(node).driver.release_skbuffs(pc.skbs);
+            let until = fin + self.p.cfg.ioat_quarantine_cooldown;
+            self.quarantine_channel(node, pc.handle.channel, until);
+        }
         fin
     }
 
@@ -399,7 +466,9 @@ impl Cluster {
         recv_handle: u32,
         from: Ps,
     ) -> Ps {
-        let mut fin = from;
+        // Rescue stuck copies first — otherwise the busy-poll below
+        // would wait for a completion that never comes.
+        let mut fin = self.rescue_stuck_copies(node, core, recv_handle, from);
         let last_finish = self
             .node(node)
             .driver
@@ -419,7 +488,7 @@ impl Cluster {
             .pulls
             .remove(&recv_handle)
             .expect("completing an existing pull");
-        let held: u64 = pull.pending_copies.iter().map(|(_, s)| s).sum();
+        let held: u64 = pull.pending_copies.iter().map(|pc| pc.skbs).sum();
         self.node_mut(node).driver.release_skbuffs(held);
         let me = EpAddr { node, ep: pull.ep };
         // Duplicate-suppress and release the pinned region.
@@ -455,31 +524,46 @@ impl Cluster {
     const MAX_PULL_STALLS: u32 = 10;
 
     /// Arm the pull watchdog: if no fragment arrives within the
-    /// retransmission timeout, run the cleanup routine (the paper ties
-    /// it to this timer too) and re-request the incomplete blocks.
+    /// (adaptive) retransmission timeout, run the cleanup routine (the
+    /// paper ties it to this timer too) and re-request the incomplete
+    /// blocks. The watchdog is stamped with the pull's generation so a
+    /// timer armed for a dead pull no-ops when its small handle
+    /// namespace is recycled by a later message.
     fn schedule_pull_watchdog(
         &mut self,
         sim: &mut Sim<Cluster>,
         node: NodeId,
         handle: u32,
+        generation: u64,
         progress_snapshot: u64,
         from: Ps,
     ) {
-        self.schedule_pull_watchdog_n(sim, node, handle, progress_snapshot, 0, from);
+        self.schedule_pull_watchdog_n(sim, node, handle, generation, progress_snapshot, 0, from);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn schedule_pull_watchdog_n(
         &mut self,
         sim: &mut Sim<Cluster>,
         node: NodeId,
         handle: u32,
+        generation: u64,
         progress_snapshot: u64,
         stalls: u32,
         from: Ps,
     ) {
-        let timeout = self.p.cfg.retransmit_timeout;
+        // The pull carries its own adaptive timeout (exponential
+        // backoff while stalled); fall back to the base timeout when
+        // the pull is already gone (the watchdog will no-op anyway).
+        let timeout = self
+            .node(node)
+            .driver
+            .pulls
+            .get(&handle)
+            .map(|p| p.rto)
+            .unwrap_or(self.p.cfg.retransmit_timeout);
         sim.schedule_at(from + timeout, move |c: &mut Cluster, s| {
-            c.pull_watchdog(s, node, handle, progress_snapshot, stalls);
+            c.pull_watchdog(s, node, handle, generation, progress_snapshot, stalls);
         });
     }
 
@@ -488,22 +572,34 @@ impl Cluster {
         sim: &mut Sim<Cluster>,
         node: NodeId,
         handle: u32,
+        generation: u64,
         progress_snapshot: u64,
         stalls: u32,
     ) {
-        let Some((bytes_done, ep)) = self
+        let Some((bytes_done, ep, gen)) = self
             .node(node)
             .driver
             .pulls
             .get(&handle)
-            .map(|p| (p.bytes_done, p.ep))
+            .map(|p| (p.bytes_done, p.ep, p.generation))
         else {
             return; // completed
         };
+        if gen != generation {
+            // The handle was recycled by a newer pull: this timer
+            // belongs to a pull that already completed. Acting on it
+            // would re-request blocks of the *new* pull off-schedule
+            // (or worse, abandon it).
+            return;
+        }
         let now = sim.now();
         if bytes_done != progress_snapshot {
-            // Progress since last check: re-arm only.
-            self.schedule_pull_watchdog_n(sim, node, handle, bytes_done, 0, now);
+            // Progress since last check: reset the backoff, re-arm.
+            let base_rto = self.p.cfg.retransmit_timeout;
+            if let Some(p) = self.node_mut(node).driver.pulls.get_mut(&handle) {
+                p.rto = base_rto;
+            }
+            self.schedule_pull_watchdog(sim, node, handle, generation, bytes_done, now);
             return;
         }
         if stalls >= Self::MAX_PULL_STALLS {
@@ -511,12 +607,26 @@ impl Cluster {
             // the simulation drains instead of spinning forever,
             // releasing any skbuffs its pending copies still held.
             if let Some(p) = self.node_mut(node).driver.pulls.remove(&handle) {
-                let held: u64 = p.pending_copies.iter().map(|(_, s)| s).sum();
+                let held: u64 = p.pending_copies.iter().map(|pc| pc.skbs).sum();
                 self.node_mut(node).driver.release_skbuffs(held);
             }
             return;
         }
-        // Stalled: cleanup + re-request every incomplete requested block.
+        // Stalled: escalate the timeout (exponential backoff with
+        // jitter keeps repeated re-requests from hammering a congested
+        // or lossy path in lockstep), then cleanup + re-request every
+        // incomplete requested block.
+        let cur = self
+            .node(node)
+            .driver
+            .pulls
+            .get(&handle)
+            .map(|p| p.rto)
+            .unwrap_or(self.p.cfg.retransmit_timeout);
+        let next_rto = self.escalate_rto(node, cur);
+        if let Some(p) = self.node_mut(node).driver.pulls.get_mut(&handle) {
+            p.rto = next_rto;
+        }
         let core = self.ep(EpAddr { node, ep }).core;
         let mut fin = self.pull_cleanup(sim, node, core, handle, now);
         let stalled: Vec<u32> = {
@@ -537,6 +647,65 @@ impl Cluster {
             fin = f;
             self.send_block_request(sim, node, handle, b, fin);
         }
-        self.schedule_pull_watchdog_n(sim, node, handle, bytes_done, stalls + 1, fin);
+        self.schedule_pull_watchdog_n(sim, node, handle, generation, bytes_done, stalls + 1, fin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterParams;
+    use crate::EpIdx;
+
+    fn pull_state(generation: u64) -> PullState {
+        PullState {
+            ep: EpIdx(0),
+            req: ReqId(1),
+            src: EpAddr {
+                node: NodeId(1),
+                ep: EpIdx(0),
+            },
+            sender_handle: 1,
+            msg_seq: 0,
+            msg_len: 64 << 10,
+            frags_total: 16,
+            frag_seen: vec![false; 16],
+            block_remaining: vec![8, 8],
+            next_block: 2,
+            bytes_done: 0,
+            channel: 0,
+            pending_copies: Vec::new(),
+            last_progress: Ps::ZERO,
+            generation,
+            rto: Ps::us(500),
+        }
+    }
+
+    /// Regression: the pull-handle namespace is a small wrapping u32,
+    /// so a watchdog armed for one pull can fire after its handle was
+    /// recycled by a newer message. Keyed by handle alone it would see
+    /// the new pull at zero progress — matching its stale snapshot —
+    /// and, with the stall budget exhausted, abandon a perfectly live
+    /// transfer. The generation stamp makes it a no-op instead.
+    #[test]
+    fn stale_watchdog_noops_when_handle_recycled() {
+        let mut c = Cluster::new(ClusterParams::default());
+        let mut sim: Sim<Cluster> = Sim::new();
+        let handle = 7;
+        c.nodes[0].driver.pulls.insert(handle, pull_state(2));
+        // The previous user of the handle ran at generation 1; its last
+        // watchdog fires with an exhausted stall budget and a progress
+        // snapshot that happens to match the new pull.
+        c.pull_watchdog(&mut sim, NodeId(0), handle, 1, 0, Cluster::MAX_PULL_STALLS);
+        assert!(
+            c.nodes[0].driver.pulls.contains_key(&handle),
+            "stale watchdog must not abandon the recycled handle's new pull"
+        );
+        // The current generation still enforces the stall bound.
+        c.pull_watchdog(&mut sim, NodeId(0), handle, 2, 0, Cluster::MAX_PULL_STALLS);
+        assert!(
+            !c.nodes[0].driver.pulls.contains_key(&handle),
+            "the live generation's exhausted watchdog still abandons"
+        );
     }
 }

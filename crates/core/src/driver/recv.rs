@@ -251,7 +251,11 @@ impl Cluster {
         fin
     }
 
-    /// Arm the eager/rendezvous retransmission timer.
+    /// Arm the eager/rendezvous retransmission timer. The timeout is
+    /// the send's *adaptive* RTO: it starts at
+    /// `cfg.retransmit_timeout` and doubles (with jitter) on every
+    /// actual retransmission, so a lossy or congested path sees
+    /// exponentially spaced re-sends instead of a fixed-period hammer.
     pub(crate) fn schedule_eager_retx(
         &mut self,
         sim: &mut Sim<Cluster>,
@@ -259,7 +263,12 @@ impl Cluster {
         req: ReqId,
         from: Ps,
     ) {
-        let timeout = self.p.cfg.retransmit_timeout;
+        let timeout = self
+            .ep(me)
+            .sends
+            .get(&req)
+            .map(|st| st.rto)
+            .unwrap_or(self.p.cfg.retransmit_timeout);
         sim.schedule_at(from + timeout, move |c: &mut Cluster, s| {
             c.eager_retx_check(s, me, req);
         });
@@ -274,7 +283,7 @@ impl Cluster {
         }
         // Recent receiver activity (pull requests) proves the transfer
         // is alive: push the deadline out instead of retransmitting.
-        let deadline = st.last_activity + self.p.cfg.retransmit_timeout;
+        let deadline = st.last_activity + st.rto;
         if sim.now() < deadline {
             sim.schedule_at(deadline, move |c: &mut Cluster, s| {
                 c.eager_retx_check(s, me, req);
@@ -289,11 +298,13 @@ impl Cluster {
             return;
         }
         let class = st.class;
-        self.ep_mut(me)
-            .sends
-            .get_mut(&req)
-            .expect("checked")
-            .retx_attempts = attempts + 1;
+        let cur_rto = st.rto;
+        let next_rto = self.escalate_rto(me.node, cur_rto);
+        {
+            let st = self.ep_mut(me).sends.get_mut(&req).expect("checked");
+            st.retx_attempts = attempts + 1;
+            st.rto = next_rto;
+        }
         self.stats.retransmissions += 1;
         self.metrics.count(me.node.0, "driver.retransmissions", 1);
         self.metrics.trace(
@@ -678,17 +689,37 @@ impl Cluster {
             let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
             self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             let hw = self.p.hw.clone();
-            let n = self.node_mut(node);
-            let ch = n.ioat.pick_channel_rr();
-            let handle = n.ioat.submit(&hw, submit_fin, ch, len, ndesc);
-            // Busy-poll until the copy completes.
-            let wait = handle.finish.saturating_sub(submit_fin) + self.p.hw.ioat_poll_cost;
-            let (_, f) = self.run_core(node, core, submit_fin, wait, category::BH);
-            self.metrics.busy(node.0, "ioat.poll_wait", wait);
-            fin = f;
-            let c = &mut self.ep_mut(me).counters;
-            c.copies_offloaded += 1;
-            c.bytes_offloaded += len;
+            let ch = self.pick_healthy_channel(node, submit_fin);
+            let handle = self
+                .node_mut(node)
+                .ioat
+                .submit(&hw, submit_fin, ch, len, ndesc);
+            if handle.finish >= omx_hw::ioat::STALLED_FOREVER {
+                // The channel died underneath the copy: busy-polling
+                // here would never return. Quarantine it and re-do the
+                // copy on the CPU.
+                let until = submit_fin + self.p.cfg.ioat_quarantine_cooldown;
+                self.quarantine_channel(node, ch, until);
+                let copy = self.bh_copy_cost(len);
+                let (_, f) = self.run_core(node, core, submit_fin, copy, category::BH);
+                self.metrics.busy(node.0, "bh.copy", copy);
+                self.metrics.count(node.0, "bh.copy_bytes", len);
+                fin = f;
+                self.record_ioat_fallback(node, fin, len);
+                let c = &mut self.ep_mut(me).counters;
+                c.copies_fallback += 1;
+                c.copies_memcpy += 1;
+                c.bytes_memcpy += len;
+            } else {
+                // Busy-poll until the copy completes.
+                let wait = handle.finish.saturating_sub(submit_fin) + self.p.hw.ioat_poll_cost;
+                let (_, f) = self.run_core(node, core, submit_fin, wait, category::BH);
+                self.metrics.busy(node.0, "ioat.poll_wait", wait);
+                fin = f;
+                let c = &mut self.ep_mut(me).counters;
+                c.copies_offloaded += 1;
+                c.bytes_offloaded += len;
+            }
         } else {
             let copy = self.bh_copy_cost(len);
             work += copy;
@@ -884,6 +915,7 @@ impl Cluster {
         let Some(req) = found else {
             return fin; // already reaped
         };
+        let base_rto = self.p.cfg.retransmit_timeout;
         let (class, completed) = {
             let st = self.ep_mut(me).sends.get_mut(&req).expect("just found");
             if matches!(st.class, MsgClass::Large) {
@@ -894,6 +926,7 @@ impl Cluster {
                 // running (it is also what recovers a lost Notify).
                 st.last_activity = fin;
                 st.retx_attempts = 0;
+                st.rto = base_rto;
                 return fin;
             }
             st.acked = true;

@@ -317,13 +317,19 @@ impl Cluster {
             let first_desc_at = fin + self.p.hw.ioat_submit_cpu;
             let hw = self.p.hw.clone();
             let multichannel = self.p.cfg.ioat_multichannel_split;
-            let handle_finish = {
+            let single_ch = if multichannel {
+                0
+            } else {
+                self.pick_healthy_channel(node, first_desc_at)
+            };
+            let (handle_finish, stalled_channels) = {
                 let n = self.node_mut(node);
                 if multichannel {
                     // Split across all channels; completion is the max.
                     let channels = n.ioat.num_channels() as u64;
                     let per = msg_len / channels;
                     let mut finish = first_desc_at;
+                    let mut stalled = Vec::new();
                     for ch in 0..channels as usize {
                         let bytes = if ch as u64 == channels - 1 {
                             msg_len - per * (channels - 1)
@@ -332,15 +338,20 @@ impl Cluster {
                         };
                         let nd = IoatEngine::descriptors_for(bytes, hw.page_size);
                         let h = n.ioat.submit(&hw, first_desc_at, ch, bytes, nd);
+                        if h.finish >= omx_hw::ioat::STALLED_FOREVER {
+                            stalled.push(ch);
+                        }
                         finish = finish.max(h.finish);
                     }
-                    finish
+                    (finish, stalled)
                 } else {
-                    let ch = n.ioat.pick_channel_rr();
-                    n.ioat
-                        .submit(&hw, first_desc_at, ch, msg_len, ndesc)
-                        .finish
-                        .max(submit_fin)
+                    let h = n.ioat.submit(&hw, first_desc_at, single_ch, msg_len, ndesc);
+                    let stalled = if h.finish >= omx_hw::ioat::STALLED_FOREVER {
+                        vec![single_ch]
+                    } else {
+                        Vec::new()
+                    };
+                    (h.finish.max(submit_fin), stalled)
                 }
             };
             // The offloaded copy bypasses caches: stale destination
@@ -352,41 +363,70 @@ impl Cluster {
             // so repeated transfers of the same buffers pin for free).
             self.ep_mut(me).regions.release(reg_src.region);
             self.ep_mut(me).regions.release(reg_dst.region);
-            let done = match self.p.cfg.sync_wait {
-                SyncWaitPolicy::BusyPoll => {
-                    let wait = handle_finish.saturating_sub(submit_fin) + self.p.hw.ioat_poll_cost;
-                    let (_, f) = self.run_core(node, core, submit_fin, wait, category::DRIVER);
-                    self.metrics.busy(node.0, "ioat.poll_wait", wait);
-                    f
+            let done = if !stalled_channels.is_empty() {
+                // The engine died underneath the copy: both wait
+                // policies below would wait forever. Quarantine the
+                // dead channel(s) and re-do the copy on the CPU (the
+                // predictor is *not* fed — a fallback memcpy says
+                // nothing about healthy-channel copy latency).
+                let cooldown = self.p.cfg.ioat_quarantine_cooldown;
+                for ch in stalled_channels {
+                    self.quarantine_channel(node, ch, submit_fin + cooldown);
                 }
-                SyncWaitPolicy::SleepPredicted => {
-                    // Sleep until the predicted completion, then poll;
-                    // busy-poll any remainder (extension, §VI).
-                    let predicted = {
-                        let n = self.node_mut(node);
-                        submit_fin + n.predictor.predict(msg_len)
-                    };
-                    let wake = predicted.max(submit_fin);
-                    let f = if wake >= handle_finish {
-                        let (_, f) = self.run_core(
-                            node,
-                            core,
-                            wake,
-                            self.p.hw.ioat_poll_cost,
-                            category::DRIVER,
-                        );
-                        self.metrics
-                            .busy(node.0, "ioat.poll_wait", self.p.hw.ioat_poll_cost);
-                        f
-                    } else {
-                        let wait = handle_finish.saturating_sub(wake) + self.p.hw.ioat_poll_cost;
-                        let (_, f) = self.run_core(node, core, wake, wait, category::DRIVER);
+                self.record_ioat_fallback(node, submit_fin, msg_len);
+                {
+                    // The copy ends up on the CPU after all: move the
+                    // bytes from the offload counters to the memcpy
+                    // counters so `omx_counters` reflects what ran.
+                    let c = &mut self.ep_mut(me).counters;
+                    c.copies_offloaded -= 1;
+                    c.bytes_offloaded -= msg_len;
+                    c.copies_fallback += 1;
+                    c.copies_memcpy += 1;
+                    c.bytes_memcpy += msg_len;
+                }
+                let cost = self.shm_memcpy_cost(node, core, src_core, src_tag, dst_tag, msg_len);
+                let (_, f) = self.run_core(node, core, submit_fin, cost, category::DRIVER);
+                f
+            } else {
+                match self.p.cfg.sync_wait {
+                    SyncWaitPolicy::BusyPoll => {
+                        let wait =
+                            handle_finish.saturating_sub(submit_fin) + self.p.hw.ioat_poll_cost;
+                        let (_, f) = self.run_core(node, core, submit_fin, wait, category::DRIVER);
                         self.metrics.busy(node.0, "ioat.poll_wait", wait);
                         f
-                    };
-                    let actual = handle_finish.saturating_sub(submit_fin);
-                    self.node_mut(node).predictor.observe(msg_len, actual);
-                    f
+                    }
+                    SyncWaitPolicy::SleepPredicted => {
+                        // Sleep until the predicted completion, then poll;
+                        // busy-poll any remainder (extension, §VI).
+                        let predicted = {
+                            let n = self.node_mut(node);
+                            submit_fin + n.predictor.predict(msg_len)
+                        };
+                        let wake = predicted.max(submit_fin);
+                        let f = if wake >= handle_finish {
+                            let (_, f) = self.run_core(
+                                node,
+                                core,
+                                wake,
+                                self.p.hw.ioat_poll_cost,
+                                category::DRIVER,
+                            );
+                            self.metrics
+                                .busy(node.0, "ioat.poll_wait", self.p.hw.ioat_poll_cost);
+                            f
+                        } else {
+                            let wait =
+                                handle_finish.saturating_sub(wake) + self.p.hw.ioat_poll_cost;
+                            let (_, f) = self.run_core(node, core, wake, wait, category::DRIVER);
+                            self.metrics.busy(node.0, "ioat.poll_wait", wait);
+                            f
+                        };
+                        let actual = handle_finish.saturating_sub(submit_fin);
+                        self.node_mut(node).predictor.observe(msg_len, actual);
+                        f
+                    }
                 }
             };
             fin = done;

@@ -49,6 +49,10 @@ pub struct SendState {
     /// Last proof of life from the receiver for this request (pull
     /// requests reset it); the retransmission timer keys off this.
     pub last_activity: omx_sim::Ps,
+    /// Current adaptive retransmission timeout: starts at
+    /// `cfg.retransmit_timeout`, doubles (with jitter) on every
+    /// retransmission up to `cfg.rto_max`, resets on peer liveness.
+    pub rto: omx_sim::Ps,
 }
 
 /// An outstanding receive request.

@@ -77,6 +77,29 @@ impl ComponentBreakdown {
     }
 }
 
+/// End-of-run hygiene shared by every harness: whether the wire stayed
+/// clean enough to call the run `verified`, and the leak detectors.
+///
+/// Returns `(clean_wire, end_skbuffs_held, end_pinned_regions)`.
+/// `clean_wire` is `true` when the configuration deliberately injects
+/// faults (drops are then expected and recovery is what is being
+/// tested) or when no frame was lost to ring overflow or FCS
+/// corruption. The two leak counters must read zero after a drained
+/// run — any held skbuff or (with the registration cache disabled)
+/// pinned region is driver state that escaped cleanup.
+pub fn drain_check(cluster: &Cluster) -> (bool, u64, u64) {
+    let clean_wire = cluster.p.cfg.fault_injection_active()
+        || (cluster.stats.frames_ring_dropped == 0 && cluster.stats.frames_corrupt_dropped == 0);
+    let end_skbuffs_held = cluster.nodes.iter().map(|n| n.driver.skbuffs_held).sum();
+    let end_pinned_regions = cluster
+        .nodes
+        .iter()
+        .flat_map(|n| n.endpoints.iter())
+        .map(|e| e.regions.pinned_count() as u64)
+        .sum();
+    (clean_wire, end_skbuffs_held, end_pinned_regions)
+}
+
 /// The message-size sweep used by the paper's throughput figures
 /// (16 B … `max` by powers of two).
 pub fn size_sweep(max: u64) -> Vec<u64> {

@@ -81,13 +81,25 @@ pub struct PingPongResult {
     pub half_rtt: Summary,
     /// IMB-convention throughput: size / median half-RTT, in MiB/s.
     pub throughput_mibs: f64,
-    /// Whether every received payload matched its expected pattern and
-    /// no send was aborted by retransmission exhaustion.
+    /// Whether every received payload matched its expected pattern, no
+    /// send was aborted by retransmission exhaustion and — unless the
+    /// configuration deliberately injects faults — the wire stayed
+    /// clean (no ring or FCS drops).
     pub verified: bool,
     /// Simulation end time.
     pub end_time: Ps,
     /// Per-component time accounting over the whole run.
     pub breakdown: super::ComponentBreakdown,
+    /// Aggregate cluster counters at the end of the run, fault and
+    /// recovery events included.
+    pub stats: crate::cluster::Stats,
+    /// Skbuffs still held by pending copies after the run drained
+    /// (leak detector: must be zero).
+    pub end_skbuffs_held: u64,
+    /// Pinned regions still registered at the end, summed over every
+    /// endpoint (with the registration cache disabled this must be
+    /// zero).
+    pub end_pinned_regions: u64,
 }
 
 fn pattern(iter: u32, size: u64) -> Vec<u8> {
@@ -235,13 +247,17 @@ pub fn run_pingpong(cfg: PingPongConfig) -> PingPongResult {
     let halves: Vec<Ps> = sh.rtts.iter().map(|r| *r / 2).collect();
     let half_rtt = Summary::of(&halves).expect("at least one iteration");
     let throughput_mibs = cfg.size as f64 / half_rtt.median.as_secs_f64() / (1u64 << 20) as f64;
+    let (clean_wire, end_skbuffs_held, end_pinned_regions) = super::drain_check(&cluster);
     PingPongResult {
         rtts: sh.rtts.clone(),
         half_rtt,
         throughput_mibs,
-        verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0,
+        verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0 && clean_wire,
         end_time,
         breakdown: super::ComponentBreakdown::from_cluster(&cluster, end_time),
+        stats: cluster.stats.clone(),
+        end_skbuffs_held,
+        end_pinned_regions,
     }
 }
 

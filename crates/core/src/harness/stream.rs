@@ -58,8 +58,10 @@ pub struct StreamResult {
     pub user_util: f64,
     /// Achieved stream throughput in MiB/s.
     pub throughput_mibs: f64,
-    /// Whether every payload matched its pattern and no send was
-    /// aborted by retransmission exhaustion.
+    /// Whether every payload matched its pattern, no send was aborted
+    /// by retransmission exhaustion and — unless the configuration
+    /// deliberately injects faults — the wire stayed clean (no ring or
+    /// FCS drops).
     pub verified: bool,
     /// Peak skbuffs held by pending I/OAT copies on the receiver (the
     /// §III-B resource bound).
@@ -68,6 +70,16 @@ pub struct StreamResult {
     pub elapsed: Ps,
     /// Per-component time accounting over the stream window.
     pub breakdown: super::ComponentBreakdown,
+    /// Aggregate cluster counters at the end of the run, fault and
+    /// recovery events included.
+    pub stats: crate::cluster::Stats,
+    /// Skbuffs still held by pending copies after the run drained
+    /// (leak detector: must be zero).
+    pub end_skbuffs_held: u64,
+    /// Pinned regions still registered at the end, summed over every
+    /// endpoint (with the registration cache disabled this must be
+    /// zero).
+    pub end_pinned_regions: u64,
 }
 
 fn pattern(i: u32, size: u64) -> Vec<u8> {
@@ -187,15 +199,20 @@ pub fn run_stream(cfg: StreamConfig) -> StreamResult {
     let meter = recv_node.cpus.merged_meter();
     let util = |cat: &str| meter.total(cat).as_ps() as f64 / horizon.as_ps() as f64;
     let bytes = cfg.size * cfg.count as u64;
+    let max_skbuffs_held = recv_node.driver.skbuffs_held_max;
+    let (clean_wire, end_skbuffs_held, end_pinned_regions) = super::drain_check(&cluster);
     StreamResult {
         bh_util: util(category::BH) + util(category::IRQ),
         driver_util: util(category::DRIVER),
         user_util: util(category::USER_LIB),
         throughput_mibs: bytes as f64 / horizon.as_secs_f64() / (1u64 << 20) as f64,
-        verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0,
-        max_skbuffs_held: recv_node.driver.skbuffs_held_max,
+        verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0 && clean_wire,
+        max_skbuffs_held,
         elapsed,
         breakdown: super::ComponentBreakdown::from_cluster(&cluster, horizon),
+        stats: cluster.stats.clone(),
+        end_skbuffs_held,
+        end_pinned_regions,
     }
 }
 

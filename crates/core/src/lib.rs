@@ -33,6 +33,7 @@ pub mod counters;
 pub mod driver;
 pub mod endpoint;
 pub mod events;
+pub mod fault;
 pub mod harness;
 pub mod libproc;
 pub mod matching;

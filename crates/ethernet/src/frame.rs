@@ -37,6 +37,10 @@ pub struct EthFrame {
     /// Payload bytes (protocol header + data). `Bytes` so queueing a
     /// frame never copies payload data.
     pub payload: Bytes,
+    /// Whether the frame check sequence was damaged in flight (fault
+    /// injection). The receiving NIC verifies the FCS in hardware and
+    /// discards such frames without consuming an RX ring slot.
+    pub fcs_corrupt: bool,
 }
 
 impl EthFrame {
@@ -54,6 +58,7 @@ impl EthFrame {
             dst,
             ethertype: ETHERTYPE_OMX,
             payload,
+            fcs_corrupt: false,
         }
     }
 

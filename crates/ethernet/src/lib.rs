@@ -15,18 +15,22 @@
 //! * [`link`] — a unidirectional 10 GbE link as a FIFO server at the
 //!   9953 Mbit/s effective data rate the paper quotes,
 //! * [`bh`] — per-core bottom-half (softirq) queues with a NAPI-style
-//!   budget.
+//!   budget,
+//! * [`fault`] — per-link fault injection (Gilbert–Elliott bursty
+//!   loss, FCS corruption, duplication, bounded reordering).
 //!
 //! Like `omx-hw`, everything is pure state + cost functions returning
 //! times and actions; the `open-mx` cluster world does the scheduling.
 
 pub mod bh;
+pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod nic;
 pub mod skbuff;
 
 pub use bh::BottomHalfQueue;
+pub use fault::{FrameDisposition, LinkFaultParams, LinkFaultState};
 pub use frame::EthFrame;
 pub use link::{Link, LinkParams};
 pub use nic::{Nic, NicParams};

@@ -97,6 +97,14 @@ impl Link {
         self.server.busy_until()
     }
 
+    /// Wire serialization time of one frame at this link's rate. The
+    /// fault injector uses multiples of this as the hold-back unit for
+    /// reordered frames, so "reorder depth k" means "overtaken by up
+    /// to k same-sized frames".
+    pub fn serialization_time(&self, frame: &EthFrame) -> Ps {
+        self.params.rate.time_for(frame.wire_bytes())
+    }
+
     /// Frames sent so far.
     pub fn frames_sent(&self) -> u64 {
         self.frames

@@ -50,6 +50,10 @@ pub enum RxOutcome {
     /// RX ring had no free skbuff: the frame is gone (upper layers
     /// recover via retransmission).
     DroppedRingFull,
+    /// Hardware FCS check failed: the frame is discarded before it
+    /// consumes a ring slot. Counted separately from ring drops so
+    /// wire corruption and host overload are distinguishable.
+    DroppedCorrupt,
 }
 
 /// NIC receive-side state.
@@ -62,6 +66,7 @@ pub struct Nic {
     last_irq: Option<Ps>,
     frames_received: u64,
     frames_dropped: u64,
+    frames_corrupt_dropped: u64,
     metrics: Metrics,
     scope: u32,
 }
@@ -76,6 +81,7 @@ impl Nic {
             last_irq: None,
             frames_received: 0,
             frames_dropped: 0,
+            frames_corrupt_dropped: 0,
             metrics: Metrics::disabled(),
             scope: 0,
         }
@@ -96,6 +102,19 @@ impl Nic {
     /// A frame finished arriving at `now`. On success returns the
     /// filled skbuff and the required host action.
     pub fn receive(&mut self, now: Ps, frame: &EthFrame) -> (Option<Skbuff>, RxOutcome) {
+        if frame.fcs_corrupt {
+            self.frames_corrupt_dropped += 1;
+            self.metrics.count(self.scope, "nic.corrupt_drops", 1);
+            self.metrics.trace(
+                now,
+                self.scope,
+                "nic",
+                "corrupt_drop",
+                frame.payload_len(),
+                0,
+            );
+            return (None, RxOutcome::DroppedCorrupt);
+        }
         if self.pending >= self.params.rx_ring_size {
             self.frames_dropped += 1;
             self.metrics.count(self.scope, "nic.ring_drops", 1);
@@ -142,6 +161,11 @@ impl Nic {
     /// Frames dropped on ring overflow so far.
     pub fn frames_dropped(&self) -> u64 {
         self.frames_dropped
+    }
+
+    /// Frames discarded by the hardware FCS check so far.
+    pub fn frames_corrupt_dropped(&self) -> u64 {
+        self.frames_corrupt_dropped
     }
 }
 
@@ -197,6 +221,26 @@ mod tests {
         assert!(matches!(o1, RxOutcome::DeliveredWithIrq(_)));
         assert_eq!(o2, RxOutcome::DeliveredCoalesced);
         assert!(matches!(o3, RxOutcome::DeliveredWithIrq(_)));
+    }
+
+    #[test]
+    fn corrupt_frames_dropped_before_ring() {
+        let mut nic = Nic::new(NicParams {
+            rx_ring_size: 1,
+            ..NicParams::default()
+        });
+        let mut f = frame(100);
+        f.fcs_corrupt = true;
+        let (skb, out) = nic.receive(Ps::ZERO, &f);
+        assert!(skb.is_none());
+        assert_eq!(out, RxOutcome::DroppedCorrupt);
+        // FCS drops never consume a ring slot and are counted apart
+        // from ring overflow.
+        assert_eq!(nic.pending(), 0);
+        assert_eq!(nic.frames_corrupt_dropped(), 1);
+        assert_eq!(nic.frames_dropped(), 0);
+        let (skb, _) = nic.receive(Ps::ZERO, &frame(10));
+        assert!(skb.is_some());
     }
 
     #[test]

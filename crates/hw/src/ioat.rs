@@ -34,10 +34,44 @@ pub struct CopyHandle {
     pub finish: Ps,
 }
 
+/// Completion time reported for a copy caught on a permanently failed
+/// channel: far enough in the future that no simulation ever reaches
+/// it (an hour of simulated time), small enough that adding poll
+/// deadlines to it never overflows. Drivers treat any completion at or
+/// beyond this horizon as "the hardware will never answer" and fall
+/// back to CPU memcpy.
+pub const STALLED_FOREVER: Ps = Ps::secs(3600);
+
+/// Result of probing a channel's health before submitting to it
+/// (Linux dmaengine keeps the same tri-state: usable, blacklisted, or
+/// just returned from blacklist after a successful re-probe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelProbe {
+    /// Channel is usable.
+    Healthy,
+    /// Channel is quarantined; use the CPU fallback.
+    Quarantined,
+    /// Quarantine cool-down expired: this probe re-enabled the channel.
+    Reprobed,
+}
+
+/// One scheduled hardware fault on a channel: from `at`, the channel
+/// stops retiring descriptors for `duration` (`None` = forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChannelFault {
+    at: Ps,
+    until: Option<Ps>,
+}
+
 #[derive(Debug, Clone, Default)]
 struct Channel {
     server: FifoServer,
     next_cookie: u64,
+    /// Scheduled faults (injected by the test/fault plan).
+    faults: Vec<ChannelFault>,
+    /// While set, the driver has blacklisted this channel; cleared by
+    /// a successful re-probe after the cool-down expires.
+    quarantined_until: Option<Ps>,
 }
 
 /// The DMA engine: a set of FIFO channels plus submission bookkeeping.
@@ -113,6 +147,63 @@ impl IoatEngine {
         params.ioat_submit_cpu * descriptors
     }
 
+    /// Schedule a hardware fault: from `at`, `channel` stops retiring
+    /// descriptors for `duration` (`None` = the channel dies
+    /// permanently). Copies whose completion would land inside the
+    /// window are delayed past it (or forever); the driver's
+    /// completion-poll deadline turns that into a memcpy fallback.
+    pub fn inject_channel_stall(&mut self, channel: usize, at: Ps, duration: Option<Ps>) {
+        let until = duration.map(|d| at + d);
+        self.channels[channel]
+            .faults
+            .push(ChannelFault { at, until });
+    }
+
+    /// Whether any fault is scheduled anywhere (diagnostics).
+    pub fn has_injected_faults(&self) -> bool {
+        self.channels.iter().any(|c| !c.faults.is_empty())
+    }
+
+    /// Blacklist `channel` until `until` (driver-side decision after a
+    /// completion-poll deadline fired). Returns `true` when the channel
+    /// was not already quarantined — callers count that as one
+    /// quarantine event. An existing quarantine is only ever extended,
+    /// never shortened.
+    pub fn quarantine(&mut self, channel: usize, until: Ps) -> bool {
+        let existing = self.channels[channel].quarantined_until;
+        let newly = existing.is_none();
+        self.channels[channel].quarantined_until = Some(match existing {
+            Some(e) => e.max(until),
+            None => until,
+        });
+        if newly {
+            self.metrics.count(self.scope, "ioat.quarantines", 1);
+        }
+        newly
+    }
+
+    /// Probe `channel` health at `now` before submitting to it. An
+    /// expired quarantine is cleared here — the dmaengine-style
+    /// re-probe: the channel gets another chance, and if it is still
+    /// dead the next poll deadline quarantines it again.
+    pub fn probe_channel(&mut self, channel: usize, now: Ps) -> ChannelProbe {
+        match self.channels[channel].quarantined_until {
+            None => ChannelProbe::Healthy,
+            Some(until) if now < until => ChannelProbe::Quarantined,
+            Some(_) => {
+                self.channels[channel].quarantined_until = None;
+                self.metrics.count(self.scope, "ioat.reprobes", 1);
+                ChannelProbe::Reprobed
+            }
+        }
+    }
+
+    /// Whether `channel` is currently quarantined (read-only; does not
+    /// re-probe).
+    pub fn is_quarantined(&self, channel: usize, now: Ps) -> bool {
+        matches!(self.channels[channel].quarantined_until, Some(u) if now < u)
+    }
+
     /// Number of descriptors needed to copy `bytes` with chunks of at
     /// most `chunk` bytes (page-aligned splitting in practice). A
     /// zero-length copy needs no descriptor at all.
@@ -156,12 +247,31 @@ impl IoatEngine {
         // The shared memory port serializes the actual data movement
         // across channels; a copy completes when both its channel and
         // its share of the port are done.
+        let cookie = ch.next_cookie;
+        ch.next_cookie += 1;
         let (_, port_finish) = self
             .memory_port
             .admit(now, params.ioat_aggregate_rate.time_for(bytes));
-        let finish = ch_finish.max(port_finish);
-        let cookie = ch.next_cookie;
-        ch.next_cookie += 1;
+        let mut finish = ch_finish.max(port_finish);
+        // Apply scheduled hardware faults: a copy that would retire
+        // inside a stall window is pushed past it; a copy caught by a
+        // permanent failure never completes (see [`STALLED_FOREVER`]).
+        for f in &self.channels[channel].faults {
+            if finish <= f.at {
+                continue; // retires before the fault hits
+            }
+            match f.until {
+                Some(until) if now < until => {
+                    finish += until.saturating_sub(now.max(f.at));
+                    self.metrics.count(self.scope, "ioat.stalled_copies", 1);
+                }
+                Some(_) => {} // transient fault already over
+                None => {
+                    finish = finish.max(STALLED_FOREVER);
+                    self.metrics.count(self.scope, "ioat.stalled_copies", 1);
+                }
+            }
+        }
         self.bytes_copied += bytes;
         self.descriptors += descriptors;
         self.metrics.count(self.scope, "ioat.bytes", bytes);
@@ -355,5 +465,70 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_rejected() {
         IoatEngine::descriptors_for(100, 0);
+    }
+
+    #[test]
+    fn transient_stall_pushes_completions_past_window() {
+        let params = p();
+        let mut e = IoatEngine::new(&params);
+        // Channel 0 stalls from 10 µs for 100 µs.
+        e.inject_channel_stall(0, Ps::us(10), Some(Ps::us(100)));
+        assert!(e.has_injected_faults());
+        // A copy finishing before the stall is unaffected.
+        let early = e.submit(&params, Ps::ZERO, 0, 4096, 1);
+        assert!(early.finish < Ps::us(10));
+        // A copy submitted mid-window is pushed past the stall end.
+        let caught = e.submit(&params, Ps::us(50), 0, 4096, 1);
+        assert!(caught.finish >= Ps::us(110), "finish {:?}", caught.finish);
+        assert!(caught.finish < Ps::us(120));
+        // Other channels never see the fault.
+        let other = e.submit(&params, Ps::us(50), 1, 4096, 1);
+        assert!(other.finish < Ps::us(60));
+        // After the window the channel behaves normally again.
+        let late = e.submit(&params, Ps::us(200), 0, 4096, 1);
+        let expect = Ps::us(200) + params.ioat_desc_overhead + params.ioat_raw_rate.time_for(4096);
+        assert_eq!(late.finish, expect);
+    }
+
+    #[test]
+    fn permanent_failure_never_completes() {
+        let params = p();
+        let mut e = IoatEngine::new(&params);
+        e.inject_channel_stall(2, Ps::us(5), None);
+        let h = e.submit(&params, Ps::us(6), 2, 1 << 20, 256);
+        assert!(h.finish >= STALLED_FOREVER);
+        assert!(!e.is_complete(Ps::secs(60), &h));
+    }
+
+    #[test]
+    fn quarantine_blocks_then_reprobe_clears() {
+        let params = p();
+        let mut e = IoatEngine::new(&params);
+        assert_eq!(e.probe_channel(0, Ps::ZERO), ChannelProbe::Healthy);
+        assert!(e.quarantine(0, Ps::us(50)), "first quarantine is new");
+        assert!(!e.quarantine(0, Ps::us(40)), "re-quarantine not counted");
+        assert!(e.is_quarantined(0, Ps::us(10)));
+        assert_eq!(e.probe_channel(0, Ps::us(10)), ChannelProbe::Quarantined);
+        // Extension kept the *later* deadline.
+        assert!(!e.quarantine(0, Ps::us(80)));
+        assert_eq!(e.probe_channel(0, Ps::us(60)), ChannelProbe::Quarantined);
+        // Cool-down over: the probe re-enables the channel.
+        assert_eq!(e.probe_channel(0, Ps::us(80)), ChannelProbe::Reprobed);
+        assert_eq!(e.probe_channel(0, Ps::us(80)), ChannelProbe::Healthy);
+    }
+
+    #[test]
+    fn fault_metrics_are_counted() {
+        let params = p();
+        let m = Metrics::new();
+        let mut e = IoatEngine::new(&params);
+        e.attach_metrics(m.clone(), 3);
+        e.inject_channel_stall(0, Ps::ZERO, None);
+        e.submit(&params, Ps::us(1), 0, 4096, 1);
+        e.quarantine(0, Ps::us(30));
+        e.probe_channel(0, Ps::us(40));
+        assert_eq!(m.counter(3, "ioat.stalled_copies"), 1);
+        assert_eq!(m.counter(3, "ioat.quarantines"), 1);
+        assert_eq!(m.counter(3, "ioat.reprobes"), 1);
     }
 }

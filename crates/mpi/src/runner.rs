@@ -73,6 +73,20 @@ pub struct KernelResult {
     pub marks: Vec<Ps>,
     /// Per-component time accounting over the whole job.
     pub breakdown: open_mx::harness::ComponentBreakdown,
+    /// Whether no send was aborted by retransmission exhaustion and —
+    /// unless the configuration deliberately injects faults — the wire
+    /// stayed clean (no ring or FCS drops).
+    pub verified: bool,
+    /// Aggregate cluster counters at the end of the job, fault and
+    /// recovery events included.
+    pub stats: open_mx::cluster::Stats,
+    /// Skbuffs still held by pending copies after the job drained
+    /// (leak detector: must be zero).
+    pub end_skbuffs_held: u64,
+    /// Pinned regions still registered at the end, summed over every
+    /// endpoint (with the registration cache disabled this must be
+    /// zero).
+    pub end_pinned_regions: u64,
 }
 
 impl KernelResult {
@@ -215,11 +229,17 @@ pub fn run_scripts(params: ClusterParams, layout: Layout, scripts: Vec<Script>) 
     );
     let marks = sh.marks.clone();
     let time_per_iter = iter_time(&marks);
+    let (clean_wire, end_skbuffs_held, end_pinned_regions) =
+        open_mx::harness::drain_check(&cluster);
     KernelResult {
         time_per_iter,
         end,
         marks,
         breakdown: open_mx::harness::ComponentBreakdown::from_cluster(&cluster, end),
+        verified: clean_wire && cluster.stats.sends_failed == 0,
+        stats: cluster.stats.clone(),
+        end_skbuffs_held,
+        end_pinned_regions,
     }
 }
 
