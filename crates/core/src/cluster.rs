@@ -24,7 +24,7 @@ use omx_hw::{CacheModel, CoreId, CpuSet, HwParams, IoatEngine, Topology};
 use omx_mx::MxParams;
 use omx_sim::{Metrics, Ps, Sim, SplitMix64};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Everything needed to build a cluster.
 #[derive(Debug, Clone)]
@@ -128,6 +128,11 @@ pub struct Stats {
     pub ioat_reprobes: u64,
     /// Retransmission-timeout escalations (exponential backoff steps).
     pub backoff_escalations: u64,
+    /// Aggregated per-endpoint protocol counters (the `omx_counters`
+    /// equivalent), summed over every endpoint of the cluster by
+    /// [`Cluster::stats_snapshot`]; zero-valued on the live `stats`
+    /// field, which only tracks the cluster-global events above.
+    pub counters: crate::counters::Counters,
 }
 
 /// The simulation world.
@@ -137,7 +142,7 @@ pub struct Cluster {
     /// Hosts.
     pub nodes: Vec<Node>,
     /// Unidirectional links keyed by (src, dst).
-    pub links: HashMap<(u32, u32), Link>,
+    pub links: BTreeMap<(u32, u32), Link>,
     /// Applications (taken out while their callback runs).
     pub apps: Vec<Option<Box<dyn App>>>,
     /// Counters.
@@ -150,7 +155,7 @@ pub struct Cluster {
     rng: SplitMix64,
     /// Per-link fault channels, present only for links whose plan
     /// parameters are active — fault-free links never touch the RNG.
-    link_faults: HashMap<(u32, u32), LinkFaultState>,
+    link_faults: BTreeMap<(u32, u32), LinkFaultState>,
     /// Dedicated stream for retransmit-backoff jitter, derived from
     /// the seed so jitter draws never perturb the loss pattern.
     backoff_rng: SplitMix64,
@@ -176,7 +181,7 @@ impl Cluster {
         } else {
             Metrics::new()
         };
-        let mut links = HashMap::new();
+        let mut links = BTreeMap::new();
         for a in 0..p.nodes as u32 {
             for b in 0..p.nodes as u32 {
                 // The diagonal entries model the NIC's internal DMA
@@ -231,7 +236,7 @@ impl Cluster {
         // folded in as a degenerate Gilbert–Elliott channel; links
         // whose combined parameters stay inert get no state at all, so
         // a clean run draws zero fault randomness.
-        let mut link_faults = HashMap::new();
+        let mut link_faults = BTreeMap::new();
         for a in 0..p.nodes as u32 {
             for b in 0..p.nodes as u32 {
                 let lp = p
@@ -244,6 +249,9 @@ impl Cluster {
                 }
             }
         }
+        // The one place the user-supplied seed enters the simulation;
+        // every other stream derives from this root.
+        // omx-lint: allow(ad-hoc-rng) root seeding point for the run
         let rng = SplitMix64::new(seed);
         let backoff_rng = rng.derive(0xB0FF);
         Cluster {
@@ -308,6 +316,25 @@ impl Cluster {
         self.apps
             .iter()
             .all(|a| a.as_ref().map(|a| a.is_done()).unwrap_or(false))
+    }
+
+    /// The run's statistics with every endpoint's protocol counters
+    /// aggregated into [`Stats::counters`] and published to the
+    /// metrics registry (per node, as `counters.<field>` gauges).
+    ///
+    /// Harnesses call this instead of cloning `stats` so results and
+    /// serialized reports always carry the full counter set.
+    pub fn stats_snapshot(&self) -> Stats {
+        let mut stats = self.stats.clone();
+        for (scope, n) in self.nodes.iter().enumerate() {
+            let mut node_total = crate::counters::Counters::default();
+            for e in &n.endpoints {
+                node_total.merge(&e.counters);
+            }
+            node_total.publish(&self.metrics, scope as u32);
+            stats.counters.merge(&node_total);
+        }
+        stats
     }
 
     // ------------------------------------------------------------------

@@ -7,6 +7,7 @@
 //! harnesses/tests read them to assert *how* data moved, not just that
 //! it arrived.
 
+use omx_sim::Metrics;
 use serde::{Deserialize, Serialize};
 
 /// Counters of one endpoint (sender and receiver sides).
@@ -78,6 +79,73 @@ impl Counters {
     /// Sum of messages sent across classes.
     pub fn tx_messages(&self) -> u64 {
         self.tx_tiny + self.tx_small + self.tx_medium + self.tx_large + self.shm_tx
+    }
+
+    /// Accumulate another endpoint's counters into this one (the
+    /// cluster-wide aggregation behind [`crate::cluster::Stats`]).
+    ///
+    /// Every field of the struct must appear here — `omx-lint`'s D3
+    /// rule cross-checks the field list against the registry names in
+    /// [`Self::publish`].
+    pub fn merge(&mut self, o: &Counters) {
+        self.tx_tiny += o.tx_tiny;
+        self.tx_small += o.tx_small;
+        self.tx_medium += o.tx_medium;
+        self.tx_medium_frags += o.tx_medium_frags;
+        self.tx_large += o.tx_large;
+        self.tx_large_frags += o.tx_large_frags;
+        self.tx_bytes += o.tx_bytes;
+        self.rx_tiny += o.rx_tiny;
+        self.rx_small += o.rx_small;
+        self.rx_medium_frags += o.rx_medium_frags;
+        self.rx_large_frags += o.rx_large_frags;
+        self.rx_rndv += o.rx_rndv;
+        self.rx_bytes += o.rx_bytes;
+        self.copies_memcpy += o.copies_memcpy;
+        self.copies_offloaded += o.copies_offloaded;
+        self.copies_fallback += o.copies_fallback;
+        self.bytes_memcpy += o.bytes_memcpy;
+        self.bytes_offloaded += o.bytes_offloaded;
+        self.shm_tx += o.shm_tx;
+        self.shm_pulls += o.shm_pulls;
+        self.events += o.events;
+        self.unexpected += o.unexpected;
+        self.regcache_hits += o.regcache_hits;
+        self.regcache_misses += o.regcache_misses;
+    }
+
+    /// Register every counter with the metrics registry under
+    /// `scope` as an idempotent gauge named `counters.<field>`.
+    ///
+    /// This is what makes the counters visible to the observability
+    /// layer next to the busy/trace series; `omx-lint` (rule D3)
+    /// requires one registry name per public field of this struct.
+    pub fn publish(&self, metrics: &Metrics, scope: u32) {
+        let g = |name: &'static str, v: u64| metrics.gauge_set(scope, name, v as i64);
+        g("counters.tx_tiny", self.tx_tiny);
+        g("counters.tx_small", self.tx_small);
+        g("counters.tx_medium", self.tx_medium);
+        g("counters.tx_medium_frags", self.tx_medium_frags);
+        g("counters.tx_large", self.tx_large);
+        g("counters.tx_large_frags", self.tx_large_frags);
+        g("counters.tx_bytes", self.tx_bytes);
+        g("counters.rx_tiny", self.rx_tiny);
+        g("counters.rx_small", self.rx_small);
+        g("counters.rx_medium_frags", self.rx_medium_frags);
+        g("counters.rx_large_frags", self.rx_large_frags);
+        g("counters.rx_rndv", self.rx_rndv);
+        g("counters.rx_bytes", self.rx_bytes);
+        g("counters.copies_memcpy", self.copies_memcpy);
+        g("counters.copies_offloaded", self.copies_offloaded);
+        g("counters.copies_fallback", self.copies_fallback);
+        g("counters.bytes_memcpy", self.bytes_memcpy);
+        g("counters.bytes_offloaded", self.bytes_offloaded);
+        g("counters.shm_tx", self.shm_tx);
+        g("counters.shm_pulls", self.shm_pulls);
+        g("counters.events", self.events);
+        g("counters.unexpected", self.unexpected);
+        g("counters.regcache_hits", self.regcache_hits);
+        g("counters.regcache_misses", self.regcache_misses);
     }
 }
 

@@ -16,6 +16,7 @@ use bytes::Bytes;
 use omx_hw::cpu::category;
 use omx_hw::ioat::CopyHandle;
 use omx_hw::{CoreId, IoatEngine};
+use omx_sim::sanitize::SimSanitizer;
 use omx_sim::{Ps, Sim};
 
 /// Driver-side reassembly of one medium message under kernel matching.
@@ -179,6 +180,12 @@ impl Cluster {
             .kmatch
             .remove(&key)
             .expect("present");
+        // The busy-poll above waited out the latest finish time, so
+        // every pending descriptor is done: reap them.
+        for h in &asm.pending {
+            SimSanitizer::complete(h.san);
+            SimSanitizer::release(h.san);
+        }
         self.node_mut(node)
             .driver
             .release_skbuffs(asm.pending.len() as u64);

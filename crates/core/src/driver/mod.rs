@@ -13,8 +13,9 @@ pub mod shm;
 
 use crate::{EpAddr, EpIdx, ReqId};
 use omx_hw::ioat::CopyHandle;
+use omx_sim::sanitize::{Kind, SimSanitizer, Token};
 use omx_sim::Ps;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One outstanding asynchronous receive copy: its completion handle,
 /// the skbuffs it pins and the bytes it moves (needed to re-do the
@@ -68,9 +69,62 @@ pub struct PullState {
     /// the pull is stalled, reset to `cfg.retransmit_timeout` on
     /// progress).
     pub rto: Ps,
+    /// Lifecycle sanitizer token: submitted at construction,
+    /// completed and released by `finish_pull`, released by the
+    /// abandoning watchdog (zero-sized in release builds).
+    san: Token,
 }
 
 impl PullState {
+    /// The checked constructor: a pull starts with no fragments seen,
+    /// no bytes landed and no pending copies, and its lifecycle token
+    /// is minted (and submitted — the pull is immediately in flight)
+    /// with the caller as the allocation site.
+    #[allow(clippy::too_many_arguments)]
+    #[track_caller]
+    pub fn new(
+        ep: EpIdx,
+        req: ReqId,
+        src: EpAddr,
+        sender_handle: u32,
+        msg_seq: u32,
+        msg_len: u64,
+        frags_total: u32,
+        block_remaining: Vec<u32>,
+        next_block: u32,
+        channel: usize,
+        last_progress: Ps,
+        generation: u64,
+        rto: Ps,
+    ) -> PullState {
+        let san = SimSanitizer::alloc(Kind::PullHandle);
+        SimSanitizer::submit(san);
+        PullState {
+            ep,
+            req,
+            src,
+            sender_handle,
+            msg_seq,
+            msg_len,
+            frags_total,
+            frag_seen: vec![false; frags_total as usize],
+            block_remaining,
+            next_block,
+            bytes_done: 0,
+            channel,
+            pending_copies: Vec::new(),
+            last_progress,
+            generation,
+            rto,
+            san,
+        }
+    }
+
+    /// The lifecycle token.
+    pub fn token(&self) -> Token {
+        self.san
+    }
+
     /// Fragments per block for this pull.
     pub fn block_of(&self, frag_idx: u32, block_frags: u32) -> u32 {
         frag_idx / block_frags
@@ -88,6 +142,10 @@ impl PullState {
         self.pending_copies.retain(|pc| {
             if pc.handle.finish <= now {
                 freed += pc.skbs;
+                // The hardware retired this descriptor and the driver
+                // observed it — exactly once.
+                SimSanitizer::complete(pc.handle.san);
+                SimSanitizer::release(pc.handle.san);
                 false
             } else {
                 true
@@ -110,6 +168,10 @@ impl PullState {
         let mut stuck = Vec::new();
         self.pending_copies.retain(|pc| {
             if pc.handle.finish > horizon {
+                // The descriptor is abandoned without ever completing
+                // (the channel died; the caller re-does the copy on
+                // the CPU).
+                SimSanitizer::release(pc.handle.san);
                 stuck.push(*pc);
                 false
             } else {
@@ -136,9 +198,9 @@ pub struct TxLargeState {
 #[derive(Debug, Default)]
 pub struct Driver {
     /// Receiver-side pulls by receiver handle.
-    pub pulls: HashMap<u32, PullState>,
+    pub pulls: BTreeMap<u32, PullState>,
     /// Sender-side large sends by sender handle.
-    pub tx_large: HashMap<u32, TxLargeState>,
+    pub tx_large: BTreeMap<u32, TxLargeState>,
     /// Next receiver pull handle.
     pub next_pull_handle: u32,
     /// Monotone generation counter stamped onto every new pull, so a
@@ -154,7 +216,7 @@ pub struct Driver {
     pub skbuffs_held_max: u64,
     /// Kernel-matching medium reassemblies (extension), keyed by
     /// (receiving endpoint, sender, sequence).
-    pub kmatch: HashMap<(EpIdx, EpAddr, u32), kmatch::KernelAssembly>,
+    pub kmatch: BTreeMap<(EpIdx, EpAddr, u32), kmatch::KernelAssembly>,
 }
 
 impl Driver {
@@ -201,6 +263,42 @@ mod tests {
     use super::*;
     use crate::NodeId;
 
+    /// A submitted I/OAT handle for lifecycle-accurate tests.
+    fn handle(cookie: u64, finish: Ps) -> CopyHandle {
+        let san = SimSanitizer::alloc(Kind::IoatDescriptor);
+        SimSanitizer::submit(san);
+        CopyHandle {
+            channel: 0,
+            cookie,
+            finish,
+            san,
+        }
+    }
+
+    fn pull_state() -> PullState {
+        let mut p = PullState::new(
+            EpIdx(0),
+            ReqId(1),
+            EpAddr {
+                node: NodeId(1),
+                ep: EpIdx(0),
+            },
+            1,
+            0,
+            64 << 10,
+            16,
+            vec![8, 8],
+            2,
+            0,
+            Ps::ZERO,
+            1,
+            Ps::us(500),
+        );
+        assert_eq!(p.frag_seen.len(), 16);
+        p.bytes_done = 0;
+        p
+    }
+
     #[test]
     fn handles_are_unique() {
         let mut d = Driver::new();
@@ -225,46 +323,19 @@ mod tests {
 
     #[test]
     fn pull_state_block_and_reap() {
-        let mut p = PullState {
-            ep: EpIdx(0),
-            req: ReqId(1),
-            src: EpAddr {
-                node: NodeId(1),
-                ep: EpIdx(0),
+        let mut p = pull_state();
+        p.pending_copies = vec![
+            PendingCopy {
+                handle: handle(0, Ps::us(1)),
+                skbs: 1,
+                bytes: 4096,
             },
-            sender_handle: 1,
-            msg_seq: 0,
-            msg_len: 64 << 10,
-            frags_total: 16,
-            frag_seen: vec![false; 16],
-            block_remaining: vec![8, 8],
-            next_block: 2,
-            bytes_done: 0,
-            channel: 0,
-            pending_copies: vec![
-                PendingCopy {
-                    handle: CopyHandle {
-                        channel: 0,
-                        cookie: 0,
-                        finish: Ps::us(1),
-                    },
-                    skbs: 1,
-                    bytes: 4096,
-                },
-                PendingCopy {
-                    handle: CopyHandle {
-                        channel: 0,
-                        cookie: 1,
-                        finish: Ps::us(3),
-                    },
-                    skbs: 1,
-                    bytes: 4096,
-                },
-            ],
-            last_progress: Ps::ZERO,
-            generation: 1,
-            rto: Ps::us(500),
-        };
+            PendingCopy {
+                handle: handle(1, Ps::us(3)),
+                skbs: 1,
+                bytes: 4096,
+            },
+        ];
         assert_eq!(p.block_of(0, 8), 0);
         assert_eq!(p.block_of(8, 8), 1);
         assert!(!p.all_arrived());
@@ -281,35 +352,12 @@ mod tests {
     #[test]
     fn take_stuck_extracts_past_deadline_copies() {
         let pc = |cookie: u64, finish: Ps| PendingCopy {
-            handle: CopyHandle {
-                channel: 0,
-                cookie,
-                finish,
-            },
+            handle: handle(cookie, finish),
             skbs: 1,
             bytes: 4096,
         };
-        let mut p = PullState {
-            ep: EpIdx(0),
-            req: ReqId(1),
-            src: EpAddr {
-                node: NodeId(1),
-                ep: EpIdx(0),
-            },
-            sender_handle: 1,
-            msg_seq: 0,
-            msg_len: 64 << 10,
-            frags_total: 16,
-            frag_seen: vec![false; 16],
-            block_remaining: vec![8, 8],
-            next_block: 2,
-            bytes_done: 0,
-            channel: 0,
-            pending_copies: vec![pc(0, Ps::us(10)), pc(1, omx_hw::ioat::STALLED_FOREVER)],
-            last_progress: Ps::ZERO,
-            generation: 1,
-            rto: Ps::us(500),
-        };
+        let mut p = pull_state();
+        p.pending_copies = vec![pc(0, Ps::us(10)), pc(1, omx_hw::ioat::STALLED_FOREVER)];
         // A deadline beyond every completion finds nothing stuck.
         let stuck = p.take_stuck(Ps::us(5), Ps::secs(7200));
         assert!(stuck.is_empty());

@@ -19,6 +19,7 @@ use crate::{EpAddr, NodeId, ReqId};
 use bytes::Bytes;
 use omx_hw::cpu::category;
 use omx_hw::{CoreId, IoatEngine};
+use omx_sim::sanitize::SimSanitizer;
 use omx_sim::{Ps, Sim};
 
 impl Cluster {
@@ -92,24 +93,21 @@ impl Cluster {
         let base_rto = self.p.cfg.retransmit_timeout;
         self.node_mut(node).driver.pulls.insert(
             handle,
-            PullState {
-                ep: me.ep,
+            PullState::new(
+                me.ep,
                 req,
                 src,
                 sender_handle,
                 msg_seq,
                 msg_len,
                 frags_total,
-                frag_seen: vec![false; frags_total as usize],
                 block_remaining,
-                next_block: first_blocks,
-                bytes_done: 0,
+                first_blocks,
                 channel,
-                pending_copies: Vec::new(),
-                last_progress: from,
+                from,
                 generation,
-                rto: base_rto,
-            },
+                base_rto,
+            ),
         );
         // Request the first window of blocks (driver context).
         for b in 0..first_blocks {
@@ -490,6 +488,15 @@ impl Cluster {
             .expect("completing an existing pull");
         let held: u64 = pull.pending_copies.iter().map(|pc| pc.skbs).sum();
         self.node_mut(node).driver.release_skbuffs(held);
+        // Every remaining pending copy finished inside the busy-poll
+        // above: observe each completion exactly once, then retire the
+        // descriptors and the pull handle itself.
+        for pc in &pull.pending_copies {
+            SimSanitizer::complete(pc.handle.san);
+            SimSanitizer::release(pc.handle.san);
+        }
+        SimSanitizer::complete(pull.token());
+        SimSanitizer::release(pull.token());
         let me = EpAddr { node, ep: pull.ep };
         // Duplicate-suppress and release the pinned region.
         self.ep_mut(me).record_completed_seq(pull.src, pull.msg_seq);
@@ -609,6 +616,12 @@ impl Cluster {
             if let Some(p) = self.node_mut(node).driver.pulls.remove(&handle) {
                 let held: u64 = p.pending_copies.iter().map(|pc| pc.skbs).sum();
                 self.node_mut(node).driver.release_skbuffs(held);
+                // Abandoned without completing: the descriptors and the
+                // pull handle go straight to released.
+                for pc in &p.pending_copies {
+                    SimSanitizer::release(pc.handle.san);
+                }
+                SimSanitizer::release(p.token());
             }
             return;
         }
@@ -658,27 +671,24 @@ mod tests {
     use crate::EpIdx;
 
     fn pull_state(generation: u64) -> PullState {
-        PullState {
-            ep: EpIdx(0),
-            req: ReqId(1),
-            src: EpAddr {
+        PullState::new(
+            EpIdx(0),
+            ReqId(1),
+            EpAddr {
                 node: NodeId(1),
                 ep: EpIdx(0),
             },
-            sender_handle: 1,
-            msg_seq: 0,
-            msg_len: 64 << 10,
-            frags_total: 16,
-            frag_seen: vec![false; 16],
-            block_remaining: vec![8, 8],
-            next_block: 2,
-            bytes_done: 0,
-            channel: 0,
-            pending_copies: Vec::new(),
-            last_progress: Ps::ZERO,
+            1,
+            0,
+            64 << 10,
+            16,
+            vec![8, 8],
+            2,
+            0,
+            Ps::ZERO,
             generation,
-            rto: Ps::us(500),
-        }
+            Ps::us(500),
+        )
     }
 
     /// Regression: the pull-handle namespace is a small wrapping u32,

@@ -13,6 +13,7 @@ use omx_ethernet::Skbuff;
 use omx_hw::cpu::category;
 use omx_hw::mem::{CopyContext, MemModel};
 use omx_hw::{CoreId, Distance, IoatEngine};
+use omx_sim::sanitize::SimSanitizer;
 use omx_sim::{Ps, Sim};
 
 /// Give up retransmitting after this many attempts (a real stack would
@@ -403,6 +404,13 @@ impl Cluster {
         core: CoreId,
         skb: Skbuff,
     ) -> Ps {
+        // The protocol callback consumes the skbuff here: the payload
+        // `Bytes` are shared onward (zero-copy), but the buffer itself
+        // is recyclable the moment parsing hands out the packet. Any
+        // copies still pending against the payload are tracked by the
+        // descriptor/pull tokens, not the skbuff token.
+        SimSanitizer::complete(skb.token());
+        SimSanitizer::release(skb.token());
         let pkt = match Packet::parse(&skb.data) {
             Ok(p) => p,
             Err(e) => {
@@ -700,6 +708,9 @@ impl Cluster {
                 // copy on the CPU.
                 let until = submit_fin + self.p.cfg.ioat_quarantine_cooldown;
                 self.quarantine_channel(node, ch, until);
+                // The descriptor never completes on the dead channel:
+                // release it without a complete.
+                SimSanitizer::release(handle.san);
                 let copy = self.bh_copy_cost(len);
                 let (_, f) = self.run_core(node, core, submit_fin, copy, category::BH);
                 self.metrics.busy(node.0, "bh.copy", copy);
@@ -716,6 +727,9 @@ impl Cluster {
                 let (_, f) = self.run_core(node, core, submit_fin, wait, category::BH);
                 self.metrics.busy(node.0, "ioat.poll_wait", wait);
                 fin = f;
+                // Busy-polled to completion: reap the descriptor.
+                SimSanitizer::complete(handle.san);
+                SimSanitizer::release(handle.san);
                 let c = &mut self.ep_mut(me).counters;
                 c.copies_offloaded += 1;
                 c.bytes_offloaded += len;

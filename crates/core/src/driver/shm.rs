@@ -20,6 +20,7 @@ use omx_hw::cache::RegionKey;
 use omx_hw::cpu::category;
 use omx_hw::mem::{CopyContext, MemModel};
 use omx_hw::{Distance, IoatEngine};
+use omx_sim::sanitize::SimSanitizer;
 use omx_sim::{Ps, Sim};
 
 impl Cluster {
@@ -322,7 +323,7 @@ impl Cluster {
             } else {
                 self.pick_healthy_channel(node, first_desc_at)
             };
-            let (handle_finish, stalled_channels) = {
+            let (handle_finish, stalled_channels, descriptors) = {
                 let n = self.node_mut(node);
                 if multichannel {
                     // Split across all channels; completion is the max.
@@ -330,6 +331,7 @@ impl Cluster {
                     let per = msg_len / channels;
                     let mut finish = first_desc_at;
                     let mut stalled = Vec::new();
+                    let mut descs = Vec::new();
                     for ch in 0..channels as usize {
                         let bytes = if ch as u64 == channels - 1 {
                             msg_len - per * (channels - 1)
@@ -342,8 +344,9 @@ impl Cluster {
                             stalled.push(ch);
                         }
                         finish = finish.max(h.finish);
+                        descs.push(h.san);
                     }
-                    (finish, stalled)
+                    (finish, stalled, descs)
                 } else {
                     let h = n.ioat.submit(&hw, first_desc_at, single_ch, msg_len, ndesc);
                     let stalled = if h.finish >= omx_hw::ioat::STALLED_FOREVER {
@@ -351,7 +354,7 @@ impl Cluster {
                     } else {
                         Vec::new()
                     };
-                    (h.finish.max(submit_fin), stalled)
+                    (h.finish.max(submit_fin), stalled, vec![h.san])
                 }
             };
             // The offloaded copy bypasses caches: stale destination
@@ -368,7 +371,13 @@ impl Cluster {
                 // policies below would wait forever. Quarantine the
                 // dead channel(s) and re-do the copy on the CPU (the
                 // predictor is *not* fed — a fallback memcpy says
-                // nothing about healthy-channel copy latency).
+                // nothing about healthy-channel copy latency). Every
+                // submitted descriptor — including the healthy ones
+                // nobody will poll again — is abandoned: release
+                // without completing.
+                for san in &descriptors {
+                    SimSanitizer::release(*san);
+                }
                 let cooldown = self.p.cfg.ioat_quarantine_cooldown;
                 for ch in stalled_channels {
                     self.quarantine_channel(node, ch, submit_fin + cooldown);
@@ -389,6 +398,12 @@ impl Cluster {
                 let (_, f) = self.run_core(node, core, submit_fin, cost, category::DRIVER);
                 f
             } else {
+                // The wait below (busy-poll or sleep+poll) reaches
+                // `handle_finish`, so every descriptor completes.
+                for san in &descriptors {
+                    SimSanitizer::complete(*san);
+                    SimSanitizer::release(*san);
+                }
                 match self.p.cfg.sync_wait {
                     SyncWaitPolicy::BusyPoll => {
                         let wait =

@@ -14,7 +14,7 @@ use crate::matching::Matcher;
 use crate::region::{Region, RegionTable};
 use crate::{EpAddr, ReqId};
 use omx_hw::CoreId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An outstanding send request.
 #[derive(Debug)]
@@ -128,13 +128,13 @@ pub struct Endpoint {
     /// Registered regions (+ registration cache).
     pub regions: RegionTable,
     /// Outstanding sends.
-    pub sends: HashMap<ReqId, SendState>,
+    pub sends: BTreeMap<ReqId, SendState>,
     /// Outstanding receives.
-    pub recvs: HashMap<ReqId, RecvState>,
+    pub recvs: BTreeMap<ReqId, RecvState>,
     /// In-flight medium reassemblies keyed by (source, sequence).
-    pub assemblies: HashMap<(EpAddr, u32), MediumAssembly>,
+    pub assemblies: BTreeMap<(EpAddr, u32), MediumAssembly>,
     /// Next message sequence per destination partner.
-    pub seq_tx: HashMap<EpAddr, u32>,
+    pub seq_tx: BTreeMap<EpAddr, u32>,
     /// Application driving this endpoint (index into the cluster's app
     /// table).
     pub app: usize,
@@ -142,15 +142,15 @@ pub struct Endpoint {
     pub poll_scheduled: bool,
     /// Driver-side duplicate suppression: message sequences already
     /// fully received per partner.
-    pub completed_seqs: HashMap<EpAddr, HashSet<u32>>,
+    pub completed_seqs: BTreeMap<EpAddr, BTreeSet<u32>>,
     /// Driver-side medium reassembly progress (for ack generation):
     /// (src, seq) → fragments seen bitmap.
-    pub drv_medium: HashMap<(EpAddr, u32), Vec<bool>>,
+    pub drv_medium: BTreeMap<(EpAddr, u32), Vec<bool>>,
     /// Rendezvous announcements delivered but not yet matched to a
     /// pull: duplicates (sender retransmissions racing the library)
     /// must be dropped while the original sits in the event ring or
     /// the unexpected queue.
-    pub rndv_pending: HashSet<(EpAddr, u32)>,
+    pub rndv_pending: BTreeSet<(EpAddr, u32)>,
     /// Per-endpoint performance counters (the `omx_counters`
     /// equivalent).
     pub counters: Counters,
@@ -173,15 +173,15 @@ impl Endpoint {
             events: EventRing::new(),
             slots: SlotPool::new(recvq_slots, slot_bytes),
             regions: RegionTable::new(regcache),
-            sends: HashMap::new(),
-            recvs: HashMap::new(),
-            assemblies: HashMap::new(),
-            seq_tx: HashMap::new(),
+            sends: BTreeMap::new(),
+            recvs: BTreeMap::new(),
+            assemblies: BTreeMap::new(),
+            seq_tx: BTreeMap::new(),
             app,
             poll_scheduled: false,
-            completed_seqs: HashMap::new(),
-            drv_medium: HashMap::new(),
-            rndv_pending: HashSet::new(),
+            completed_seqs: BTreeMap::new(),
+            drv_medium: BTreeMap::new(),
+            rndv_pending: BTreeSet::new(),
             counters: Counters::default(),
         }
     }

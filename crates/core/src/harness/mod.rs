@@ -88,6 +88,11 @@ impl ComponentBreakdown {
 /// run — any held skbuff or (with the registration cache disabled)
 /// pinned region is driver state that escaped cleanup.
 pub fn drain_check(cluster: &Cluster) -> (bool, u64, u64) {
+    // Debug builds: every lifecycle handle (skbuff, pinned region,
+    // I/OAT descriptor, pull handle) must be completed or released by
+    // now — a handle still allocated or in flight is a leak and the
+    // sanitizer panics with its allocation site.
+    omx_sim::sanitize::SimSanitizer::assert_quiesced();
     let clean_wire = cluster.p.cfg.fault_injection_active()
         || (cluster.stats.frames_ring_dropped == 0 && cluster.stats.frames_corrupt_dropped == 0);
     let end_skbuffs_held = cluster.nodes.iter().map(|n| n.driver.skbuffs_held).sum();

@@ -255,7 +255,7 @@ pub fn run_pingpong(cfg: PingPongConfig) -> PingPongResult {
         verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0 && clean_wire,
         end_time,
         breakdown: super::ComponentBreakdown::from_cluster(&cluster, end_time),
-        stats: cluster.stats.clone(),
+        stats: cluster.stats_snapshot(),
         end_skbuffs_held,
         end_pinned_regions,
     }

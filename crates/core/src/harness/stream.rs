@@ -210,7 +210,7 @@ pub fn run_stream(cfg: StreamConfig) -> StreamResult {
         max_skbuffs_held,
         elapsed,
         breakdown: super::ComponentBreakdown::from_cluster(&cluster, horizon),
-        stats: cluster.stats.clone(),
+        stats: cluster.stats_snapshot(),
         end_skbuffs_held,
         end_pinned_regions,
     }

@@ -16,7 +16,7 @@ use crate::{EpAddr, EpIdx, NodeId, ReqId};
 use omx_ethernet::EthFrame;
 use omx_hw::cpu::category;
 use omx_sim::{Ps, Sim};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One in-progress MX "get" (rendezvous pull) on the receiver.
 #[derive(Debug)]
@@ -39,7 +39,7 @@ pub struct MxPull {
 #[derive(Debug, Default)]
 pub struct MxNodeState {
     /// In-progress pulls by receiver handle.
-    pub pulls: HashMap<u32, MxPull>,
+    pub pulls: BTreeMap<u32, MxPull>,
     /// Next pull handle.
     pub next_handle: u32,
 }

@@ -11,8 +11,9 @@
 //! buffer identity) because the simulation has no virtual addresses.
 
 use omx_hw::HwParams;
+use omx_sim::sanitize::{Kind, SimSanitizer, Token};
 use omx_sim::Ps;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One registered region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,29 @@ pub struct Region {
     pub tag: u64,
     /// Region length in bytes.
     pub len: u64,
+    /// Lifecycle sanitizer token (inert for equality; zero-sized in
+    /// release builds).
+    san: Token,
+}
+
+impl Region {
+    /// The checked constructor: mints the lifecycle token with the
+    /// caller as the allocation site. All pinning goes through
+    /// [`RegionTable::register`], which submits the token.
+    #[track_caller]
+    pub fn new(id: u32, tag: u64, len: u64) -> Region {
+        Region {
+            id,
+            tag,
+            len,
+            san: SimSanitizer::alloc(Kind::Region),
+        }
+    }
+
+    /// The lifecycle token.
+    pub fn token(&self) -> Token {
+        self.san
+    }
 }
 
 /// Result of a registration request.
@@ -42,7 +66,7 @@ pub struct RegionTable {
     /// Deferred-deregistration cache: (tag, len) → region, LRU order.
     cache: Vec<Region>,
     /// Live (pinned) regions by id, including cached ones.
-    live: HashMap<u32, Region>,
+    live: BTreeMap<u32, Region>,
     cache_enabled: bool,
     cache_capacity: usize,
     next_id: u32,
@@ -55,7 +79,7 @@ impl RegionTable {
     pub fn new(cache_enabled: bool) -> Self {
         RegionTable {
             cache: Vec::new(),
-            live: HashMap::new(),
+            live: BTreeMap::new(),
             cache_enabled,
             cache_capacity: 64,
             next_id: 1,
@@ -69,6 +93,7 @@ impl RegionTable {
     /// With the cache enabled, a previous registration of the same
     /// `(tag, len)` is reused for free; otherwise the full per-page
     /// pinning cost is charged.
+    #[track_caller]
     pub fn register(&mut self, params: &HwParams, tag: u64, len: u64) -> Registration {
         if self.cache_enabled {
             if let Some(pos) = self.cache.iter().position(|r| r.tag == tag && r.len == len) {
@@ -76,6 +101,9 @@ impl RegionTable {
                 let region = self.cache.remove(pos);
                 self.cache.push(region);
                 self.hits += 1;
+                // A cache hit re-activates a parked (deferred-
+                // deregistration) region.
+                SimSanitizer::submit(region.token());
                 return Registration {
                     region,
                     cost: Ps::ZERO,
@@ -84,11 +112,8 @@ impl RegionTable {
             }
         }
         self.misses += 1;
-        let region = Region {
-            id: self.next_id,
-            tag,
-            len,
-        };
+        let region = Region::new(self.next_id, tag, len);
+        SimSanitizer::submit(region.token());
         self.next_id += 1;
         self.live.insert(region.id, region);
         Registration {
@@ -101,16 +126,23 @@ impl RegionTable {
     /// Release a registration. With the cache on, the region stays
     /// pinned (deferred deregistration) and future registrations of the
     /// same buffer hit; with it off, the region is unpinned.
+    #[track_caller]
     pub fn release(&mut self, region: Region) {
         if self.cache_enabled {
+            // Deferred deregistration: the region stays pinned, parked
+            // in the cache (idempotent — a shared region may be parked
+            // by several finished users).
+            SimSanitizer::park(region.token());
             // Evict LRU entries beyond capacity.
             self.cache.retain(|r| r.id != region.id);
             self.cache.push(region);
             while self.cache.len() > self.cache_capacity {
                 let evicted = self.cache.remove(0);
                 self.live.remove(&evicted.id);
+                SimSanitizer::release(evicted.token());
             }
         } else {
+            SimSanitizer::release(region.token());
             self.live.remove(&region.id);
         }
     }

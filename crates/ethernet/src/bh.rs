@@ -8,6 +8,7 @@
 //! remains) re-schedules itself.
 
 use crate::skbuff::Skbuff;
+use omx_sim::sanitize::SimSanitizer;
 use omx_sim::Metrics;
 use std::collections::VecDeque;
 
@@ -40,7 +41,9 @@ impl BottomHalfQueue {
 
     /// IRQ path: enqueue a filled skbuff. Returns `true` when the
     /// caller must schedule a BH run (none was pending).
+    #[track_caller]
     pub fn enqueue(&mut self, skb: Skbuff) -> bool {
+        SimSanitizer::submit(skb.token());
         self.queue.push_back(skb);
         self.metrics.count(self.scope, "bh.enqueued", 1);
         self.metrics.gauge_max(

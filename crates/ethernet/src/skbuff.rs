@@ -13,6 +13,7 @@
 //! on (skbuff memory is kernel memory, always DMA-able).
 
 use bytes::Bytes;
+use omx_sim::sanitize::{Kind, SimSanitizer, Token};
 use omx_sim::Ps;
 
 /// One socket buffer holding a received (or about-to-be-sent) frame
@@ -28,12 +29,28 @@ pub struct Skbuff {
     pub data: Bytes,
     /// Time the NIC finished DMA-ing this buffer (for latency stats).
     pub rx_time: Ps,
+    /// Lifecycle sanitizer token: allocated here, submitted by the BH
+    /// enqueue, completed+released when the protocol consumes the
+    /// buffer (zero-sized in release builds).
+    san: Token,
 }
 
 impl Skbuff {
-    /// A received skbuff.
+    /// A received skbuff (the checked constructor: mints the lifecycle
+    /// token with the caller as the allocation site).
+    #[track_caller]
     pub fn new(src: u32, data: Bytes, rx_time: Ps) -> Skbuff {
-        Skbuff { src, data, rx_time }
+        Skbuff {
+            src,
+            data,
+            rx_time,
+            san: SimSanitizer::alloc(Kind::Skbuff),
+        }
+    }
+
+    /// The lifecycle token (for the consumer to complete/release).
+    pub fn token(&self) -> Token {
+        self.san
     }
 
     /// Payload length.

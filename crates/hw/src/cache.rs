@@ -15,7 +15,7 @@
 
 use crate::params::HwParams;
 use crate::topology::SubchipId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Key identifying a cached region (one per buffer/ring in the world).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -79,7 +79,7 @@ impl SubchipCache {
 /// Cache occupancy for every subchip of one host.
 #[derive(Debug, Default, Clone)]
 pub struct CacheModel {
-    subchips: HashMap<SubchipId, SubchipCache>,
+    subchips: BTreeMap<SubchipId, SubchipCache>,
 }
 
 impl CacheModel {

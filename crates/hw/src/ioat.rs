@@ -20,6 +20,7 @@
 //! cache pollution.
 
 use crate::params::HwParams;
+use omx_sim::sanitize::{Kind, SimSanitizer, Token};
 use omx_sim::{FifoServer, Metrics, Ps};
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +33,10 @@ pub struct CopyHandle {
     pub cookie: u64,
     /// Time at which the hardware finishes this copy.
     pub finish: Ps,
+    /// Lifecycle sanitizer token (zero-sized in release builds). The
+    /// handle is minted in the `submitted` state; the driver that
+    /// reaps or abandons the copy must `complete`/`release` it.
+    pub san: Token,
 }
 
 /// Completion time reported for a copy caught on a permanently failed
@@ -220,6 +225,7 @@ impl IoatEngine {
     /// A zero-length copy costs nothing: no descriptor is queued, no
     /// channel or memory-port time is consumed, and the returned handle
     /// completes immediately at `now`.
+    #[track_caller]
     pub fn submit(
         &mut self,
         params: &HwParams,
@@ -233,10 +239,13 @@ impl IoatEngine {
             let cookie = ch.next_cookie;
             ch.next_cookie += 1;
             self.metrics.count(self.scope, "ioat.zero_len_copies", 1);
+            let san = SimSanitizer::alloc(Kind::IoatDescriptor);
+            SimSanitizer::submit(san);
             return CopyHandle {
                 channel,
                 cookie,
                 finish: now,
+                san,
             };
         }
         let descriptors = descriptors.max(1);
@@ -279,10 +288,13 @@ impl IoatEngine {
             .count(self.scope, "ioat.descriptors", descriptors);
         self.metrics
             .trace(now, self.scope, "ioat", "submit", bytes, channel as u64);
+        let san = SimSanitizer::alloc(Kind::IoatDescriptor);
+        SimSanitizer::submit(san);
         CopyHandle {
             channel,
             cookie,
             finish,
+            san,
         }
     }
 

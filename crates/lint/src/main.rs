@@ -1,0 +1,55 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p omx-lint -- check .        # exit 0 when clean
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, root) = match args.as_slice() {
+        [cmd, root] => (cmd.as_str(), root.as_str()),
+        [cmd] => (cmd.as_str(), "."),
+        _ => {
+            eprintln!("usage: omx-lint check [PATH]");
+            return ExitCode::from(2);
+        }
+    };
+    if cmd != "check" {
+        eprintln!("unknown command `{cmd}`; usage: omx-lint check [PATH]");
+        return ExitCode::from(2);
+    }
+    let report = omx_lint::check(Path::new(root));
+    if !report.waivers.is_empty() {
+        println!("waivers in effect ({}):", report.waivers.len());
+        for w in &report.waivers {
+            println!(
+                "  {}:{}: allow({}) — {}",
+                w.file,
+                w.line,
+                w.rule,
+                if w.reason.is_empty() {
+                    "(no reason given)"
+                } else {
+                    &w.reason
+                }
+            );
+        }
+    }
+    if report.is_clean() {
+        println!(
+            "omx-lint: clean ({} files, {} waiver(s))",
+            report.files_scanned,
+            report.waivers.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("omx-lint: {} violation(s):", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+pub fn bad() {
+    let _t = Instant::now();
+    let _h = std::thread::spawn(|| 1);
+    let _r = SplitMix64::new(42);
+}

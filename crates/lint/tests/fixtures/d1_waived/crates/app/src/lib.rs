@@ -1,0 +1,4 @@
+pub fn tolerated() {
+    // omx-lint: allow(ad-hoc-rng) fixture demonstrates the waiver path
+    let _r = SplitMix64::new(42);
+}

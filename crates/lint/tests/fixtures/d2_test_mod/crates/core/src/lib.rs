@@ -1,0 +1,15 @@
+pub fn prod() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_only_map() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(super::prod(), 1);
+    }
+}

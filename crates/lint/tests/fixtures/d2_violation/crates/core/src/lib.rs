@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn order_dependent(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}

@@ -1,0 +1,4 @@
+pub struct Stats {
+    pub frames_sent: u64,
+    pub counters: Counters,
+}

@@ -1,0 +1,11 @@
+pub struct Counters {
+    pub tx_tiny: u64,
+    pub rx_tiny: u64,
+}
+
+impl Counters {
+    pub fn publish(&self) {
+        register("counters.tx_tiny", self.tx_tiny);
+        register("counters.rx_tiny", self.rx_tiny);
+    }
+}

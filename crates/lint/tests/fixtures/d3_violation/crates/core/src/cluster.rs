@@ -1,0 +1,3 @@
+pub struct Stats {
+    pub frames_sent: u64,
+}

@@ -1,0 +1,10 @@
+pub struct Counters {
+    pub tx_tiny: u64,
+    pub orphan: u64,
+}
+
+impl Counters {
+    pub fn publish(&self) {
+        register("counters.tx_tiny", self.tx_tiny);
+    }
+}

@@ -1,0 +1,9 @@
+pub struct Skbuff {
+    pub src: u32,
+}
+
+impl Skbuff {
+    pub fn new(src: u32) -> Skbuff {
+        Skbuff { src }
+    }
+}

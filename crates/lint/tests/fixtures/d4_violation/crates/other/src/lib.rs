@@ -1,0 +1,3 @@
+pub fn forge() -> Skbuff {
+    Skbuff { src: 0 }
+}

@@ -1,0 +1,13 @@
+pub struct Skbuff {
+    pub src: u32,
+    san: Token,
+}
+
+impl Skbuff {
+    pub fn new(src: u32) -> Skbuff {
+        Skbuff {
+            src,
+            san: SimSanitizer::alloc(Kind::Skbuff),
+        }
+    }
+}

@@ -1,0 +1,4 @@
+pub fn forge() -> Skbuff {
+    // omx-lint: allow(lifecycle-ctor) fixture demonstrates the waiver path
+    Skbuff { src: 0 }
+}

@@ -1,0 +1,146 @@
+//! Fixture tests for every omx-lint rule: each rule must fire on its
+//! violation fixture, honor its waiver fixture, and stay silent on
+//! clean trees — plus the lint must pass on the actual workspace.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules(report: &omx_lint::Report) -> Vec<&str> {
+    report.violations.iter().map(|v| v.rule.as_str()).collect()
+}
+
+// ------------------------------------------------------------------ D1
+
+#[test]
+fn d1_flags_wall_clock_threads_and_adhoc_rng() {
+    let r = omx_lint::check(&fixture("d1_violation"));
+    let rules = rules(&r);
+    assert!(
+        rules.contains(&"wall-clock"),
+        "violations: {:?}",
+        r.violations
+    );
+    assert!(rules.contains(&"thread"), "violations: {:?}", r.violations);
+    assert!(
+        rules.contains(&"ad-hoc-rng"),
+        "violations: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn d1_waiver_is_honored_and_reported() {
+    let r = omx_lint::check(&fixture("d1_waived"));
+    assert!(r.is_clean(), "violations: {:?}", r.violations);
+    assert_eq!(r.waivers.len(), 1);
+    assert_eq!(r.waivers[0].rule, "ad-hoc-rng");
+    assert!(r.waivers[0].reason.contains("fixture"));
+}
+
+// ------------------------------------------------------------------ D2
+
+#[test]
+fn d2_flags_hashmap_in_sim_crate() {
+    let r = omx_lint::check(&fixture("d2_violation"));
+    assert!(!r.is_clean());
+    assert!(rules(&r).iter().all(|&s| s == "unordered-iter"));
+    assert!(r
+        .violations
+        .iter()
+        .all(|v| v.file.starts_with("crates/core/")));
+}
+
+#[test]
+fn d2_waiver_is_honored_per_site() {
+    let r = omx_lint::check(&fixture("d2_waived"));
+    assert!(r.is_clean(), "violations: {:?}", r.violations);
+    assert_eq!(r.waivers.len(), 2, "both directives surfaced");
+}
+
+#[test]
+fn d2_ignores_non_simulation_crates() {
+    let r = omx_lint::check(&fixture("d2_outside"));
+    assert!(r.is_clean(), "violations: {:?}", r.violations);
+}
+
+#[test]
+fn d2_exempts_cfg_test_modules() {
+    let r = omx_lint::check(&fixture("d2_test_mod"));
+    assert!(r.is_clean(), "violations: {:?}", r.violations);
+}
+
+// ------------------------------------------------------------------ D3
+
+#[test]
+fn d3_flags_unregistered_counter_and_missing_stats_field() {
+    let r = omx_lint::check(&fixture("d3_violation"));
+    let counters: Vec<_> = r
+        .violations
+        .iter()
+        .filter(|v| v.rule == "counters-registry")
+        .collect();
+    assert_eq!(counters.len(), 2, "violations: {:?}", r.violations);
+    assert!(counters.iter().any(|v| v.message.contains("orphan")));
+    assert!(counters.iter().any(|v| v.message.contains("Stats")));
+}
+
+#[test]
+fn d3_clean_registration_passes() {
+    let r = omx_lint::check(&fixture("d3_clean"));
+    assert!(r.is_clean(), "violations: {:?}", r.violations);
+}
+
+// ------------------------------------------------------------------ D4
+
+#[test]
+fn d4_flags_literal_outside_home_and_sanitizer_free_home() {
+    let r = omx_lint::check(&fixture("d4_violation"));
+    let lifecycle: Vec<_> = r
+        .violations
+        .iter()
+        .filter(|v| v.rule == "lifecycle-ctor")
+        .collect();
+    assert_eq!(lifecycle.len(), 2, "violations: {:?}", r.violations);
+    assert!(lifecycle
+        .iter()
+        .any(|v| v.file == "crates/other/src/lib.rs" && v.message.contains("struct-literal")));
+    assert!(lifecycle
+        .iter()
+        .any(|v| v.file == "crates/ethernet/src/skbuff.rs" && v.message.contains("SimSanitizer")));
+}
+
+#[test]
+fn d4_waiver_honored_when_home_threads_sanitizer() {
+    let r = omx_lint::check(&fixture("d4_waived"));
+    assert!(r.is_clean(), "violations: {:?}", r.violations);
+    assert_eq!(r.waivers.len(), 1);
+    assert_eq!(r.waivers[0].rule, "lifecycle-ctor");
+}
+
+// ----------------------------------------------------------- workspace
+
+#[test]
+fn clean_tree_is_clean() {
+    let r = omx_lint::check(&fixture("clean"));
+    assert!(r.is_clean(), "violations: {:?}", r.violations);
+    assert!(r.waivers.is_empty());
+}
+
+#[test]
+fn actual_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let r = omx_lint::check(&root);
+    assert!(
+        r.is_clean(),
+        "the workspace must pass its own lint; violations: {:#?}",
+        r.violations
+    );
+    assert!(r.files_scanned > 30, "walker found the workspace sources");
+    // Every waiver carries a justification.
+    assert!(r.waivers.iter().all(|w| !w.reason.is_empty()));
+}

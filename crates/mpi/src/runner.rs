@@ -9,7 +9,7 @@ use open_mx::app::{App, AppCtx, Completion};
 use open_mx::cluster::{Cluster, ClusterParams};
 use open_mx::{EpAddr, EpIdx, NodeId, ReqId};
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 /// Rank placement across the two hosts.
@@ -108,7 +108,7 @@ struct RankApp {
     script: Script,
     pc: usize,
     addrs: Vec<EpAddr>,
-    waiting: HashSet<ReqId>,
+    waiting: BTreeSet<ReqId>,
     shared: Rc<RefCell<JobShared>>,
     done: bool,
     finished_count: bool,
@@ -212,7 +212,7 @@ pub fn run_scripts(params: ClusterParams, layout: Layout, scripts: Vec<Script>) 
                 script,
                 pc: 0,
                 addrs: addrs.clone(),
-                waiting: HashSet::new(),
+                waiting: BTreeSet::new(),
                 shared: shared.clone(),
                 done: false,
                 finished_count: false,
@@ -237,7 +237,7 @@ pub fn run_scripts(params: ClusterParams, layout: Layout, scripts: Vec<Script>) 
         marks,
         breakdown: open_mx::harness::ComponentBreakdown::from_cluster(&cluster, end),
         verified: clean_wire && cluster.stats.sends_failed == 0,
-        stats: cluster.stats.clone(),
+        stats: cluster.stats_snapshot(),
         end_skbuffs_held,
         end_pinned_regions,
     }

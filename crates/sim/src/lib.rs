@@ -18,12 +18,16 @@
 //! * [`metrics`] — a cross-crate metrics registry (counters, gauges,
 //!   busy-time integrals) plus an optional bounded event trace; purely
 //!   observational, it never charges simulated time,
-//! * [`rng`] — a tiny deterministic SplitMix64 generator.
+//! * [`rng`] — a tiny deterministic SplitMix64 generator,
+//! * [`sanitize`] — debug-build lifecycle state machines (skbuffs,
+//!   pinned regions, I/OAT descriptors, pull handles) that turn leaks
+//!   and reuse bugs into panics with the allocation site.
 
 pub mod engine;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
+pub mod sanitize;
 pub mod stats;
 pub mod time;
 
@@ -31,5 +35,6 @@ pub use engine::Sim;
 pub use metrics::{Metrics, MetricsSnapshot, TraceEvent};
 pub use resource::FifoServer;
 pub use rng::SplitMix64;
+pub use sanitize::{Kind as SanitizeKind, SimSanitizer, Token as SanitizeToken};
 pub use stats::{BusyMeter, Series, Summary};
 pub use time::{Ps, Rate};

@@ -1,0 +1,135 @@
+//! Run-to-run determinism: the same seed must produce byte-identical
+//! serialized results — aggregate `Stats` (protocol counters included)
+//! and the component time breakdown — for every workload under every
+//! named fault plan. This is the property the whole experimental
+//! record rests on: any wall-clock read, unordered-map iteration or
+//! stray RNG would show up here as a diff between two identical runs.
+//!
+//! `omx-lint` proves the absence of those hazard *sources* statically;
+//! this test proves the end-to-end consequence dynamically.
+
+use openmx_repro::hw::CoreId;
+use openmx_repro::mpi::{run_kernel, Kernel, Layout};
+use openmx_repro::omx::cluster::ClusterParams;
+use openmx_repro::omx::config::OmxConfig;
+use openmx_repro::omx::fault::FaultPlan;
+use openmx_repro::omx::harness::{
+    run_pingpong, run_stream, PingPongConfig, Placement, StreamConfig,
+};
+
+const SEED: u64 = 17;
+
+/// Clean plus every named fault plan.
+fn plans() -> Vec<(&'static str, FaultPlan)> {
+    let mut v = vec![("clean", FaultPlan::default())];
+    for name in FaultPlan::NAMES {
+        v.push((name, FaultPlan::named(name).expect("known plan")));
+    }
+    v
+}
+
+fn cfg(plan: FaultPlan) -> OmxConfig {
+    OmxConfig {
+        fault_plan: plan,
+        seed: SEED,
+        regcache: false,
+        ..OmxConfig::with_ioat()
+    }
+}
+
+/// Serialized fingerprint of one run: aggregate stats (with the full
+/// counter set) plus the component breakdown, as JSON bytes.
+fn fingerprint<S: serde::Serialize, B: serde::Serialize>(stats: &S, breakdown: &B) -> String {
+    let s = serde_json::to_string(stats).expect("stats serialize");
+    let b = serde_json::to_string(breakdown).expect("breakdown serialize");
+    format!("{s}\n{b}")
+}
+
+fn pingpong_fingerprint(plan: FaultPlan) -> String {
+    let mut c = PingPongConfig::new(
+        ClusterParams::with_cfg(cfg(plan)),
+        256 << 10,
+        Placement::TwoNodes {
+            core_a: CoreId(2),
+            core_b: CoreId(2),
+        },
+    );
+    c.iters = 6;
+    c.warmup = 1;
+    let r = run_pingpong(c);
+    fingerprint(&r.stats, &r.breakdown)
+}
+
+fn stream_fingerprint(plan: FaultPlan) -> String {
+    let params = ClusterParams::with_cfg(cfg(plan));
+    let mut c = StreamConfig::new(params, 1 << 20);
+    c.count = 4;
+    let r = run_stream(c);
+    fingerprint(&r.stats, &r.breakdown)
+}
+
+fn alltoall_fingerprint(plan: FaultPlan) -> String {
+    let params = ClusterParams {
+        nodes: 2,
+        ..ClusterParams::with_cfg(cfg(plan))
+    };
+    let r = run_kernel(Kernel::Alltoall, Layout::TwoPerNode, 1 << 20, 2, params);
+    fingerprint(&r.stats, &r.breakdown)
+}
+
+#[test]
+fn pingpong_is_bit_deterministic_under_every_plan() {
+    for (name, plan) in plans() {
+        let a = pingpong_fingerprint(plan.clone());
+        let b = pingpong_fingerprint(plan);
+        assert_eq!(a, b, "pingpong under `{name}` diverged between two runs");
+    }
+}
+
+#[test]
+fn stream_is_bit_deterministic_under_every_plan() {
+    for (name, plan) in plans() {
+        let a = stream_fingerprint(plan.clone());
+        let b = stream_fingerprint(plan);
+        assert_eq!(a, b, "stream under `{name}` diverged between two runs");
+    }
+}
+
+#[test]
+fn alltoall_is_bit_deterministic_under_every_plan() {
+    for (name, plan) in plans() {
+        let a = alltoall_fingerprint(plan.clone());
+        let b = alltoall_fingerprint(plan);
+        assert_eq!(a, b, "alltoall under `{name}` diverged between two runs");
+    }
+}
+
+#[test]
+fn snapshot_carries_aggregated_counters() {
+    // The D3 contract end-to-end: serialized stats must contain the
+    // aggregated per-endpoint counters, and a large-message exchange
+    // must have counted actual traffic into them.
+    let mut c = PingPongConfig::new(
+        ClusterParams::with_cfg(cfg(FaultPlan::default())),
+        256 << 10,
+        Placement::TwoNodes {
+            core_a: CoreId(2),
+            core_b: CoreId(2),
+        },
+    );
+    c.iters = 4;
+    c.warmup = 1;
+    let r = run_pingpong(c);
+    assert!(r.verified);
+    assert!(
+        r.stats.counters.tx_large > 0,
+        "stats {:?}",
+        r.stats.counters
+    );
+    assert!(r.stats.counters.tx_bytes > 0);
+    let json = serde_json::to_string(&r.stats).expect("serialize");
+    assert!(
+        json.contains("\"counters\"") && json.contains("\"tx_large\""),
+        "serialized stats must surface the counter block: {json}"
+    );
+}
