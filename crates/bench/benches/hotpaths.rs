@@ -6,7 +6,7 @@ use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use omx_hw::mem::{CopyContext, MemModel};
 use omx_hw::{Distance, HwParams, IoatEngine};
-use omx_sim::{Ps, Sim};
+use omx_sim::{Ps, ReferenceSim, Sim};
 use open_mx::cluster::ClusterParams;
 use open_mx::harness::copybench::{copy_time, CopyEngine};
 use open_mx::harness::{run_pingpong, PingPongConfig, Placement};
@@ -14,17 +14,70 @@ use open_mx::matching::{Matcher, PostedRecv};
 use open_mx::proto::Packet;
 use open_mx::ReqId;
 
+/// One bench body over both engine types (identical APIs, no shared
+/// trait): `<name>` runs the timing wheel, `<name>_reference` the
+/// retired `BinaryHeap` scheduler it must beat.
+macro_rules! engine_bench {
+    ($c:expr, $name:literal, |$sim:ident| $body:block) => {
+        $c.bench_function($name, |b| {
+            b.iter(|| {
+                let mut $sim: Sim<u64> = Sim::new();
+                black_box($body)
+            })
+        });
+        $c.bench_function(concat!($name, "_reference"), |b| {
+            b.iter(|| {
+                let mut $sim: ReferenceSim<u64> = ReferenceSim::new();
+                black_box($body)
+            })
+        });
+    };
+}
+
 fn bench_engine(c: &mut Criterion) {
-    c.bench_function("sim_engine_schedule_run_10k", |b| {
-        b.iter(|| {
-            let mut sim: Sim<u64> = Sim::new();
-            let mut world = 0u64;
-            for i in 0..10_000u64 {
-                sim.schedule_at(Ps::ns(i), |w: &mut u64, _| *w += 1);
+    engine_bench!(c, "sim_engine_schedule_run_10k", |sim| {
+        let mut world = 0u64;
+        for i in 0..10_000u64 {
+            sim.schedule_at(Ps::ns(i), |w: &mut u64, _| *w += 1);
+        }
+        sim.run(&mut world);
+        world
+    });
+    // 10k events at one instant: the whole burst lands in a single
+    // wheel slot and must drain FIFO.
+    engine_bench!(c, "sim_engine_same_instant_burst_10k", |sim| {
+        let mut world = 0u64;
+        let at = Ps::us(3);
+        for _ in 0..10_000u64 {
+            sim.schedule_at(at, |w: &mut u64, _| *w += 1);
+        }
+        sim.run(&mut world);
+        world
+    });
+    // Events 100 µs apart — every one beyond the ~67 µs wheel window,
+    // exercising the overflow heap and the cascade.
+    engine_bench!(c, "sim_engine_far_future_overflow_10k", |sim| {
+        let mut world = 0u64;
+        for i in 0..10_000u64 {
+            sim.schedule_at(Ps::us(100 * i), |w: &mut u64, _| *w += 1);
+        }
+        sim.run(&mut world);
+        world
+    });
+    // Cancel-heavy: 3 of every 4 timers are revoked before firing
+    // (retransmit timers in a healthy run).
+    engine_bench!(c, "sim_engine_cancel_heavy_10k", |sim| {
+        let mut world = 0u64;
+        let ids: Vec<_> = (0..10_000u64)
+            .map(|i| sim.schedule_at_cancellable(Ps::ns(10 + i), |w: &mut u64, _| *w += 1))
+            .collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            if i % 4 != 0 {
+                sim.cancel(id);
             }
-            sim.run(&mut world);
-            black_box(world)
-        })
+        }
+        sim.run(&mut world);
+        world
     });
 }
 

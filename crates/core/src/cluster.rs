@@ -14,7 +14,6 @@ use crate::events::Event;
 use crate::mx_stack::MxNodeState;
 use crate::proto::Packet;
 use crate::{EpAddr, EpIdx, NodeId, ReqId};
-use omx_ethernet::bh::NAPI_BUDGET;
 use omx_ethernet::fault::LinkFaultState;
 use omx_ethernet::nic::RxOutcome;
 use omx_ethernet::{BottomHalfQueue, EthFrame, Link, LinkParams, Nic, NicParams};
@@ -679,11 +678,15 @@ impl Cluster {
         }
     }
 
-    /// Open-MX receive: ring skbuff, IRQ, bottom half.
+    /// Open-MX receive: ring skbuff, IRQ, bottom half. The NIC
+    /// consumes the frame and queues the filled skbuff on the IRQ
+    /// core's bottom half itself; this host side only accounts the
+    /// interrupt cost and schedules the (batched) BH run.
     fn omx_on_frame(&mut self, sim: &mut Sim<Cluster>, node: NodeId, frame: EthFrame) {
         let now = sim.now();
         let n = self.node_mut(node);
-        let (skb, outcome) = n.nic.receive(now, &frame);
+        let core = n.nic.params().irq_core;
+        let outcome = n.nic.deliver(now, frame, &mut n.bh[core.0 as usize]);
         match outcome {
             RxOutcome::DroppedRingFull => {
                 self.stats.frames_ring_dropped += 1;
@@ -693,34 +696,40 @@ impl Cluster {
                 // consumed a ring slot; retransmission recovers it.
                 self.stats.frames_corrupt_dropped += 1;
             }
-            RxOutcome::DeliveredCoalesced => {
-                let core = n.nic.params().irq_core;
-                let need_run = n.bh[core.0 as usize].enqueue(skb.expect("delivered"));
-                if need_run {
+            RxOutcome::Queued {
+                irq: Some(core),
+                bh_wake,
+            } => {
+                let irq = self.p.hw.irq_cpu_cost;
+                let (_, irq_fin) = self.run_core(node, core, now, irq, category::IRQ);
+                if bh_wake {
+                    let at = irq_fin.max(now + self.p.hw.bh_dispatch_delay);
+                    sim.schedule_at(at, move |c: &mut Cluster, s| c.run_bh(s, node, core));
+                }
+            }
+            RxOutcome::Queued { irq: None, bh_wake } => {
+                if bh_wake {
                     let delay = self.p.hw.bh_dispatch_delay;
                     sim.schedule_at(now + delay, move |c: &mut Cluster, s| {
                         c.run_bh(s, node, core)
                     });
                 }
             }
-            RxOutcome::DeliveredWithIrq(core) => {
-                let need_run = n.bh[core.0 as usize].enqueue(skb.expect("delivered"));
-                let irq = self.p.hw.irq_cpu_cost;
-                let (_, irq_fin) = self.run_core(node, core, now, irq, category::IRQ);
-                if need_run {
-                    let at = irq_fin.max(now + self.p.hw.bh_dispatch_delay);
-                    sim.schedule_at(at, move |c: &mut Cluster, s| c.run_bh(s, node, core));
-                }
-            }
         }
     }
 
-    /// One bottom-half invocation on `core` of `node`.
+    /// One bottom-half invocation on `core` of `node`: drain up to the
+    /// NIC's NAPI budget of skbuffs through the protocol callback, one
+    /// at a time (no per-run batch buffer).
     fn run_bh(&mut self, sim: &mut Sim<Cluster>, node: NodeId, core: CoreId) {
-        let batch = self.node_mut(node).bh[core.0 as usize].take_batch(NAPI_BUDGET);
-        let count = batch.len();
+        let budget = self.node_mut(node).nic.params().bh_budget;
+        let mut count = 0;
         let mut last_fin = sim.now();
-        for skb in batch {
+        while count < budget {
+            let Some(skb) = self.node_mut(node).bh[core.0 as usize].pop_next() else {
+                break;
+            };
+            count += 1;
             last_fin = self.handle_rx_skbuff(sim, node, core, skb);
         }
         self.node_mut(node).nic.replenish(count);

@@ -14,6 +14,7 @@ use crate::endpoint::MediumAssembly;
 use crate::events::Event;
 use crate::matching::{PostedRecv, Unexpected};
 use crate::{EpAddr, ReqId};
+use bytes::Bytes;
 use omx_hw::cpu::category;
 use omx_hw::mem::{CopyContext, MemModel};
 use omx_hw::Distance;
@@ -49,7 +50,9 @@ impl Cluster {
             } => {
                 let cost = ev_cost + self.lib_copy_cost(data.len() as u64);
                 let (_, fin) = self.run_core(node, core, now, cost, category::USER_LIB);
-                self.lib_deliver_eager(sim, me, src, match_info, msg_seq, data.to_vec(), fin);
+                // The inline payload is already shared `Bytes`: hand it
+                // over without materializing a copy.
+                self.lib_deliver_eager(sim, me, src, match_info, msg_seq, data, fin);
             }
             Event::RecvSmall {
                 src,
@@ -60,13 +63,16 @@ impl Cluster {
             } => {
                 let cost = ev_cost + self.lib_copy_cost(len as u64);
                 let (_, fin) = self.run_core(node, core, now, cost, category::USER_LIB);
-                let data = {
-                    let ep = self.ep_mut(me);
-                    let d = ep.slots.read(slot, len as usize).to_vec();
-                    ep.slots.release(slot);
-                    d
-                };
-                self.lib_deliver_eager(sim, me, src, match_info, msg_seq, data, fin);
+                self.lib_deliver_eager_from_slot(
+                    sim,
+                    me,
+                    src,
+                    match_info,
+                    msg_seq,
+                    slot,
+                    len as usize,
+                    fin,
+                );
             }
             Event::RecvMediumFrag {
                 src,
@@ -81,12 +87,6 @@ impl Cluster {
             } => {
                 let cost = ev_cost + self.lib_copy_cost(len as u64);
                 let (_, fin) = self.run_core(node, core, now, cost, category::USER_LIB);
-                let data = {
-                    let ep = self.ep_mut(me);
-                    let d = ep.slots.read(slot, len as usize).to_vec();
-                    ep.slots.release(slot);
-                    d
-                };
                 self.lib_apply_medium_frag(
                     sim,
                     me,
@@ -97,7 +97,8 @@ impl Cluster {
                     frag_idx as u32,
                     frag_count as u32,
                     offset as u64,
-                    &data,
+                    slot,
+                    len as usize,
                     fin,
                 );
             }
@@ -156,8 +157,10 @@ impl Cluster {
         }
     }
 
-    /// Deliver a complete single-fragment eager message: match or
-    /// buffer as unexpected.
+    /// Deliver a complete single-fragment eager message whose payload
+    /// is already in shared `Bytes` (tiny messages ride inline in the
+    /// event): match or buffer as unexpected — either way without
+    /// copying the payload an extra time.
     #[allow(clippy::too_many_arguments)]
     fn lib_deliver_eager(
         &mut self,
@@ -166,7 +169,7 @@ impl Cluster {
         src: EpAddr,
         match_info: u64,
         msg_seq: u32,
-        data: Vec<u8>,
+        data: Bytes,
         fin: Ps,
     ) {
         match self.ep_mut(me).matcher.match_incoming(match_info) {
@@ -196,8 +199,59 @@ impl Cluster {
         }
     }
 
+    /// Deliver a single-fragment eager message whose payload sits in a
+    /// pinned ring slot. A matched receive copies slot → application
+    /// buffer directly (the slot pool and the receive table are
+    /// disjoint endpoint fields, so no intermediate buffer is needed);
+    /// an unmatched one buffers the slot contents exactly once.
+    #[allow(clippy::too_many_arguments)]
+    fn lib_deliver_eager_from_slot(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        src: EpAddr,
+        match_info: u64,
+        msg_seq: u32,
+        slot: usize,
+        len: usize,
+        fin: Ps,
+    ) {
+        match self.ep_mut(me).matcher.match_incoming(match_info) {
+            Some(posted) => {
+                let ep = self.ep_mut(me);
+                if let Some(rs) = ep.recvs.get_mut(&posted.req) {
+                    let data = ep.slots.read(slot, len);
+                    let n = data.len().min(rs.buf.len());
+                    rs.buf[..n].copy_from_slice(&data[..n]);
+                    rs.received = n as u64;
+                    rs.total = n as u64;
+                    rs.matched_info = Some(match_info);
+                }
+                ep.slots.release(slot);
+                self.finish_recv(sim, me, posted.req, fin);
+            }
+            None => {
+                let ep = self.ep_mut(me);
+                let data = Bytes::from(ep.slots.read(slot, len));
+                ep.slots.release(slot);
+                ep.counters.unexpected += 1;
+                let total = len as u64;
+                ep.matcher.push_unexpected(Unexpected::Eager {
+                    src,
+                    match_info,
+                    msg_seq,
+                    data,
+                    arrived: total,
+                    total,
+                });
+            }
+        }
+    }
+
     /// Apply one medium fragment to its (matched or unexpected)
-    /// assembly.
+    /// assembly, copying straight out of the pinned ring slot; the
+    /// slot is released once the fragment has been applied (or
+    /// recognized as a duplicate).
     #[allow(clippy::too_many_arguments)]
     fn lib_apply_medium_frag(
         &mut self,
@@ -210,7 +264,8 @@ impl Cluster {
         frag_idx: u32,
         frag_count: u32,
         offset: u64,
-        data: &[u8],
+        slot: usize,
+        len: usize,
         fin: Ps,
     ) {
         let key = (src, msg_seq);
@@ -239,19 +294,20 @@ impl Cluster {
                 },
             );
         }
-        // Apply the fragment.
+        // Apply the fragment straight from the ring slot.
         let (completed_req, done_unmatched) = {
             let ep = self.ep_mut(me);
             let asm = ep.assemblies.get_mut(&key).expect("just ensured");
-            if asm.frag_seen[frag_idx as usize] {
+            let result = if asm.frag_seen[frag_idx as usize] {
                 (None, false)
             } else {
                 asm.frag_seen[frag_idx as usize] = true;
-                asm.arrived += data.len() as u64;
+                asm.arrived += len as u64;
                 match asm.req {
                     Some(req) => {
                         if let Some(rs) = ep.recvs.get_mut(&req) {
-                            let end = ((offset as usize) + data.len()).min(rs.buf.len());
+                            let data = ep.slots.read(slot, len);
+                            let end = ((offset as usize) + len).min(rs.buf.len());
                             let start = (offset as usize).min(end);
                             rs.buf[start..end].copy_from_slice(&data[..end - start]);
                             rs.received += (end - start) as u64;
@@ -264,13 +320,16 @@ impl Cluster {
                         }
                     }
                     None => {
-                        let end = ((offset as usize) + data.len()).min(asm.data.len());
+                        let data = ep.slots.read(slot, len);
+                        let end = ((offset as usize) + len).min(asm.data.len());
                         let start = (offset as usize).min(end);
                         asm.data[start..end].copy_from_slice(&data[..end - start]);
                         (None, asm.is_complete())
                     }
                 }
-            }
+            };
+            ep.slots.release(slot);
+            result
         };
         if let Some(req) = completed_req {
             self.ep_mut(me).assemblies.remove(&key);

@@ -9,6 +9,7 @@
 //! the `kernel_matching` extension is on).
 
 use crate::{EpAddr, ReqId};
+use bytes::Bytes;
 use std::collections::VecDeque;
 
 /// A posted receive waiting for a message.
@@ -36,8 +37,10 @@ pub enum Unexpected {
         match_info: u64,
         /// Per-partner message sequence (reassembly key).
         msg_seq: u32,
-        /// Buffered payload (filled as fragments arrive).
-        data: Vec<u8>,
+        /// Buffered payload. Shared `Bytes`: tiny messages hand the
+        /// event's inline payload over without copying, small ones
+        /// buffer their ring slot exactly once.
+        data: Bytes,
         /// Bytes arrived so far.
         arrived: u64,
         /// Total message length.
@@ -185,7 +188,7 @@ mod tests {
             src: addr(),
             match_info: info,
             msg_seq: seq,
-            data: vec![0; 8],
+            data: Bytes::from(vec![0u8; 8]),
             arrived: 8,
             total: 8,
         }
@@ -251,7 +254,7 @@ mod tests {
             src: addr(),
             match_info: 5,
             msg_seq: 3,
-            data: vec![0; 16],
+            data: Bytes::from(vec![0; 16]),
             arrived: 8,
             total: 16,
         });

@@ -59,15 +59,14 @@ impl BottomHalfQueue {
         }
     }
 
-    /// BH path: take up to `budget` skbuffs to process. After the
-    /// caller processes them it must call [`Self::finish_run`].
-    pub fn take_batch(&mut self, budget: usize) -> Vec<Skbuff> {
-        let n = self.queue.len().min(budget);
-        let batch: Vec<Skbuff> = self.queue.drain(..n).collect();
-        self.drained_total += batch.len() as u64;
-        self.metrics
-            .count(self.scope, "bh.drained", batch.len() as u64);
-        batch
+    /// BH path: take the next skbuff to process, FIFO. The caller
+    /// drains up to its budget one skbuff at a time (no per-run batch
+    /// allocation) and then calls [`Self::finish_run`].
+    pub fn pop_next(&mut self) -> Option<Skbuff> {
+        let skb = self.queue.pop_front()?;
+        self.drained_total += 1;
+        self.metrics.count(self.scope, "bh.drained", 1);
+        Some(skb)
     }
 
     /// Mark the current BH run finished. Returns `true` when skbuffs
@@ -118,20 +117,30 @@ mod tests {
         assert!(bh.is_scheduled());
     }
 
+    /// Pop up to `budget` skbuffs, as a BH run does.
+    fn drain(bh: &mut BottomHalfQueue, budget: usize) -> Vec<Skbuff> {
+        let mut out = Vec::new();
+        while out.len() < budget {
+            let Some(s) = bh.pop_next() else { break };
+            out.push(s);
+        }
+        out
+    }
+
     #[test]
-    fn batch_respects_budget_and_order() {
+    fn drain_respects_budget_and_order() {
         let mut bh = BottomHalfQueue::new();
         for i in 0..5 {
             bh.enqueue(skb(i + 1));
         }
-        let batch = bh.take_batch(3);
+        let batch = drain(&mut bh, 3);
         assert_eq!(batch.len(), 3);
         assert_eq!(batch[0].len(), 1);
         assert_eq!(batch[2].len(), 3);
         assert_eq!(bh.backlog(), 2);
         // Work remains: finish_run asks for a re-schedule.
         assert!(bh.finish_run());
-        let batch = bh.take_batch(NAPI_BUDGET);
+        let batch = drain(&mut bh, NAPI_BUDGET);
         assert_eq!(batch.len(), 2);
         assert!(!bh.finish_run());
         assert!(!bh.is_scheduled());
@@ -142,15 +151,15 @@ mod tests {
     fn enqueue_after_drain_schedules_again() {
         let mut bh = BottomHalfQueue::new();
         bh.enqueue(skb(1));
-        bh.take_batch(64);
+        bh.pop_next().expect("queued");
         bh.finish_run();
         assert!(bh.enqueue(skb(2)), "queue drained, new run needed");
     }
 
     #[test]
-    fn empty_take_is_empty() {
+    fn empty_pop_is_none() {
         let mut bh = BottomHalfQueue::new();
-        assert!(bh.take_batch(64).is_empty());
+        assert!(bh.pop_next().is_none());
         assert!(!bh.finish_run());
     }
 }

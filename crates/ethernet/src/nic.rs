@@ -7,6 +7,7 @@
 //! = drop, exercised by the loss/retransmit tests), the DMA deposit
 //! and interrupt moderation.
 
+use crate::bh::{BottomHalfQueue, NAPI_BUDGET};
 use crate::frame::EthFrame;
 use crate::skbuff::Skbuff;
 use omx_hw::CoreId;
@@ -24,6 +25,8 @@ pub struct NicParams {
     /// of the previous interrupt does not raise a new one (the pending
     /// BH will see it). Zero = interrupt per frame.
     pub irq_coalesce: Ps,
+    /// Max skbuffs one bottom-half run drains (NAPI weight).
+    pub bh_budget: usize,
 }
 
 impl Default for NicParams {
@@ -36,6 +39,7 @@ impl Default for NicParams {
             // idle link still delivers the first frame's interrupt
             // immediately, so small-message latency is unaffected.
             irq_coalesce: Ps::us(25),
+            bh_budget: NAPI_BUDGET,
         }
     }
 }
@@ -43,10 +47,16 @@ impl Default for NicParams {
 /// What the host must do after a frame arrived.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RxOutcome {
-    /// Frame deposited; raise an interrupt on the given core.
-    DeliveredWithIrq(CoreId),
-    /// Frame deposited; an interrupt is already pending, no new one.
-    DeliveredCoalesced,
+    /// Frame deposited on the core's bottom-half queue.
+    Queued {
+        /// Raise a hard interrupt on this core; `None` when the frame
+        /// arrived inside the moderation window of the previous IRQ
+        /// (the already-pending BH will see it).
+        irq: Option<CoreId>,
+        /// Whether the caller must schedule a BH run (none was
+        /// pending on the queue).
+        bh_wake: bool,
+    },
     /// RX ring had no free skbuff: the frame is gone (upper layers
     /// recover via retransmission).
     DroppedRingFull,
@@ -99,9 +109,14 @@ impl Nic {
         &self.params
     }
 
-    /// A frame finished arriving at `now`. On success returns the
-    /// filled skbuff and the required host action.
-    pub fn receive(&mut self, now: Ps, frame: &EthFrame) -> (Option<Skbuff>, RxOutcome) {
+    /// A frame finished arriving at `now`: run the hardware checks,
+    /// deposit it into the next ring skbuff and queue that skbuff on
+    /// `bh`. Consumes the frame — the payload `Bytes` moves from wire
+    /// to skbuff to callback without even refcount traffic, matching
+    /// the paper's model where the only charged receive copy is the
+    /// one out of the skbuff.
+    #[track_caller]
+    pub fn deliver(&mut self, now: Ps, frame: EthFrame, bh: &mut BottomHalfQueue) -> RxOutcome {
         if frame.fcs_corrupt {
             self.frames_corrupt_dropped += 1;
             self.metrics.count(self.scope, "nic.corrupt_drops", 1);
@@ -113,14 +128,14 @@ impl Nic {
                 frame.payload_len(),
                 0,
             );
-            return (None, RxOutcome::DroppedCorrupt);
+            return RxOutcome::DroppedCorrupt;
         }
         if self.pending >= self.params.rx_ring_size {
             self.frames_dropped += 1;
             self.metrics.count(self.scope, "nic.ring_drops", 1);
             self.metrics
                 .trace(now, self.scope, "nic", "ring_drop", frame.payload_len(), 0);
-            return (None, RxOutcome::DroppedRingFull);
+            return RxOutcome::DroppedRingFull;
         }
         self.pending += 1;
         self.frames_received += 1;
@@ -129,17 +144,19 @@ impl Nic {
             .count(self.scope, "nic.bytes", frame.payload_len());
         self.metrics
             .gauge_max(self.scope, "nic.ring_high_watermark", self.pending as i64);
-        let skb = Skbuff::new(frame.src, frame.payload.clone(), now);
+        let skb = Skbuff::new(frame.src, frame.payload, now);
         let coalesced = matches!(self.last_irq, Some(t)
             if now.saturating_sub(t) < self.params.irq_coalesce);
-        if coalesced {
+        let irq = if coalesced {
             self.metrics.count(self.scope, "nic.irqs_coalesced", 1);
-            (Some(skb), RxOutcome::DeliveredCoalesced)
+            None
         } else {
             self.last_irq = Some(now);
             self.metrics.count(self.scope, "nic.irqs", 1);
-            (Some(skb), RxOutcome::DeliveredWithIrq(self.params.irq_core))
-        }
+            Some(self.params.irq_core)
+        };
+        let bh_wake = bh.enqueue(skb);
+        RxOutcome::Queued { irq, bh_wake }
     }
 
     /// The bottom half consumed `n` skbuffs and refilled the ring.
@@ -179,11 +196,18 @@ mod tests {
     }
 
     #[test]
-    fn receive_fills_ring_and_raises_irq() {
+    fn deliver_fills_ring_queues_bh_and_raises_irq() {
         let mut nic = Nic::new(NicParams::default());
-        let (skb, out) = nic.receive(Ps::us(1), &frame(100));
-        let skb = skb.unwrap();
-        assert_eq!(out, RxOutcome::DeliveredWithIrq(CoreId(0)));
+        let mut bh = BottomHalfQueue::new();
+        let out = nic.deliver(Ps::us(1), frame(100), &mut bh);
+        assert_eq!(
+            out,
+            RxOutcome::Queued {
+                irq: Some(CoreId(0)),
+                bh_wake: true
+            }
+        );
+        let skb = bh.pop_next().expect("queued");
         assert_eq!(skb.len(), 100);
         assert_eq!(skb.data[0], 0xAB);
         assert_eq!(skb.rx_time, Ps::us(1));
@@ -192,21 +216,33 @@ mod tests {
     }
 
     #[test]
+    fn payload_moves_from_frame_to_skbuff_without_copy() {
+        let mut nic = Nic::new(NicParams::default());
+        let mut bh = BottomHalfQueue::new();
+        let f = frame(64);
+        let wire_ptr = f.payload.as_ptr();
+        nic.deliver(Ps::ZERO, f, &mut bh);
+        let skb = bh.pop_next().expect("queued");
+        assert_eq!(skb.data.as_ptr(), wire_ptr, "payload bytes were copied");
+    }
+
+    #[test]
     fn ring_overflow_drops() {
         let mut nic = Nic::new(NicParams {
             rx_ring_size: 2,
             ..NicParams::default()
         });
-        nic.receive(Ps::ZERO, &frame(10));
-        nic.receive(Ps::ZERO, &frame(10));
-        let (skb, out) = nic.receive(Ps::ZERO, &frame(10));
-        assert!(skb.is_none());
+        let mut bh = BottomHalfQueue::new();
+        nic.deliver(Ps::ZERO, frame(10), &mut bh);
+        nic.deliver(Ps::ZERO, frame(10), &mut bh);
+        let out = nic.deliver(Ps::ZERO, frame(10), &mut bh);
         assert_eq!(out, RxOutcome::DroppedRingFull);
         assert_eq!(nic.frames_dropped(), 1);
+        assert_eq!(bh.backlog(), 2, "dropped frame must not reach the BH");
         // Replenish frees slots again.
         nic.replenish(2);
-        let (skb, _) = nic.receive(Ps::ZERO, &frame(10));
-        assert!(skb.is_some());
+        let out = nic.deliver(Ps::ZERO, frame(10), &mut bh);
+        assert!(matches!(out, RxOutcome::Queued { .. }));
     }
 
     #[test]
@@ -215,12 +251,26 @@ mod tests {
             irq_coalesce: Ps::us(10),
             ..NicParams::default()
         });
-        let (_, o1) = nic.receive(Ps::ZERO, &frame(10));
-        let (_, o2) = nic.receive(Ps::us(5), &frame(10));
-        let (_, o3) = nic.receive(Ps::us(20), &frame(10));
-        assert!(matches!(o1, RxOutcome::DeliveredWithIrq(_)));
-        assert_eq!(o2, RxOutcome::DeliveredCoalesced);
-        assert!(matches!(o3, RxOutcome::DeliveredWithIrq(_)));
+        let mut bh = BottomHalfQueue::new();
+        let o1 = nic.deliver(Ps::ZERO, frame(10), &mut bh);
+        let o2 = nic.deliver(Ps::us(5), frame(10), &mut bh);
+        let o3 = nic.deliver(Ps::us(20), frame(10), &mut bh);
+        assert!(matches!(o1, RxOutcome::Queued { irq: Some(_), .. }));
+        assert!(matches!(o2, RxOutcome::Queued { irq: None, .. }));
+        assert!(matches!(o3, RxOutcome::Queued { irq: Some(_), .. }));
+    }
+
+    #[test]
+    fn bh_wake_only_when_no_run_pending() {
+        let mut nic = Nic::new(NicParams::default());
+        let mut bh = BottomHalfQueue::new();
+        let o1 = nic.deliver(Ps::ZERO, frame(10), &mut bh);
+        let o2 = nic.deliver(Ps::ZERO, frame(10), &mut bh);
+        assert!(matches!(o1, RxOutcome::Queued { bh_wake: true, .. }));
+        assert!(
+            matches!(o2, RxOutcome::Queued { bh_wake: false, .. }),
+            "second frame piggybacks on the pending BH run"
+        );
     }
 
     #[test]
@@ -229,18 +279,19 @@ mod tests {
             rx_ring_size: 1,
             ..NicParams::default()
         });
+        let mut bh = BottomHalfQueue::new();
         let mut f = frame(100);
         f.fcs_corrupt = true;
-        let (skb, out) = nic.receive(Ps::ZERO, &f);
-        assert!(skb.is_none());
+        let out = nic.deliver(Ps::ZERO, f, &mut bh);
         assert_eq!(out, RxOutcome::DroppedCorrupt);
         // FCS drops never consume a ring slot and are counted apart
         // from ring overflow.
         assert_eq!(nic.pending(), 0);
         assert_eq!(nic.frames_corrupt_dropped(), 1);
         assert_eq!(nic.frames_dropped(), 0);
-        let (skb, _) = nic.receive(Ps::ZERO, &frame(10));
-        assert!(skb.is_some());
+        assert_eq!(bh.backlog(), 0);
+        let out = nic.deliver(Ps::ZERO, frame(10), &mut bh);
+        assert!(matches!(out, RxOutcome::Queued { .. }));
     }
 
     #[test]

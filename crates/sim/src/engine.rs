@@ -1,50 +1,84 @@
 //! The discrete-event engine.
 //!
-//! [`Sim<W>`] owns a priority queue of events, each a boxed `FnOnce`
-//! closure over a user-supplied world type `W`. Events scheduled for the
-//! same instant fire in FIFO order (a monotone sequence number breaks
-//! ties), which makes runs deterministic regardless of queue internals.
+//! [`Sim<W>`] schedules closures over a user-supplied world type `W`.
+//! Events scheduled for the same instant fire in FIFO order (a monotone
+//! sequence number breaks ties), which makes runs deterministic
+//! regardless of queue internals. The world is passed in at
+//! [`Sim::run`] time rather than stored inside the engine so that
+//! closures can borrow the engine (`&mut Sim<W>`, for scheduling
+//! follow-up events) and the world (`&mut W`) at once.
 //!
-//! The world is passed in at [`Sim::run`] time rather than stored inside
-//! the engine so that closures can borrow the engine (`&mut Sim<W>`,
-//! for scheduling follow-up events) and the world (`&mut W`) at once.
+//! # Queue structure
+//!
+//! The engine replaced its original `BinaryHeap<(time, seq)>` — one
+//! O(log n) comparison cascade per schedule and per pop, one boxed
+//! closure allocation per event — with three cooperating structures
+//! whose observable execution order is *bit-identical* to the heap's
+//! (the determinism suite and the figure goldens are the oracle):
+//!
+//! * **current slot** — a `VecDeque` holding the events of the slot
+//!   the cursor is on, sorted by `(time, seq)` once when the slot is
+//!   adopted (seqs are unique, so the sort reconstructs the exact
+//!   global schedule order). Execution is a pure `pop_front` run;
+//!   scheduling into the executing slot (`now`, or anything else
+//!   within its ~131 ns) is an O(1) append in the common monotone case
+//!   and a binary-search insert otherwise.
+//! * **timing wheel** ([`crate::wheel`]) — 512 slots of ~131 ns
+//!   covering ≈ 67 µs past the last executed instant. In-window
+//!   scheduling is an O(1) intrusive-list push into a shared node
+//!   slab; finding the next instant is a bitmap scan plus a cached
+//!   per-slot minimum.
+//! * **overflow heap** — `(time, seq)`-ordered `BinaryHeap` of
+//!   small boxed-closure nodes for events beyond the window
+//!   (retransmit timers, watchdogs). They cascade into the wheel as
+//!   the cursor advances.
+//!
+//! Closures are packed by [`crate::event::EventFn`]: up to three words
+//! inline in the queue node, medium captures in pooled free-list
+//! slots, so steady-state scheduling performs no heap allocation.
+//!
+//! # Cancellation
+//!
+//! [`Sim::schedule_at_cancellable`] returns a [`TimerId`] that
+//! [`Sim::cancel`] revokes in O(log n). Cancellation tombstones the
+//! event rather than unlinking it: the closure is destroyed when its
+//! instant is reached, the handler never runs, but the clock still
+//! passes through the instant (both this engine and
+//! [`crate::reference::ReferenceSim`] define it that way). The
+//! tombstone sets are empty unless cancellation is actually used, in
+//! which case lookups cost one `is_empty` check on the hot path.
 
+use crate::event::{EventFn, EventPool, PoolSlot};
 use crate::time::Ps;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::wheel::{slot_of, Entry, FarEntry, FarHeap, Wheel};
+use std::collections::{BTreeSet, VecDeque};
 
-type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
-
-struct Scheduled<W> {
-    at: Ps,
-    seq: u64,
-    run: EventFn<W>,
-}
-
-// Order by (time, sequence) only; the closure does not participate.
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+/// Handle to a cancellable scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
 
 /// A single-threaded deterministic discrete-event simulator.
 pub struct Sim<W> {
     now: Ps,
     seq: u64,
     executed: u64,
-    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    /// Live (not yet executed, not cancelled) event count.
+    pending: usize,
+    /// Events of the slot the cursor is on, sorted by `(time, seq)`,
+    /// held as indices into the wheel's node slab so the sort and any
+    /// mid-drain inserts move 4-byte handles instead of whole entries;
+    /// each closure moves exactly once, at fire time. This deque — not
+    /// the wheel bucket — is the canonical home of cursor-slot
+    /// entries; the wheel's own cursor bucket is empty except
+    /// transiently during a cascade.
+    current: VecDeque<u32>,
+    wheel: Wheel<W>,
+    far: FarHeap<W>,
+    pool: EventPool,
+    /// Sequence numbers of cancellable events not yet fired/cancelled.
+    live: BTreeSet<u64>,
+    /// Sequence numbers cancelled but not yet reaped from the queues.
+    cancelled: BTreeSet<u64>,
 }
 
 impl<W> Default for Sim<W> {
@@ -60,7 +94,13 @@ impl<W> Sim<W> {
             now: Ps::ZERO,
             seq: 0,
             executed: 0,
-            queue: BinaryHeap::new(),
+            pending: 0,
+            current: VecDeque::new(),
+            wheel: Wheel::new(),
+            far: FarHeap::new(),
+            pool: EventPool::new(),
+            live: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
         }
     }
 
@@ -77,27 +117,17 @@ impl<W> Sim<W> {
         self.executed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (cancelled events excluded).
     #[inline]
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.pending
     }
 
     /// Schedule `f` to run at absolute time `at`. Scheduling in the past
     /// is a logic error and panics — it would silently reorder causality.
     pub fn schedule_at(&mut self, at: Ps, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
-        assert!(
-            at >= self.now,
-            "event scheduled in the past: at={at} now={}",
-            self.now
-        );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq,
-            run: Box::new(f),
-        }));
+        let f = EventFn::new(f, &mut self.pool);
+        self.insert(at, f);
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -107,6 +137,174 @@ impl<W> Sim<W> {
             .checked_add(delay)
             .expect("simulation clock overflow");
         self.schedule_at(at, f);
+    }
+
+    /// Like [`Sim::schedule_at`], returning a handle that can revoke
+    /// the event via [`Sim::cancel`].
+    pub fn schedule_at_cancellable(
+        &mut self,
+        at: Ps,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> TimerId {
+        let f = EventFn::new(f, &mut self.pool);
+        let seq = self.insert(at, f);
+        self.live.insert(seq);
+        TimerId(seq)
+    }
+
+    /// Like [`Sim::schedule_in`], returning a cancellation handle.
+    pub fn schedule_in_cancellable(
+        &mut self,
+        delay: Ps,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> TimerId {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulation clock overflow");
+        self.schedule_at_cancellable(at, f)
+    }
+
+    /// Revoke a cancellable event. Returns whether it was revoked here:
+    /// `false` if it already fired or was already cancelled. The
+    /// closure of a revoked event never runs (its captures are dropped
+    /// when its instant is reached), but the clock still passes through
+    /// the instant.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            self.pending -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, at: Ps, f: EventFn<W>) -> u64 {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.pending += 1;
+        if slot_of(at) == self.wheel.cursor() {
+            // The cursor slot lives in `current`, kept sorted. The new
+            // entry carries the highest seq, so it sorts after every
+            // entry with the same or an earlier timestamp — which in
+            // the common case (monotone schedules) is the back.
+            let sorted_at_back = match self.current.back() {
+                Some(&b) => self.wheel.node_at(b) <= at,
+                None => true,
+            };
+            let node = self.wheel.adopt(Entry { at, seq, f });
+            if sorted_at_back {
+                self.current.push_back(node);
+            } else {
+                let wheel = &self.wheel;
+                let pos = self.current.partition_point(|&i| wheel.node_at(i) <= at);
+                self.current.insert(pos, node);
+            }
+        } else if self.wheel.in_window(at) {
+            self.wheel.push(Entry { at, seq, f });
+        } else {
+            self.far.push(std::cmp::Reverse(FarEntry {
+                at,
+                seq,
+                f: Box::new(f),
+            }));
+        }
+        seq
+    }
+
+    /// Give a consumed pooled-closure slot back to the free list
+    /// (called by the `call_pooled` thunk in `event.rs`).
+    #[inline]
+    pub(crate) fn recycle_slot(&mut self, slot: *mut PoolSlot) {
+        self.pool.put(slot);
+    }
+
+    /// Earliest pending instant outside `current`, without mutating any
+    /// structure. Wheel entries always precede overflow entries: the
+    /// overflow holds only slots at or beyond the window end.
+    #[inline]
+    fn next_instant(&self) -> Option<Ps> {
+        match self.wheel.min_at() {
+            Some(t) => Some(t),
+            None => self.far.peek().map(|rev| rev.0.at),
+        }
+    }
+
+    /// Commit to executing the slot holding instant `t` (the queue
+    /// minimum): advance the window — cascading overflow entries, some
+    /// of which may land in the very slot being adopted — then take
+    /// the whole slot as the new `current` run queue and sort it once.
+    fn take_slot(&mut self, t: Ps) {
+        debug_assert!(self.current.is_empty());
+        let s = slot_of(t);
+        if self.wheel.is_empty() {
+            // Everything due comes straight off the overflow heap,
+            // which pops in (time, seq) order: entries of the due slot
+            // go directly into `current` — already sorted, no bucket
+            // swap — and the rest of the new window cascades normally.
+            self.wheel.jump_to(s);
+            let horizon = s + crate::wheel::WHEEL_SLOTS;
+            while let Some(std::cmp::Reverse(head)) = self.far.peek() {
+                let hs = slot_of(head.at);
+                if hs >= horizon {
+                    break;
+                }
+                let std::cmp::Reverse(e) = self.far.pop().expect("peeked entry vanished");
+                if hs == s {
+                    let node = self.wheel.adopt(e.into_entry());
+                    self.current.push_back(node);
+                } else {
+                    self.wheel.push(e.into_entry());
+                }
+            }
+            return;
+        }
+        self.wheel.advance_to(s, &mut self.far);
+        self.wheel.take_cursor_slot(&mut self.current);
+        // Unstable sort is exact here (seqs are unique) and, unlike a
+        // stable sort, allocation-free.
+        let wheel = &self.wheel;
+        self.current
+            .make_contiguous()
+            .sort_unstable_by_key(|&i| wheel.node_key(i));
+    }
+
+    /// Pop the next runnable event of the current slot, reaping
+    /// tombstones of cancelled events along the way.
+    #[inline]
+    fn pop_runnable(&mut self) -> Option<(Ps, u64, EventFn<W>)> {
+        while let Some(idx) = self.current.pop_front() {
+            let (at, seq, f) = self.wheel.consume(idx);
+            if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
+                // Cancelled: destroy the closure, keep the clock
+                // consistent with the instant having been reached.
+                debug_assert!(at >= self.now, "event queue went backwards");
+                self.now = at;
+                drop(f);
+                continue;
+            }
+            return Some((at, seq, f));
+        }
+        None
+    }
+
+    #[inline]
+    fn fire(&mut self, world: &mut W, at: Ps, seq: u64, f: EventFn<W>) {
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.executed += 1;
+        self.pending -= 1;
+        if !self.live.is_empty() {
+            self.live.remove(&seq);
+        }
+        f.invoke(world, self);
     }
 
     /// Run until the queue is empty. Returns the final time.
@@ -119,15 +317,34 @@ impl<W> Sim<W> {
     /// time of the last executed event (or the unchanged clock if none
     /// ran).
     pub fn run_until(&mut self, world: &mut W, deadline: Ps) -> Ps {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        loop {
+            // Drain the current slot up to the deadline. The deadline
+            // re-applies after every pop: a reaped tombstone must not
+            // let a later event slip past it.
+            loop {
+                match self.current.front() {
+                    Some(&i) if self.wheel.node_at(i) <= deadline => {}
+                    _ => break,
+                }
+                let idx = self.current.pop_front().expect("peeked entry vanished");
+                let (at, seq, f) = self.wheel.consume(idx);
+                if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
+                    debug_assert!(at >= self.now, "event queue went backwards");
+                    self.now = at;
+                    drop(f);
+                    continue;
+                }
+                self.fire(world, at, seq, f);
+            }
+            if !self.current.is_empty() {
+                // Leftover entries beyond the deadline stay queued.
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked entry vanished");
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.run)(world, self);
+            let Some(t) = self.next_instant() else { break };
+            if t > deadline {
+                break;
+            }
+            self.take_slot(t);
         }
         self.now
     }
@@ -137,15 +354,13 @@ impl<W> Sim<W> {
     pub fn step(&mut self, world: &mut W, n: u64) -> u64 {
         let mut done = 0;
         while done < n {
-            match self.queue.pop() {
-                Some(Reverse(ev)) => {
-                    self.now = ev.at;
-                    self.executed += 1;
-                    (ev.run)(world, self);
-                    done += 1;
-                }
-                None => break,
+            if let Some((at, seq, f)) = self.pop_runnable() {
+                self.fire(world, at, seq, f);
+                done += 1;
+                continue;
             }
+            let Some(t) = self.next_instant() else { break };
+            self.take_slot(t);
         }
         done
     }
@@ -239,5 +454,71 @@ mod tests {
         let mut world = ();
         assert_eq!(sim.run(&mut world), Ps::ZERO);
         assert_eq!(sim.now(), Ps::ZERO);
+    }
+
+    #[test]
+    fn far_events_cascade_into_the_wheel() {
+        // Events far beyond the wheel window must still run in (time,
+        // seq) order, including a same-timestamp pair straddling the
+        // overflow heap and a near event scheduled later.
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        let far = Ps::ms(5); // well beyond the ~67 µs window
+        sim.schedule_at(far, |w: &mut Vec<u32>, _| w.push(2));
+        sim.schedule_at(far, |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(Ps::ns(10), move |w: &mut Vec<u32>, sim| {
+            w.push(1);
+            sim.schedule_at(far, |w: &mut Vec<u32>, _| w.push(4));
+        });
+        let end = sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3, 4]);
+        assert_eq!(end, far);
+    }
+
+    #[test]
+    fn cancel_revokes_exactly_once() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(Ps::ns(10), |w: &mut Vec<u32>, _| w.push(1));
+        let id = sim.schedule_at_cancellable(Ps::ns(20), |w: &mut Vec<u32>, _| w.push(2));
+        sim.schedule_at(Ps::ns(30), |w: &mut Vec<u32>, _| w.push(3));
+        assert_eq!(sim.events_pending(), 3);
+        assert!(sim.cancel(id));
+        assert_eq!(sim.events_pending(), 2);
+        assert!(!sim.cancel(id), "double cancel must be a no-op");
+        sim.run(&mut world);
+        assert_eq!(world, vec![1, 3]);
+        assert_eq!(sim.events_executed(), 2);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_no_op() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut world = 0u32;
+        let id = sim.schedule_at_cancellable(Ps::ns(5), |w: &mut u32, _| *w += 1);
+        sim.run(&mut world);
+        assert_eq!(world, 1);
+        assert!(!sim.cancel(id));
+        assert_eq!(world, 1);
+    }
+
+    #[test]
+    fn pending_events_drop_cleanly_with_the_sim() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let alive = Rc::new(RefCell::new(0u32));
+        {
+            let mut sim: Sim<()> = Sim::new();
+            for at in [Ps::ns(1), Ps::ms(50)] {
+                let a = alive.clone();
+                *alive.borrow_mut() += 1;
+                sim.schedule_at(at, move |_: &mut (), _| {
+                    let _ = &a;
+                });
+            }
+            assert_eq!(Rc::strong_count(&alive), 3);
+        }
+        assert_eq!(Rc::strong_count(&alive), 1, "captures leaked");
     }
 }

@@ -24,15 +24,20 @@
 //!   and reuse bugs into panics with the allocation site.
 
 pub mod engine;
+pub(crate) mod event;
 pub mod metrics;
+pub mod reference;
 pub mod resource;
 pub mod rng;
 pub mod sanitize;
 pub mod stats;
 pub mod time;
+pub mod walltime;
+pub(crate) mod wheel;
 
-pub use engine::Sim;
+pub use engine::{Sim, TimerId};
 pub use metrics::{Metrics, MetricsSnapshot, TraceEvent};
+pub use reference::ReferenceSim;
 pub use resource::FifoServer;
 pub use rng::SplitMix64;
 pub use sanitize::{Kind as SanitizeKind, SimSanitizer, Token as SanitizeToken};

@@ -1,0 +1,263 @@
+//! The original `BinaryHeap`-based engine, kept verbatim as a
+//! reference scheduler.
+//!
+//! [`ReferenceSim`] is the engine the figures were first generated
+//! with: a `(time, seq)`-ordered binary heap of boxed closures. It is
+//! deliberately simple — its execution order is easy to audit — and it
+//! serves two purposes:
+//!
+//! * the **equivalence proptest** (`crates/sim/tests/equivalence.rs`)
+//!   drives random schedule/cancel/run workloads through both engines
+//!   and asserts identical execution traces, which is what lets the
+//!   timing-wheel engine claim bit-identical determinism;
+//! * the **benchmarks** (`crates/bench`) measure the wheel against it
+//!   so the `BENCH_*.json` trajectory always has a live baseline.
+//!
+//! It mirrors the public API of [`crate::Sim`], including the
+//! cancellation extension with the same tombstone semantics (the clock
+//! still passes through a cancelled instant).
+
+use crate::engine::TimerId;
+use crate::time::Ps;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut ReferenceSim<W>)>;
+
+struct Scheduled<W> {
+    at: Ps,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+// Order by (time, sequence) only; the closure does not participate.
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The original heap-based deterministic discrete-event simulator.
+pub struct ReferenceSim<W> {
+    now: Ps,
+    seq: u64,
+    executed: u64,
+    pending: usize,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    live: BTreeSet<u64>,
+    cancelled: BTreeSet<u64>,
+}
+
+impl<W> Default for ReferenceSim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> ReferenceSim<W> {
+    /// A fresh simulator at time zero with an empty queue.
+    pub fn new() -> Self {
+        ReferenceSim {
+            now: Ps::ZERO,
+            seq: 0,
+            executed: 0,
+            pending: 0,
+            queue: BinaryHeap::new(),
+            live: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (cancelled events excluded).
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    pub fn schedule_at(&mut self, at: Ps, f: impl FnOnce(&mut W, &mut ReferenceSim<W>) + 'static) {
+        self.insert(at, Box::new(f));
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: Ps,
+        f: impl FnOnce(&mut W, &mut ReferenceSim<W>) + 'static,
+    ) {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulation clock overflow");
+        self.schedule_at(at, f);
+    }
+
+    /// Schedule with a cancellation handle.
+    pub fn schedule_at_cancellable(
+        &mut self,
+        at: Ps,
+        f: impl FnOnce(&mut W, &mut ReferenceSim<W>) + 'static,
+    ) -> TimerId {
+        let seq = self.insert(at, Box::new(f));
+        self.live.insert(seq);
+        TimerId(seq)
+    }
+
+    /// Schedule a delay with a cancellation handle.
+    pub fn schedule_in_cancellable(
+        &mut self,
+        delay: Ps,
+        f: impl FnOnce(&mut W, &mut ReferenceSim<W>) + 'static,
+    ) -> TimerId {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulation clock overflow");
+        self.schedule_at_cancellable(at, f)
+    }
+
+    /// Revoke a cancellable event; same semantics as [`crate::Sim::cancel`].
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            self.pending -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, at: Ps, run: EventFn<W>) -> u64 {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.pending += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, run }));
+        seq
+    }
+
+    fn pop_runnable(&mut self) -> Option<Scheduled<W>> {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    fn fire(&mut self, world: &mut W, ev: Scheduled<W>) {
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.executed += 1;
+        self.pending -= 1;
+        if !self.live.is_empty() {
+            self.live.remove(&ev.seq);
+        }
+        (ev.run)(world, self);
+    }
+
+    /// Run until the queue is empty. Returns the final time.
+    pub fn run(&mut self, world: &mut W) -> Ps {
+        self.run_until(world, Ps::MAX)
+    }
+
+    /// Run until the queue is empty or the next event would fire after
+    /// `deadline` (inclusive).
+    pub fn run_until(&mut self, world: &mut W, deadline: Ps) -> Ps {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(head)) if head.at <= deadline => {}
+                _ => break,
+            }
+            // Re-apply the deadline check after every pop: a reaped
+            // tombstone must not let a later event slip past it.
+            let Reverse(ev) = self.queue.pop().expect("peeked entry vanished");
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                continue;
+            }
+            self.fire(world, ev);
+        }
+        self.now
+    }
+
+    /// Run at most `n` more events.
+    pub fn step(&mut self, world: &mut W, n: u64) -> u64 {
+        let mut done = 0;
+        while done < n {
+            match self.pop_runnable() {
+                Some(ev) => {
+                    self.fire(world, ev);
+                    done += 1;
+                }
+                None => break,
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_original_semantics() {
+        let mut sim: ReferenceSim<Vec<u32>> = ReferenceSim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(Ps::ns(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(Ps::ns(10), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(Ps::ns(20), |w: &mut Vec<u32>, _| w.push(2));
+        let end = sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(end, Ps::ns(30));
+        assert_eq!(sim.events_executed(), 3);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn reference_cancel_matches_wheel_semantics() {
+        let mut sim: ReferenceSim<Vec<u32>> = ReferenceSim::new();
+        let mut world = Vec::new();
+        let id = sim.schedule_at_cancellable(Ps::ns(20), |w: &mut Vec<u32>, _| w.push(2));
+        sim.schedule_at(Ps::ns(10), |w: &mut Vec<u32>, _| w.push(1));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id));
+        sim.run(&mut world);
+        assert_eq!(world, vec![1]);
+        // The clock passes through the cancelled instant.
+        assert_eq!(sim.now(), Ps::ns(20));
+        assert_eq!(sim.events_pending(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Host wall-clock measurement for the benchmark harness.
+//!
+//! Nothing inside a simulation may read the host clock — omx-lint's D1
+//! rule bans `std::time::Instant` everywhere outside `crates/sim`, and
+//! the determinism suite would catch any leak into simulated state.
+//! The benchmark *runner*, however, exists precisely to measure how
+//! fast the simulator itself executes on the host, so the one
+//! sanctioned wall-clock read lives here, in the crate the lint rule
+//! exempts, behind an API that cannot feed back into event timing: a
+//! [`Stopwatch`] hands out elapsed host time as plain numbers, never as
+//! [`crate::time::Ps`] simulation time.
+
+use std::time::Instant;
+
+/// A started wall-clock timer. Host-time only; results must never be
+/// converted into simulated [`crate::time::Ps`] values.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed host time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed host time in nanoseconds.
+    pub fn elapsed_nanos(&self) -> u128 {
+        self.start.elapsed().as_nanos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Hierarchical timing wheel: the near-term half of the event queue.
+//!
+//! The wheel covers a sliding window of [`WHEEL_SLOTS`] slots of
+//! `2^SLOT_SHIFT` picoseconds each (512 × ~131 ns ≈ 67 µs) starting
+//! at the cursor — the slot of the most recently executed instant.
+//! Storage is kernel-timer style: every slot is the head of an
+//! intrusive singly-linked list whose nodes live in one shared slab
+//! (`Vec` plus an index free list), so pushing is O(1) — write one
+//! slab node, link it in — and the only growing allocation is the slab
+//! itself, amortised exactly like a binary heap's backing vector.
+//! Events beyond the window live in an overflow binary heap owned by
+//! the engine and cascade into the wheel as the cursor advances.
+//!
+//! Finding the next instant is a bitmap scan from the cursor (64-bit
+//! words, so at most 9 word reads across the whole window) followed by
+//! an O(1) read of the cached per-slot minimum. The engine never
+//! extracts individual instants from the wheel: when the cursor lands
+//! on a slot, [`Wheel::take_cursor_slot`] unlinks the *entire* slot
+//! list into the engine's current-slot run queue, which the engine
+//! sorts by `(time, seq)` once. Because sequence numbers are unique,
+//! that sort reconstructs the exact global schedule order — slot lists
+//! are free to be unordered (they are LIFO), and determinism rests
+//! only on the sort key (see `engine.rs`).
+
+use crate::event::EventFn;
+use crate::time::Ps;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// log2 of the slot width in picoseconds (~131 ns per slot). Wide
+/// slots keep the ring small (the whole occupancy structure is a few
+/// cache lines) and amortise per-slot work over more events; the
+/// engine sorts a slot once when it adopts it, so slot width does not
+/// affect execution order.
+pub(crate) const SLOT_SHIFT: u32 = 17;
+/// Number of slots in the sliding window (window span ≈ 67 µs).
+pub(crate) const WHEEL_SLOTS: u64 = 512;
+const MASK: u64 = WHEEL_SLOTS - 1;
+const WORDS: usize = (WHEEL_SLOTS / 64) as usize;
+const SLOTS: usize = WHEEL_SLOTS as usize;
+/// Null link in the slab lists.
+const NIL: u32 = u32::MAX;
+
+/// Absolute slot index of a timestamp.
+#[inline]
+pub(crate) fn slot_of(at: Ps) -> u64 {
+    at.0 >> SLOT_SHIFT
+}
+
+/// One scheduled event: timestamp, FIFO tiebreak, packed closure.
+pub(crate) struct Entry<W> {
+    pub(crate) at: Ps,
+    pub(crate) seq: u64,
+    pub(crate) f: EventFn<W>,
+}
+
+/// Overflow entry: the closure is boxed so heap nodes are small (24
+/// bytes — sift-downs move less than the old all-heap engine's 32-byte
+/// nodes). The box costs one allocation per *beyond-window* event,
+/// which is exactly what the old engine paid for every event; the
+/// steady-state no-allocation guarantee covers the in-window hot path.
+pub(crate) struct FarEntry<W> {
+    pub(crate) at: Ps,
+    pub(crate) seq: u64,
+    pub(crate) f: Box<EventFn<W>>,
+}
+
+impl<W> FarEntry<W> {
+    /// Unbox into a wheel/current entry (on cascade).
+    pub(crate) fn into_entry(self) -> Entry<W> {
+        Entry {
+            at: self.at,
+            seq: self.seq,
+            f: *self.f,
+        }
+    }
+}
+
+impl<W> PartialEq for FarEntry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for FarEntry<W> {}
+impl<W> PartialOrd for FarEntry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for FarEntry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The overflow heap type: min-heap over `(at, seq)`.
+pub(crate) type FarHeap<W> = BinaryHeap<std::cmp::Reverse<FarEntry<W>>>;
+
+/// One slab node: an entry plus its intrusive link. The closure sits
+/// in an `Option` (same size as `EventFn` thanks to the fn-pointer
+/// niche): `Some` while the node is linked into a slot, `None` while
+/// it is on the free list — so dropping the slab drops exactly the
+/// closures that never ran.
+struct Node<W> {
+    at: Ps,
+    seq: u64,
+    next: u32,
+    f: Option<EventFn<W>>,
+}
+
+/// The sliding-window wheel.
+pub(crate) struct Wheel<W> {
+    /// Head node index per physical slot (`NIL` if empty).
+    heads: [u32; SLOTS],
+    /// Exact minimum timestamp per occupied slot (`Ps::MAX` if empty),
+    /// maintained on push and cleared on adoption — never rescanned.
+    slot_min: [Ps; SLOTS],
+    /// Occupancy bitmap over physical slots.
+    words: [u64; WORDS],
+    /// Shared node slab for all slot lists.
+    nodes: Vec<Node<W>>,
+    /// Head of the slab free list (`NIL` if empty).
+    free: u32,
+    /// Absolute slot index the window starts at.
+    cursor: u64,
+    /// Total entries in the wheel.
+    len: usize,
+}
+
+impl<W> Wheel<W> {
+    pub(crate) fn new() -> Self {
+        Wheel {
+            heads: [NIL; SLOTS],
+            slot_min: [Ps::MAX; SLOTS],
+            words: [0; WORDS],
+            nodes: Vec::new(),
+            free: NIL,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Move the cursor of an empty wheel without a cascade scan — the
+    /// engine's fast path when the next instant comes straight off the
+    /// overflow heap.
+    #[inline]
+    pub(crate) fn jump_to(&mut self, slot: u64) {
+        debug_assert_eq!(self.len, 0, "jump_to on a non-empty wheel");
+        debug_assert!(slot >= self.cursor, "cursor moved backwards");
+        self.cursor = slot;
+    }
+
+    #[inline]
+    pub(crate) fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// True if `at` falls inside the current window.
+    #[inline]
+    pub(crate) fn in_window(&self, at: Ps) -> bool {
+        slot_of(at) < self.cursor + WHEEL_SLOTS
+    }
+
+    /// Insert an entry whose slot lies inside the window.
+    #[inline]
+    pub(crate) fn push(&mut self, e: Entry<W>) {
+        let Entry { at, seq, f } = e;
+        let s = slot_of(at);
+        debug_assert!(
+            s >= self.cursor && s < self.cursor + WHEEL_SLOTS,
+            "slot {s} outside window [{}, {})",
+            self.cursor,
+            self.cursor + WHEEL_SLOTS
+        );
+        let phys = (s & MASK) as usize;
+        let head = self.heads[phys];
+        if head == NIL {
+            self.words[phys / 64] |= 1u64 << (phys % 64);
+            self.slot_min[phys] = at;
+        } else if at < self.slot_min[phys] {
+            self.slot_min[phys] = at;
+        }
+        // Link in at the head (LIFO — order is reconstructed by the
+        // engine's adoption sort).
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            let n = &mut self.nodes[idx as usize];
+            self.free = n.next;
+            *n = Node {
+                at,
+                seq,
+                next: head,
+                f: Some(f),
+            };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                at,
+                seq,
+                next: head,
+                f: Some(f),
+            });
+            idx
+        };
+        self.heads[phys] = idx;
+        self.len += 1;
+    }
+
+    /// Earliest timestamp anywhere in the wheel, if non-empty. A bitmap
+    /// scan in window order (cursor first, wrapping), then the cached
+    /// slot minimum. Does not mutate — calling this must stay safe even
+    /// when the engine then declines to run the instant (deadline).
+    #[inline]
+    pub(crate) fn min_at(&self) -> Option<Ps> {
+        if self.len == 0 {
+            return None;
+        }
+        let c = (self.cursor & MASK) as usize;
+        let (cw, cb) = (c / 64, c % 64);
+        let first = self.words[cw] & (!0u64 << cb);
+        if first != 0 {
+            return Some(self.slot_min[cw * 64 + first.trailing_zeros() as usize]);
+        }
+        for i in 1..=WORDS {
+            let wi = (cw + i) % WORDS;
+            let mut w = self.words[wi];
+            if i == WORDS {
+                // Wrapped back to the cursor's own word: only the low
+                // bits (physically before the cursor) are unseen.
+                w &= !(!0u64 << cb);
+            }
+            if w != 0 {
+                return Some(self.slot_min[wi * 64 + w.trailing_zeros() as usize]);
+            }
+        }
+        unreachable!("wheel len={} but no occupied slot", self.len)
+    }
+
+    /// Slide the window start forward to `slot` and cascade every
+    /// overflow entry that now falls inside the window. The heap pops
+    /// in `(at, seq)` order, so cascaded entries append to the slot
+    /// FIFOs in exactly the order a fresh schedule would have.
+    pub(crate) fn advance_to(&mut self, slot: u64, far: &mut FarHeap<W>) {
+        debug_assert!(slot >= self.cursor, "cursor moved backwards");
+        self.cursor = slot;
+        let horizon = slot + WHEEL_SLOTS;
+        while let Some(std::cmp::Reverse(head)) = far.peek() {
+            if slot_of(head.at) >= horizon {
+                break;
+            }
+            let std::cmp::Reverse(e) = far.pop().expect("peeked entry vanished");
+            self.push(e.into_entry());
+        }
+    }
+
+    /// Unlink the entire (non-empty) cursor slot into `out` as node
+    /// indices, clearing the slot's occupancy. The indices arrive in
+    /// list (reverse-push) order; the engine sorts them by `(time,
+    /// seq)` once, which reconstructs the exact schedule order. The
+    /// nodes stay allocated until [`Wheel::consume`] frees them.
+    #[inline]
+    pub(crate) fn take_cursor_slot(&mut self, out: &mut VecDeque<u32>) {
+        debug_assert!(out.is_empty());
+        let phys = (self.cursor & MASK) as usize;
+        let mut idx = self.heads[phys];
+        debug_assert_ne!(idx, NIL, "taking an empty cursor slot");
+        self.heads[phys] = NIL;
+        self.slot_min[phys] = Ps::MAX;
+        self.words[phys / 64] &= !(1u64 << (phys % 64));
+        while idx != NIL {
+            out.push_back(idx);
+            self.len -= 1;
+            idx = self.nodes[idx as usize].next;
+        }
+    }
+
+    /// `(time, seq)` key of a live node (sort key, deadline checks).
+    #[inline]
+    pub(crate) fn node_key(&self, idx: u32) -> (Ps, u64) {
+        let n = &self.nodes[idx as usize];
+        (n.at, n.seq)
+    }
+
+    /// Timestamp of a live node.
+    #[inline]
+    pub(crate) fn node_at(&self, idx: u32) -> Ps {
+        self.nodes[idx as usize].at
+    }
+
+    /// Allocate an unlinked slab node for an entry the engine adopts
+    /// straight into its current run queue (cursor-slot schedules and
+    /// the overflow fast path). Not counted in `len` — the entry is
+    /// the engine's, only its storage lives here.
+    #[inline]
+    pub(crate) fn adopt(&mut self, e: Entry<W>) -> u32 {
+        let Entry { at, seq, f } = e;
+        if self.free != NIL {
+            let idx = self.free;
+            let n = &mut self.nodes[idx as usize];
+            self.free = n.next;
+            *n = Node {
+                at,
+                seq,
+                next: NIL,
+                f: Some(f),
+            };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                at,
+                seq,
+                next: NIL,
+                f: Some(f),
+            });
+            idx
+        }
+    }
+
+    /// Consume a node handed out by [`Wheel::take_cursor_slot`] or
+    /// [`Wheel::adopt`]: move its closure out and free-list the node.
+    #[inline]
+    pub(crate) fn consume(&mut self, idx: u32) -> (Ps, u64, EventFn<W>) {
+        let n = &mut self.nodes[idx as usize];
+        let f = n.f.take().expect("consuming a free node");
+        let key = (n.at, n.seq);
+        n.next = self.free;
+        self.free = idx;
+        (key.0, key.1, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventPool;
+
+    fn entry(pool: &mut EventPool, at: Ps, seq: u64) -> Entry<()> {
+        Entry {
+            at,
+            seq,
+            f: EventFn::new(|_: &mut (), _: &mut crate::Sim<()>| {}, pool),
+        }
+    }
+
+    fn far_entry(pool: &mut EventPool, at: Ps, seq: u64) -> FarEntry<()> {
+        let Entry { at, seq, f } = entry(pool, at, seq);
+        FarEntry {
+            at,
+            seq,
+            f: Box::new(f),
+        }
+    }
+
+    #[test]
+    fn min_at_scans_across_wrap() {
+        let mut pool = EventPool::new();
+        let mut w: Wheel<()> = Wheel::new();
+        let mut far: FarHeap<()> = BinaryHeap::new();
+        // Advance the cursor so the window wraps the physical array.
+        w.advance_to(WHEEL_SLOTS - 2, &mut far);
+        // A slot physically *before* the cursor (wrapped part of the
+        // window) must still be found, and in window order.
+        let near = Ps((WHEEL_SLOTS - 1) << SLOT_SHIFT); // phys 4095
+        let wrapped = Ps((WHEEL_SLOTS + 5) << SLOT_SHIFT); // phys 5
+        w.push(entry(&mut pool, wrapped, 1));
+        assert_eq!(w.min_at(), Some(wrapped));
+        w.push(entry(&mut pool, near, 2));
+        assert_eq!(w.min_at(), Some(near));
+    }
+
+    #[test]
+    fn take_cursor_slot_hands_over_all_entries_and_clears() {
+        let mut pool = EventPool::new();
+        let mut w: Wheel<()> = Wheel::new();
+        // Two timestamps in slot 0, interleaved, plus one in a later
+        // slot that must survive the take.
+        let (a, b) = (Ps(10), Ps(20));
+        let later = Ps(5 << SLOT_SHIFT);
+        w.push(entry(&mut pool, b, 0));
+        w.push(entry(&mut pool, a, 1));
+        w.push(entry(&mut pool, later, 2));
+        w.push(entry(&mut pool, a, 3));
+        assert_eq!(w.min_at(), Some(a));
+        let mut out = VecDeque::new();
+        w.take_cursor_slot(&mut out);
+        // Arbitrary (list) order — the engine sorts once on adoption.
+        let mut seqs: Vec<_> = out.iter().map(|&i| w.node_key(i).1).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 1, 3]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.min_at(), Some(later));
+        out.clear();
+        w.advance_to(5, &mut BinaryHeap::new());
+        w.take_cursor_slot(&mut out);
+        let idx = out.pop_front().expect("entry");
+        assert_eq!(w.consume(idx).1, 2);
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.min_at(), None);
+    }
+
+    #[test]
+    fn cascade_preserves_time_seq_order() {
+        let mut pool = EventPool::new();
+        let mut w: Wheel<()> = Wheel::new();
+        let mut far: FarHeap<()> = BinaryHeap::new();
+        let beyond = Ps((WHEEL_SLOTS + 100) << SLOT_SHIFT);
+        // Two far entries at the same timestamp, pushed out of seq
+        // order, plus one earlier.
+        far.push(std::cmp::Reverse(far_entry(&mut pool, beyond, 8)));
+        far.push(std::cmp::Reverse(far_entry(&mut pool, beyond, 3)));
+        let earlier = Ps(beyond.0 - 7); // lands in the previous slot
+        far.push(std::cmp::Reverse(far_entry(&mut pool, earlier, 5)));
+        // The engine advances to the slot of the earliest instant; the
+        // cascade lands each entry in the slot its timestamp selects.
+        w.advance_to(slot_of(earlier), &mut far);
+        assert!(far.is_empty(), "everything is inside the new window");
+        assert_eq!(w.len(), 3);
+        let mut out = VecDeque::new();
+        w.take_cursor_slot(&mut out);
+        let idx = out.pop_front().expect("entry");
+        assert_eq!(w.consume(idx).1, 5);
+        assert!(out.is_empty());
+        w.advance_to(slot_of(beyond), &mut far);
+        w.take_cursor_slot(&mut out);
+        let mut seqs: Vec<_> = out.iter().map(|&i| w.node_key(i).1).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![3, 8]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Manual diagnostic (not run in CI): splits the distinct-ns shape
+//! into schedule and drain phases for both engines. Run with
+//! `cargo test --release -p omx-sim --test probe_split -- --ignored --nocapture`.
+
+use omx_sim::walltime::Stopwatch;
+use omx_sim::{Ps, ReferenceSim, Sim};
+
+#[test]
+#[ignore]
+fn probe_schedule_vs_drain() {
+    const N: u64 = 10_000;
+    for rep in 0..5 {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut world = 0u64;
+        let sw = Stopwatch::start();
+        for i in 0..N {
+            sim.schedule_at(Ps::ns(i), |w: &mut u64, _| *w += 1);
+        }
+        let sched = sw.elapsed_secs();
+        let sw = Stopwatch::start();
+        sim.run(&mut world);
+        let drain = sw.elapsed_secs();
+
+        let mut rsim: ReferenceSim<u64> = ReferenceSim::new();
+        let mut rworld = 0u64;
+        let sw = Stopwatch::start();
+        for i in 0..N {
+            rsim.schedule_at(Ps::ns(i), |w: &mut u64, _| *w += 1);
+        }
+        let rsched = sw.elapsed_secs();
+        let sw = Stopwatch::start();
+        rsim.run(&mut rworld);
+        let rdrain = sw.elapsed_secs();
+
+        println!(
+            "rep {rep}: wheel sched {:6.1} drain {:6.1} | heap sched {:6.1} drain {:6.1} (ns/ev)",
+            sched * 1e9 / N as f64,
+            drain * 1e9 / N as f64,
+            rsched * 1e9 / N as f64,
+            rdrain * 1e9 / N as f64,
+        );
+        assert_eq!(world, rworld);
+    }
+}
