@@ -1,38 +1,12 @@
 //! Shared helpers for the figure-regenerator binaries.
 //!
-//! Each `fig*` binary reproduces one figure of the paper: it sweeps the
-//! same x-axis, runs the corresponding harness for every curve, prints
-//! an aligned table (and optionally JSON via `--json` for
-//! EXPERIMENTS.md) and states the qualitative shape the paper reports.
+//! The per-figure sweep/table/breakdown machinery moved into the
+//! `omx-repro` grid runner (crates/repro), which regenerates every
+//! committed results file deterministically in parallel; the `fig*`
+//! binaries are now thin shims over it. Only the `--json` series dump
+//! lives here.
 
 use omx_sim::stats::Series;
-use rayon::prelude::*;
-
-/// Run `f` over `sizes` in parallel (each point is an independent,
-/// deterministic simulation) and collect an x-sorted series.
-pub fn sweep_series<F>(name: &str, sizes: &[u64], f: F) -> Series
-where
-    F: Fn(u64) -> f64 + Sync,
-{
-    let ys: Vec<(u64, f64)> = sizes.par_iter().map(|&s| (s, f(s))).collect();
-    let mut series = Series::new(name);
-    for (x, y) in ys {
-        series.push(x as f64, y);
-    }
-    series
-}
-
-/// Print a figure header.
-pub fn banner(fig: &str, caption: &str) {
-    println!("==================================================================");
-    println!("{fig}: {caption}");
-    println!("==================================================================");
-}
-
-/// Print the shared-x table for a set of series.
-pub fn print_table(series: &[Series], x_label: &str) {
-    print!("{}", Series::table(series, x_label));
-}
 
 /// Emit the series as JSON on request (`--json` flag), for archival in
 /// EXPERIMENTS.md.
@@ -43,18 +17,4 @@ pub fn maybe_json(series: &[Series]) {
             serde_json::to_string_pretty(series).expect("serialize")
         );
     }
-}
-
-/// Emit one labelled component breakdown as a single JSON line.
-///
-/// Every fig binary prints at least one of these for a representative
-/// configuration, so the per-component time accounting (wire, BH
-/// memcpy, I/OAT channel, submit CPU, idle) is machine-readable
-/// without `--json`.
-pub fn print_breakdown<T: serde::Serialize>(label: &str, breakdown: &T) {
-    println!(
-        "{{\"component_breakdown\":{{\"label\":{:?},\"data\":{}}}}}",
-        label,
-        serde_json::to_string(breakdown).expect("serialize")
-    );
 }

@@ -143,4 +143,30 @@ fn actual_workspace_is_lint_clean() {
     assert!(r.files_scanned > 30, "walker found the workspace sources");
     // Every waiver carries a justification.
     assert!(r.waivers.iter().all(|w| !w.reason.is_empty()));
+    // Pin the exact waiver set: D1 stays a blanket rule with per-site
+    // waivers (no harness-crate carve-out). The experiment runner's
+    // pool spawn in crates/repro is the single sanctioned `std::thread`
+    // site outside crates/sim — its waiver documents why fan-out cannot
+    // affect results (grid-order merge, proven across --jobs in
+    // crates/repro/tests/runner.rs). Growing this list is an API
+    // decision, not a convenience: every new entry needs the same
+    // determinism argument.
+    let mut waivers: Vec<(String, String)> = r
+        .waivers
+        .iter()
+        .map(|w| (w.rule.clone(), w.file.clone()))
+        .collect();
+    waivers.sort();
+    assert_eq!(
+        waivers,
+        vec![
+            (
+                "ad-hoc-rng".to_string(),
+                "crates/core/src/cluster.rs".to_string()
+            ),
+            ("thread".to_string(), "crates/repro/src/pool.rs".to_string()),
+        ],
+        "unexpected waiver set: {:#?}",
+        r.waivers
+    );
 }

@@ -1,0 +1,173 @@
+//! Byte-conservation properties of the IMB kernel script builders:
+//! for random rank counts and message sizes, every kernel's generated
+//! scripts must (a) pair every send with exactly one matching receive
+//! (same endpoints, tag and byte count — the no-deadlock invariant)
+//! and (b) conserve bytes per rank where the kernel is symmetric,
+//! globally where it is not (Reduce and Bcast funnel bytes toward or
+//! away from rank 0 by design).
+
+use omx_mpi::Kernel;
+use proptest::prelude::*;
+
+/// Per-rank totals and the pairwise multisets for one script set.
+struct Flow {
+    sent: Vec<u64>,
+    received: Vec<u64>,
+    /// (from, to, tag, bytes) multiset as seen by senders.
+    send_ops: Vec<(usize, usize, u32, u64)>,
+    /// Same multiset as seen by receivers.
+    recv_ops: Vec<(usize, usize, u32, u64)>,
+}
+
+fn flow(kernel: Kernel, np: usize, size: u64, iters: u32) -> Flow {
+    let scripts = kernel.scripts(np, size, iters);
+    assert_eq!(scripts.len(), np, "one script per rank");
+    let mut f = Flow {
+        sent: vec![0; np],
+        received: vec![0; np],
+        send_ops: Vec::new(),
+        recv_ops: Vec::new(),
+    };
+    for (rank, script) in scripts.iter().enumerate() {
+        for ph in script {
+            for s in &ph.sends {
+                assert!(
+                    s.to < np,
+                    "{}: send to rank {} of {np}",
+                    kernel.name(),
+                    s.to
+                );
+                assert_ne!(s.to, rank, "{}: self-send", kernel.name());
+                f.sent[rank] += s.bytes;
+                f.send_ops.push((rank, s.to, s.tag, s.bytes));
+            }
+            for r in &ph.recvs {
+                assert!(
+                    r.from < np,
+                    "{}: recv from rank {} of {np}",
+                    kernel.name(),
+                    r.from
+                );
+                assert_ne!(r.from, rank, "{}: self-receive", kernel.name());
+                f.received[rank] += r.bytes;
+                f.recv_ops.push((r.from, rank, r.tag, r.bytes));
+            }
+        }
+    }
+    f.send_ops.sort_unstable();
+    f.recv_ops.sort_unstable();
+    f
+}
+
+/// Kernels whose data flow is symmetric: every rank receives exactly
+/// as many bytes as it sends.
+const SYMMETRIC: [Kernel; 9] = [
+    Kernel::PingPong,
+    Kernel::PingPing,
+    Kernel::SendRecv,
+    Kernel::Exchange,
+    Kernel::Allreduce,
+    Kernel::ReduceScatter,
+    Kernel::Allgather,
+    Kernel::Allgatherv,
+    Kernel::Alltoall,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every send pairs with exactly one receive for every kernel, at
+    /// random power-of-two rank counts and sizes.
+    #[test]
+    fn sends_and_receives_pair_up(
+        np_log in 1usize..4,
+        size in 2u64..(1 << 20),
+        iters in 1u32..4,
+    ) {
+        let np = 1usize << np_log;
+        for k in Kernel::ALL {
+            let f = flow(k, np, size, iters);
+            prop_assert_eq!(
+                &f.send_ops, &f.recv_ops,
+                "{} np={} size={}: unmatched ops", k.name(), np, size
+            );
+            prop_assert!(
+                !f.send_ops.is_empty(),
+                "{} np={} size={}: kernel moved no data", k.name(), np, size
+            );
+        }
+    }
+
+    /// Symmetric kernels conserve bytes per rank.
+    #[test]
+    fn symmetric_kernels_conserve_bytes_per_rank(
+        np_log in 1usize..4,
+        size in 2u64..(1 << 20),
+        iters in 1u32..4,
+    ) {
+        let np = 1usize << np_log;
+        for k in SYMMETRIC {
+            let f = flow(k, np, size, iters);
+            for rank in 0..np {
+                prop_assert_eq!(
+                    f.sent[rank], f.received[rank],
+                    "{} np={} size={} rank {}: sent != received",
+                    k.name(), np, size, rank
+                );
+            }
+        }
+    }
+
+    /// Reduce funnels every non-root contribution to rank 0: the root
+    /// only receives, leaves only send, and global bytes conserve.
+    #[test]
+    fn reduce_funnels_to_root(
+        np_log in 1usize..4,
+        size in 2u64..(1 << 20),
+        iters in 1u32..4,
+    ) {
+        let np = 1usize << np_log;
+        let f = flow(Kernel::Reduce, np, size, iters);
+        // The root contributes in place: it never sends. Every other
+        // rank sends its (partially reduced) contribution exactly once
+        // per iteration — binomial reduction combines before
+        // forwarding, so the per-hop payload stays `size` bytes.
+        prop_assert_eq!(f.sent[0], 0);
+        for rank in 1..np {
+            prop_assert_eq!(
+                f.sent[rank], size * iters as u64,
+                "rank {} must send exactly one contribution per iteration", rank
+            );
+        }
+        let total_sent: u64 = f.sent.iter().sum();
+        let total_recv: u64 = f.received.iter().sum();
+        prop_assert_eq!(total_sent, total_recv);
+        prop_assert_eq!(total_recv, (np as u64 - 1) * size * iters as u64);
+    }
+
+    /// Bcast is the mirror image: the root only sends and every other
+    /// rank absorbs exactly one copy per iteration.
+    #[test]
+    fn bcast_mirrors_reduce(
+        np_log in 1usize..4,
+        size in 2u64..(1 << 20),
+        iters in 1u32..4,
+    ) {
+        let np = 1usize << np_log;
+        let f = flow(Kernel::Bcast, np, size, iters);
+        // The root keeps its copy and only sends; every other rank
+        // absorbs exactly one copy per iteration (and may forward it
+        // down the binomial tree any number of times).
+        prop_assert_eq!(f.received[0], 0);
+        for rank in 1..np {
+            prop_assert_eq!(
+                f.received[rank], size * iters as u64,
+                "rank {} must receive exactly one copy per iteration", rank
+            );
+        }
+        let total_sent: u64 = f.sent.iter().sum();
+        let total_recv: u64 = f.received.iter().sum();
+        prop_assert_eq!(total_sent, total_recv);
+        prop_assert_eq!(total_recv, (np as u64 - 1) * size * iters as u64);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 12 — all IMB kernels, Open-MX (± I/OAT) normalized to MXoE
+//! (grid port of the former `fig12` binary).
+//!
+//! The old binary parallelized only across kernels within a panel;
+//! the grid expands panel × kernel × stack into one cell each, so the
+//! pool sees 4 × 11 × 3 independent simulations.
+
+use crate::{banner, breakdown_line, cell, CellOut, Grid, Outs, Plan, Rendered};
+use omx_mpi::runner::{run_kernel, Layout};
+use omx_mpi::Kernel;
+use open_mx::cluster::ClusterParams;
+use open_mx::config::{OmxConfig, StackKind};
+
+fn mxoe() -> OmxConfig {
+    OmxConfig {
+        stack: StackKind::Mxoe,
+        ..OmxConfig::default()
+    }
+}
+
+fn time_iter(kernel: Kernel, layout: Layout, size: u64, cfg: OmxConfig) -> f64 {
+    let params = ClusterParams::with_cfg(cfg);
+    let iters = if size >= 1 << 20 { 5 } else { 8 };
+    run_kernel(kernel, layout, size, iters, params)
+        .time_per_iter
+        .as_secs_f64()
+}
+
+const STACKS: [fn() -> OmxConfig; 3] = [mxoe, OmxConfig::default, OmxConfig::with_ioat];
+
+/// Grid: panel (size × layout) × kernel × stack, plus the Alltoall
+/// breakdown cell.
+pub fn plan(grid: &Grid) -> Plan {
+    let panels = grid.axis(
+        &[(128u64 << 10, "128kB"), (4 << 20, "4MB")],
+        &[(128u64 << 10, "128kB")],
+    );
+    let layouts = [(Layout::OnePerNode, 1u32), (Layout::TwoPerNode, 2)];
+    let mut cells = Vec::new();
+    for &(size, label) in &panels {
+        for (layout, ppn) in layouts {
+            for k in Kernel::ALL {
+                for (si, cfg_fn) in STACKS.iter().enumerate() {
+                    let cfg_fn = *cfg_fn;
+                    cells.push(cell(
+                        format!("fig12/{label}/{ppn}ppn/{}/{si}", k.name()),
+                        move || CellOut::Num(time_iter(k, layout, size, cfg_fn())),
+                    ));
+                }
+            }
+        }
+    }
+    let bd_size = grid.axis(&[4u64 << 20], &[128 << 10])[0];
+    cells.push(cell("fig12/breakdown/alltoall", move || {
+        let iters = if bd_size >= 1 << 20 { 5 } else { 8 };
+        let r = run_kernel(
+            Kernel::Alltoall,
+            Layout::TwoPerNode,
+            bd_size,
+            iters,
+            ClusterParams::with_cfg(OmxConfig::with_ioat()),
+        );
+        let label = format!(
+            "Alltoall Open-MX+I/OAT {} 2ppn",
+            omx_sim::stats::format_bytes(bd_size as f64)
+        );
+        CellOut::Text(breakdown_line(&label, &r.breakdown))
+    }));
+
+    let render = Box::new(move |mut o: Outs| {
+        let mut t = banner(
+            "Figure 12",
+            "IMB kernels normalized to MXoE, 128 kB & 4 MB, 1 & 2 processes per node",
+        );
+        for &(_, label) in &panels {
+            for (_, ppn) in layouts {
+                t += &format!(
+                    "--- {label} messages, {ppn} process(es) per node (percentage of MXoE performance) ---\n"
+                );
+                t += &format!(
+                    "{:>12} {:>12} {:>16}\n",
+                    "kernel", "Open-MX", "Open-MX+I/OAT"
+                );
+                let mut sum_omx = 0.0;
+                let mut sum_ioat = 0.0;
+                for k in Kernel::ALL {
+                    let mx = o.num();
+                    let omx_t = o.num();
+                    let ioat_t = o.num();
+                    // Percentage of MXoE performance (time ratio
+                    // inverted).
+                    let omx = 100.0 * mx / omx_t;
+                    let ioat = 100.0 * mx / ioat_t;
+                    t += &format!("{:>12} {:>12.1} {:>16.1}\n", k.name(), omx, ioat);
+                    sum_omx += omx;
+                    sum_ioat += ioat;
+                }
+                let n = Kernel::ALL.len() as f64;
+                t += &format!(
+                    "{:>12} {:>12.1} {:>16.1}   (improvement {:.0} %)\n",
+                    "average",
+                    sum_omx / n,
+                    sum_ioat / n,
+                    (sum_ioat / sum_omx - 1.0) * 100.0
+                );
+                t += "\n";
+            }
+        }
+        t += "Paper shape: 128kB ≈68 % of MXoE average with I/OAT (+24 %);\n";
+        t += "4MB 1ppn ≈90 % (+32 %); 4MB 2ppn ≈94 % (+41 %, shm I/OAT).\n";
+        t += &o.text();
+        o.finish();
+        Rendered {
+            text: t,
+            series: Vec::new(),
+        }
+    });
+    Plan { cells, render }
+}

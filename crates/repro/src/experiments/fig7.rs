@@ -1,0 +1,92 @@
+//! Figure 7 — pipelined memcpy vs I/OAT copy throughput for 256 B,
+//! 1 kB and 4 kB chunks (grid port of the former `fig7` binary).
+//!
+//! Pure copy-model evaluations (no cluster), so the grid is the same
+//! at both scales — the hardware-profile axis is the interesting one.
+
+use crate::{banner, breakdown_line, cell, CellOut, Grid, Outs, Plan, Rendered};
+use omx_sim::stats::Series;
+use open_mx::harness::copybench::{copy_breakdown, copy_rate_mibs, CopyEngine};
+
+const CHUNKS: [(&str, u64); 3] = [
+    ("4kB chunks (page)", 4096),
+    ("1kB chunks", 1024),
+    ("256B chunks", 256),
+];
+
+/// Grid: {memcpy, I/OAT} × chunk size × copy size, plus the 1 MB
+/// summary and breakdown cells.
+pub fn plan(grid: &Grid) -> Plan {
+    let mut sizes = Vec::new();
+    let mut s = 256u64;
+    while s <= 1 << 20 {
+        sizes.push(s);
+        s *= 2;
+    }
+    let hw = grid.hw.clone();
+    let mut cells = Vec::new();
+    for engine in [CopyEngine::Memcpy, CopyEngine::Ioat] {
+        for (label, chunk) in CHUNKS {
+            for &total in &sizes {
+                let hw = hw.clone();
+                cells.push(cell(
+                    format!("fig7/{engine:?}/{label}/{total}"),
+                    move || CellOut::Num(copy_rate_mibs(&hw, engine, total, chunk.min(total))),
+                ));
+            }
+        }
+    }
+    {
+        let hw = hw.clone();
+        cells.push(cell("fig7/summary/1MB-4kB", move || {
+            CellOut::Nums(vec![
+                copy_rate_mibs(&hw, CopyEngine::Ioat, 1 << 20, 4096),
+                copy_rate_mibs(&hw, CopyEngine::Memcpy, 1 << 20, 4096),
+            ])
+        }));
+    }
+    for (name, engine) in [
+        ("I/OAT copy", CopyEngine::Ioat),
+        ("memcpy", CopyEngine::Memcpy),
+    ] {
+        let hw = hw.clone();
+        cells.push(cell(format!("fig7/breakdown/{name}"), move || {
+            CellOut::Text(breakdown_line(
+                &format!("{name} 1MB/4kB chunks"),
+                &copy_breakdown(&hw, engine, 1 << 20, 4096),
+            ))
+        }));
+    }
+
+    let render = Box::new(move |mut o: Outs| {
+        let mut all = Vec::new();
+        for engine in ["Memcpy", "I/OAT Copy"] {
+            for (label, _) in CHUNKS {
+                all.push(o.series(&format!("{engine} - {label}"), &sizes));
+            }
+        }
+        let summary = o.nums();
+        let (ioat4k, mc4k) = (summary[0], summary[1]);
+        let mut t = banner(
+            "Figure 7",
+            "Pipelined memcpy vs I/OAT copy throughput by chunk size (MiB/s)",
+        );
+        t += &Series::table(&all, "copy size");
+        t += "\n";
+        t += "Paper shape: 4kB-chunk I/OAT sustains ≈2.4 GiB/s vs memcpy ≈1.5 GiB/s;\n";
+        t += "1kB chunks sit near parity; 256B-chunk I/OAT collapses below memcpy.\n";
+        t += &format!(
+            "1MB / 4kB chunks: I/OAT {:.2} GiB/s, memcpy {:.2} GiB/s\n",
+            ioat4k / 1024.0,
+            mc4k / 1024.0
+        );
+        t += &o.text();
+        t += &o.text();
+        o.finish();
+        Rendered {
+            text: t,
+            series: all,
+        }
+    });
+    Plan { cells, render }
+}

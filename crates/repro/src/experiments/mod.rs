@@ -1,0 +1,52 @@
+//! The grid expansions of every committed experiment.
+//!
+//! Each module ports one former serial generator binary onto the
+//! runner: `plan(&Grid)` declares the cells (one isolated simulation
+//! per grid point) and a render function that merges the results — in
+//! grid order — into the byte-exact text of the results file.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod microbench;
+pub mod nas_is;
+
+use omx_hw::CoreId;
+use open_mx::cluster::ClusterParams;
+use open_mx::config::OmxConfig;
+use open_mx::harness::{run_pingpong, PingPongConfig, PingPongResult, Placement};
+
+/// Two-node network ping-pong at `size` bytes under `cfg`, the shared
+/// workload of figures 3, 8 and the ablations (cores as in the paper:
+/// the non-interrupt core of each node).
+pub(crate) fn net_pingpong(size: u64, cfg: OmxConfig) -> PingPongResult {
+    let r = run_pingpong(PingPongConfig::new(
+        ClusterParams::with_cfg(cfg),
+        size,
+        Placement::TwoNodes {
+            core_a: CoreId(2),
+            core_b: CoreId(2),
+        },
+    ));
+    assert!(r.verified, "payload corruption at {size} B");
+    r
+}
+
+/// Same-node shared-memory ping-pong (core 0 against `core_b`).
+pub(crate) fn shm_pingpong(size: u64, core_b: CoreId, cfg: OmxConfig) -> PingPongResult {
+    let r = run_pingpong(PingPongConfig::new(
+        ClusterParams::with_cfg(cfg),
+        size,
+        Placement::SameNode {
+            core_a: CoreId(0),
+            core_b,
+        },
+    ));
+    assert!(r.verified, "payload corruption at {size} B");
+    r
+}

@@ -1,0 +1,111 @@
+//! The experiment thread pool: fan cells out, merge in grid order.
+//!
+//! Workers claim cells from a shared atomic cursor and send results
+//! back tagged with the cell's grid index; the merge slots each result
+//! into its index, so the caller always observes declaration order no
+//! matter which worker finished first. Cells are self-contained
+//! single-threaded simulations (the engine itself stays strictly
+//! single-threaded per omx-lint D1) — this module is the one
+//! sanctioned place the harness crosses onto OS threads, and it never
+//! lets scheduling order leak into results.
+
+use crate::{Cell, CellOut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+// The pool spawn below is the single sanctioned use of OS threads
+// outside crates/sim: cells are isolated whole-world simulations, and
+// the index-merge keeps output independent of interleaving.
+// omx-lint: allow(thread) experiment pool fan-out; merge is in deterministic grid order, proven byte-identical across --jobs in crates/repro/tests/runner.rs
+use std::thread;
+
+/// Resolve a `--jobs` request: `0` means one worker per available
+/// core (serial if the core count cannot be determined).
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Run every cell and return the results in declaration (grid) order.
+///
+/// `jobs == 1` runs inline on the calling thread — no spawn, no
+/// channel — which doubles as the reference ordering the parallel
+/// path must reproduce byte-for-byte.
+pub fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<CellOut> {
+    let jobs = resolve_jobs(jobs).min(cells.len().max(1));
+    if jobs <= 1 {
+        return cells.into_iter().map(|c| (c.run)()).collect();
+    }
+    let n = cells.len();
+    let slots: Vec<Mutex<Option<Cell>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CellOut)>();
+    thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let slots = &slots;
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cell = slots[i]
+                    .lock()
+                    .expect("cell slot poisoned")
+                    .take()
+                    .expect("cell claimed twice");
+                let out = (cell.run)();
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<CellOut>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            debug_assert!(out[i].is_none(), "cell {i} reported twice");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(i, o)| o.unwrap_or_else(|| panic!("cell {i} never reported")))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell;
+
+    fn counting_cells(n: usize) -> Vec<Cell> {
+        (0..n)
+            .map(|i| cell(format!("t/{i}"), move || CellOut::Num(i as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_merge_identically() {
+        let a = run_cells(counting_cells(97), 1);
+        let b = run_cells(counting_cells(97), 8);
+        assert_eq!(a, b);
+        assert_eq!(a[13], CellOut::Num(13.0));
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        assert!(run_cells(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_cores() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+        // More jobs than cells must not hang.
+        let out = run_cells(counting_cells(2), 64);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! The determinism and golden-gate contracts of the experiment
+//! runner:
+//!
+//! * for every experiment, the reduced grid renders **byte-identical**
+//!   output with `--jobs 1` and `--jobs 8` — the merge happens in grid
+//!   order, never completion order;
+//! * the committed reduced goldens (`results/golden/reduced/*.txt`)
+//!   match what the runner regenerates, so the CI `repro-check` job
+//!   gates on a tree that must already pass here.
+
+use omx_repro::{all, by_name, golden_path, run_experiment, Grid, Scale};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn every_experiment_is_byte_identical_across_thread_counts() {
+    let grid = Grid::reduced();
+    for e in all() {
+        let serial = run_experiment(&e, &grid, 1);
+        let parallel = run_experiment(&e, &grid, 8);
+        assert_eq!(
+            serial.text, parallel.text,
+            "{}: output depends on the thread count",
+            e.name
+        );
+        assert_eq!(
+            serial.series.len(),
+            parallel.series.len(),
+            "{}: series depend on the thread count",
+            e.name
+        );
+        for (a, b) in serial.series.iter().zip(&parallel.series) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "{}: series values depend on the thread count",
+                e.name
+            );
+        }
+    }
+}
+
+#[test]
+fn reduced_goldens_match_the_committed_tree() {
+    let grid = Grid::reduced();
+    for e in all() {
+        let path = repo_root().join(golden_path(&e, Scale::Reduced));
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+            panic!("{}: unreadable golden {}: {err}", e.name, path.display())
+        });
+        let rendered = run_experiment(&e, &grid, 4);
+        assert_eq!(
+            rendered.text, committed,
+            "{}: reduced golden drifted — regenerate with `omx-repro --all --reduced`",
+            e.name
+        );
+    }
+}
+
+#[test]
+fn runs_do_not_share_state() {
+    // Two runs of the same experiment in one process must agree: cells
+    // own their whole world, so nothing (sanitizer registries, RNG,
+    // caches) may leak between cells or runs.
+    let grid = Grid::reduced();
+    let e = by_name("fig3").expect("fig3 registered");
+    let a = run_experiment(&e, &grid, 4);
+    let b = run_experiment(&e, &grid, 4);
+    assert_eq!(a.text, b.text);
+}
+
+#[test]
+fn full_and_reduced_share_cell_structure() {
+    // The reduced grid is a strict shrink: every experiment still
+    // expands at least one cell and renders non-empty output at both
+    // scales, so the CI gate exercises the same generators.
+    for e in all() {
+        for grid in [Grid::full(), Grid::reduced()] {
+            let plan = (e.plan)(&grid);
+            assert!(
+                !plan.cells.is_empty(),
+                "{}: empty expansion at {:?}",
+                e.name,
+                grid.scale
+            );
+            let mut labels: Vec<&str> = plan.cells.iter().map(|c| c.label.as_str()).collect();
+            let n = labels.len();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), n, "{}: duplicate cell labels", e.name);
+        }
+    }
+}
+
+#[test]
+fn golden_paths_are_distinct_and_repo_relative() {
+    let mut files: Vec<String> = all()
+        .iter()
+        .flat_map(|e| [golden_path(e, Scale::Full), golden_path(e, Scale::Reduced)])
+        .collect();
+    for f in &files {
+        assert!(f.starts_with("results/"), "absolute or stray path: {f}");
+    }
+    let n = files.len();
+    files.sort();
+    files.dedup();
+    assert_eq!(files.len(), n, "two experiments share a golden file");
+}

@@ -1,0 +1,207 @@
+//! Timing-wheel edge cases the equivalence property test only hits by
+//! luck: cancelling an entry while it still sits on the overflow heap
+//! (before the cascade adopts it into the wheel), schedules landing
+//! exactly on the wheel-window boundary, and slab-index reuse after
+//! tombstoned cancels. Every scenario runs against both engines and
+//! compares full execution traces, so the `ReferenceSim` binary heap
+//! stays the oracle.
+
+use omx_sim::{Ps, ReferenceSim, Sim};
+
+/// Slot width and window span of the wheel (`2^SLOT_SHIFT` ps × 512
+/// slots, see `crates/sim/src/wheel.rs`). The constants are crate
+/// private by design; the tests pin the documented geometry so a silent
+/// resize of the window shows up here.
+const SLOT_PS: u64 = 1 << 17;
+const WINDOW_PS: u64 = 512 * SLOT_PS;
+
+/// Drive one engine through a scenario and capture its trace. Written
+/// as a macro because `Sim` and `ReferenceSim` share an API surface
+/// but no trait.
+macro_rules! trace {
+    ($SimTy:ident, $scenario:ident) => {{
+        let mut sim: $SimTy<Vec<(u32, u64)>> = $SimTy::new();
+        let mut world: Vec<(u32, u64)> = Vec::new();
+        $scenario!(sim, world);
+        sim.run(&mut world);
+        (sim.now().0, sim.events_executed(), world)
+    }};
+}
+
+/// Push a labelled marker event when it fires.
+macro_rules! mark {
+    ($sim:ident, at $t:expr, label $l:expr) => {
+        $sim.schedule_at(Ps($t), move |w: &mut Vec<(u32, u64)>, s| {
+            let now = s.now().0;
+            w.push(($l, now));
+        })
+    };
+    ($sim:ident, in $d:expr, label $l:expr) => {
+        $sim.schedule_in($d, move |w: &mut Vec<(u32, u64)>, s| {
+            let now = s.now().0;
+            w.push(($l, now));
+        })
+    };
+    ($sim:ident, cancellable in $d:expr, label $l:expr) => {
+        $sim.schedule_in_cancellable($d, move |w: &mut Vec<(u32, u64)>, s| {
+            let now = s.now().0;
+            w.push(($l, now));
+        })
+    };
+}
+
+#[test]
+fn cancel_on_overflow_heap_before_cascade() {
+    // The victim sits far beyond the wheel window, so it lives on the
+    // overflow heap when the cancel lands; it must never fire even
+    // though the cascade later sweeps its timestamp range, and the
+    // surviving events must execute in exactly the reference order.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            // In-window bystanders on both sides of the victim's slot.
+            mark!($sim, in Ps::us(1), label 0);
+            mark!($sim, in Ps::us(150), label 1);
+            // Victims beyond the window (~67 us): cancel one
+            // immediately (still on the heap), cancel one after time
+            // has advanced but before its cascade, keep one alive.
+            let dead_now = mark!($sim, cancellable in Ps::us(100), label 2);
+            let dead_later = mark!($sim, cancellable in Ps::us(120), label 3);
+            let alive = mark!($sim, cancellable in Ps::us(140), label 4);
+            let _ = alive;
+            $sim.cancel(dead_now);
+            // Advance to ~50 us: cursor moved, victims still > window
+            // away? (50 us + 67 us window covers them — the cascade has
+            // adopted nothing past `now`, so the second cancel hits
+            // either heap or wheel depending on engine internals; both
+            // must tombstone correctly.)
+            $sim.run_until(&mut $world, Ps::us(50));
+            $sim.cancel(dead_later);
+        };
+    }
+    let wheel = trace!(Sim, scenario);
+    let heap = trace!(ReferenceSim, scenario);
+    assert_eq!(wheel, heap);
+    let labels: Vec<u32> = wheel.2.iter().map(|&(l, _)| l).collect();
+    assert_eq!(labels, vec![0, 4, 1], "cancelled overflow entries fired");
+}
+
+#[test]
+fn cancel_far_future_entry_that_never_cascades() {
+    // A cancelled overflow entry whose timestamp is *beyond* the last
+    // live event: the engine must not keep the clock hostage to a
+    // tombstone, and both engines must agree on the final time.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            mark!($sim, in Ps::us(5), label 0);
+            let doomed = mark!($sim, cancellable in Ps::ms(50), label 99);
+            $sim.cancel(doomed);
+        };
+    }
+    let wheel = trace!(Sim, scenario);
+    let heap = trace!(ReferenceSim, scenario);
+    assert_eq!(wheel, heap);
+    assert_eq!(wheel.2.len(), 1, "only the live event fires");
+}
+
+#[test]
+fn schedule_exactly_on_window_boundary() {
+    // From a zero cursor the window covers slots [0, 512); an event at
+    // exactly `WINDOW_PS` is the first instant that must overflow, and
+    // `WINDOW_PS - 1` the last that fits the wheel. Straddle the edge
+    // from both a cold start and an advanced cursor, including exact
+    // slot-width multiples and same-instant FIFO ties on the boundary.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            mark!($sim, at WINDOW_PS - 1, label 0);
+            mark!($sim, at WINDOW_PS, label 1);
+            mark!($sim, at WINDOW_PS, label 2); // FIFO tie on the edge
+            mark!($sim, at WINDOW_PS + 1, label 3);
+            mark!($sim, at 2 * WINDOW_PS, label 4);
+            // Advance the cursor mid-window, then straddle the *new*
+            // window edge relative to the moved cursor.
+            $sim.run_until(&mut $world, Ps(3 * SLOT_PS + 7));
+            let base = $sim.now().0;
+            mark!($sim, at base + WINDOW_PS - 1, label 5);
+            mark!($sim, at base + WINDOW_PS, label 6);
+            // Exact slot-width multiples around the edge.
+            mark!($sim, at base + WINDOW_PS - SLOT_PS, label 7);
+            mark!($sim, at base + WINDOW_PS + SLOT_PS, label 8);
+        };
+    }
+    let wheel = trace!(Sim, scenario);
+    let heap = trace!(ReferenceSim, scenario);
+    assert_eq!(wheel, heap);
+    assert_eq!(wheel.2.len(), 9, "every boundary event fires exactly once");
+    // The trace really is (time, schedule-order) sorted.
+    let mut sorted = wheel.2.clone();
+    sorted.sort_by_key(|&(l, t)| (t, l));
+    assert_eq!(wheel.2, sorted);
+}
+
+#[test]
+fn slab_reuse_after_tombstoned_cancels() {
+    // Repeatedly fill a window with cancellable events, tombstone most
+    // of them, and drain: freed slab nodes must be reused without
+    // resurrecting cancelled closures or breaking FIFO order. Eight
+    // generations guarantee the free list cycles many times.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            let mut label = 0u32;
+            for _gen in 0..8u32 {
+                let mut timers = Vec::new();
+                for k in 0..64u64 {
+                    let l = label;
+                    label += 1;
+                    // Spread across the window, several per slot.
+                    let id = mark!($sim, cancellable in Ps(1 + (k % 16) * SLOT_PS / 3), label l);
+                    timers.push(id);
+                }
+                // Cancel three of every four — including double-cancels
+                // of the same id, which must be idempotent.
+                for (i, &id) in timers.iter().enumerate() {
+                    if i % 4 != 0 {
+                        $sim.cancel(id);
+                    }
+                    if i % 8 == 1 {
+                        $sim.cancel(id);
+                    }
+                }
+                // Interleave plain events that must claim freed nodes.
+                for k in 0..16u64 {
+                    let l = label;
+                    label += 1;
+                    mark!($sim, in Ps(1 + k * SLOT_PS / 5), label l);
+                }
+                // Drain this generation completely before the next.
+                let deadline = Ps($sim.now().0 + 20 * SLOT_PS);
+                $sim.run_until(&mut $world, deadline);
+            }
+        };
+    }
+    let wheel = trace!(Sim, scenario);
+    let heap = trace!(ReferenceSim, scenario);
+    assert_eq!(wheel, heap);
+    // 8 generations × (16 survivors + 16 plain) events.
+    assert_eq!(wheel.2.len(), 8 * 32, "wrong survivor count after reuse");
+}
+
+#[test]
+fn cancel_after_fire_is_idempotent_across_engines() {
+    // Cancelling a timer that already fired must be a no-op in both
+    // engines even when its slab slot has been handed to a new event.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            let early = mark!($sim, cancellable in Ps::ns(10), label 0);
+            $sim.run_until(&mut $world, Ps::us(1));
+            // `early` fired; its node is free. Claim it, then cancel
+            // the stale id.
+            mark!($sim, cancellable in Ps::ns(10), label 1);
+            $sim.cancel(early);
+        };
+    }
+    let wheel = trace!(Sim, scenario);
+    let heap = trace!(ReferenceSim, scenario);
+    assert_eq!(wheel, heap);
+    let labels: Vec<u32> = wheel.2.iter().map(|&(l, _)| l).collect();
+    assert_eq!(labels, vec![0, 1], "stale cancel clobbered a reused slot");
+}
