@@ -24,7 +24,9 @@ use omx_sim::walltime::Stopwatch;
 use omx_sim::{Ps, ReferenceSim, Sim};
 use open_mx::cluster::ClusterParams;
 use open_mx::config::OmxConfig;
-use open_mx::harness::{run_pingpong, run_stream, PingPongConfig, Placement, StreamConfig};
+use open_mx::harness::{
+    run_fanin, run_pingpong, run_stream, FaninConfig, PingPongConfig, Placement, StreamConfig,
+};
 use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
@@ -341,6 +343,17 @@ fn stream_fixed(count: u32) -> open_mx::harness::StreamResult {
     run_stream(c)
 }
 
+/// The multi-queue RX path: 4 RSS queues + GRO trains on the
+/// 8-sender medium fan-in.
+fn fanin_fixed(count: u32) -> open_mx::harness::FaninResult {
+    let mut params = ClusterParams::with_cfg(fixed_cfg());
+    params.nic.num_queues = 4;
+    params.cfg.gro = true;
+    let mut c = FaninConfig::new(params, 16 << 10);
+    c.count = count;
+    run_fanin(c)
+}
+
 fn alltoall_fixed(iters: u32) -> KernelResult {
     let params = ClusterParams {
         nodes: 2,
@@ -366,6 +379,11 @@ fn e2e_benches() -> Vec<E2eBench> {
             assert!(r.verified, "alltoall failed verification");
             (r.end, 0.0)
         }),
+        e2e_bench("fanin_mq_16k", 3, || {
+            let r = fanin_fixed(16);
+            assert!(r.verified, "fan-in failed verification");
+            (r.elapsed, r.throughput_mibs)
+        }),
     ]
 }
 
@@ -388,12 +406,17 @@ fn smoke() {
     assert!(st.verified, "stream failed verification");
     let a2a = alltoall_fixed(2);
     assert!(a2a.verified, "alltoall failed verification");
+    let fi = fanin_fixed(8);
+    assert!(fi.verified, "fan-in failed verification");
+    assert!(fi.gro_coalesced > 0, "fan-in smoke must exercise GRO");
     println!(
-        "{{\"schema\":\"perf-smoke-v1\",\"seed\":{},\"pingpong\":{},\"stream\":{},\"alltoall\":{}}}",
+        "{{\"schema\":\"perf-smoke-v2\",\"seed\":{},\"pingpong\":{},\"stream\":{},\
+         \"alltoall\":{},\"fanin_mq\":{}}}",
         SEED,
         fingerprint(&pp.stats, &pp.breakdown),
         fingerprint(&st.stats, &st.breakdown),
         fingerprint(&a2a.stats, &a2a.breakdown),
+        fingerprint(&fi.stats, &fi.breakdown),
     );
 }
 

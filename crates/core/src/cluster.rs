@@ -15,7 +15,7 @@ use crate::mx_stack::MxNodeState;
 use crate::proto::Packet;
 use crate::{EpAddr, EpIdx, NodeId, ReqId};
 use omx_ethernet::fault::LinkFaultState;
-use omx_ethernet::nic::RxOutcome;
+use omx_ethernet::nic::{RxOutcome, RxWake};
 use omx_ethernet::{BottomHalfQueue, EthFrame, Link, LinkParams, Nic, NicParams};
 use omx_hw::cpu::category;
 use omx_hw::ioat::ChannelProbe;
@@ -209,6 +209,7 @@ impl Cluster {
                 }
                 let mut nic = Nic::new(nic_params);
                 nic.attach_metrics(metrics.clone(), i);
+                nic.bind_queue_cores(&omx_ethernet::spread_queue_cores(&nic_params, &p.topology));
                 let bh = (0..p.topology.num_cores())
                     .map(|_| {
                         let mut q = BottomHalfQueue::new();
@@ -678,15 +679,16 @@ impl Cluster {
         }
     }
 
-    /// Open-MX receive: ring skbuff, IRQ, bottom half. The NIC
-    /// consumes the frame and queues the filled skbuff on the IRQ
-    /// core's bottom half itself; this host side only accounts the
-    /// interrupt cost and schedules the (batched) BH run.
+    /// Open-MX receive: RSS steers the frame to a queue, the NIC rings
+    /// the queue's skbuff into the bound core's bottom half, and this
+    /// host side accounts the interrupt cost and schedules the
+    /// (batched) BH run as the returned [`RxWake`] demands.
     fn omx_on_frame(&mut self, sim: &mut Sim<Cluster>, node: NodeId, frame: EthFrame) {
         let now = sim.now();
         let n = self.node_mut(node);
-        let core = n.nic.params().irq_core;
-        let outcome = n.nic.deliver(now, frame, &mut n.bh[core.0 as usize]);
+        let queue = n.nic.rss_queue(&frame);
+        let core = n.nic.queue_core(queue);
+        let outcome = n.nic.deliver(now, queue, frame, &mut n.bh[core.0 as usize]);
         match outcome {
             RxOutcome::DroppedRingFull => {
                 self.stats.frames_ring_dropped += 1;
@@ -696,46 +698,75 @@ impl Cluster {
                 // consumed a ring slot; retransmission recovers it.
                 self.stats.frames_corrupt_dropped += 1;
             }
-            RxOutcome::Queued {
-                irq: Some(core),
-                bh_wake,
-            } => {
-                let irq = self.p.hw.irq_cpu_cost;
-                let (_, irq_fin) = self.run_core(node, core, now, irq, category::IRQ);
-                if bh_wake {
+            RxOutcome::Queued { queue, wake } => match wake {
+                RxWake::Irq(core) => {
+                    let irq = self.p.hw.irq_cpu_cost;
+                    let (_, irq_fin) = self.run_core(node, core, now, irq, category::IRQ);
                     let at = irq_fin.max(now + self.p.hw.bh_dispatch_delay);
-                    sim.schedule_at(at, move |c: &mut Cluster, s| c.run_bh(s, node, core));
+                    sim.schedule_at(at, move |c: &mut Cluster, s| c.run_bh(s, node, queue));
                 }
-            }
-            RxOutcome::Queued { irq: None, bh_wake } => {
-                if bh_wake {
+                RxWake::IrqPending(core) => {
+                    // Interrupt fires but a BH run is already promised:
+                    // account the hard-IRQ cost only.
+                    let irq = self.p.hw.irq_cpu_cost;
+                    self.run_core(node, core, now, irq, category::IRQ);
+                }
+                RxWake::Pending => {
+                    // Coalesced into the window with a run already
+                    // pending: the promised run will drain this skbuff.
+                }
+                RxWake::TimerKick(_) => {
+                    // Coalesced into the moderation window with NO run
+                    // pending: the moderation timer must kick the BH or
+                    // the skbuff sits unserviced until the link goes
+                    // idle forever (the frame-then-silence bug).
                     let delay = self.p.hw.bh_dispatch_delay;
                     sim.schedule_at(now + delay, move |c: &mut Cluster, s| {
-                        c.run_bh(s, node, core)
+                        c.run_bh(s, node, queue)
                     });
                 }
-            }
+            },
         }
     }
 
-    /// One bottom-half invocation on `core` of `node`: drain up to the
-    /// NIC's NAPI budget of skbuffs through the protocol callback, one
-    /// at a time (no per-run batch buffer).
-    fn run_bh(&mut self, sim: &mut Sim<Cluster>, node: NodeId, core: CoreId) {
+    /// One bottom-half invocation for RX `queue` of `node` (on the
+    /// core the queue is bound to): drain up to the NIC's NAPI budget
+    /// of skbuffs through the protocol callback, one at a time (no
+    /// per-run batch buffer). With `cfg.gro` on, consecutive skbuffs
+    /// of the same message form a frame train and the tail fragments
+    /// charge the cheaper GRO continuation cost.
+    fn run_bh(&mut self, sim: &mut Sim<Cluster>, node: NodeId, queue: usize) {
+        let core = self.node(node).nic.queue_core(queue);
         let budget = self.node_mut(node).nic.params().bh_budget;
+        let gro = self.p.cfg.gro;
         let mut count = 0;
         let mut last_fin = sim.now();
+        // GRO train state: the (flow, message) key of the previous
+        // skbuff in this run. Trains never span runs.
+        let mut train: Option<(u64, u64)> = None;
+        self.node_mut(node).bh[core.0 as usize].begin_run();
         while count < budget {
             let Some(skb) = self.node_mut(node).bh[core.0 as usize].pop_next() else {
                 break;
             };
             count += 1;
-            last_fin = self.handle_rx_skbuff(sim, node, core, skb);
+            let coalesced = if gro {
+                let key = crate::proto::gro_train_key(skb.src, &skb.data);
+                let same = key.is_some() && key == train;
+                train = key;
+                if same {
+                    self.metrics.count(node.0, "bh.gro_coalesced", 1);
+                }
+                same
+            } else {
+                false
+            };
+            last_fin = self.handle_rx_skbuff(sim, node, core, skb, coalesced);
         }
-        self.node_mut(node).nic.replenish(count);
+        self.node_mut(node).nic.replenish(queue, count);
         let more = self.node_mut(node).bh[core.0 as usize].finish_run();
         if more {
-            sim.schedule_at(last_fin, move |c: &mut Cluster, s| c.run_bh(s, node, core));
+            sim.schedule_at(last_fin, move |c: &mut Cluster, s| c.run_bh(s, node, queue));
         }
     }
 
@@ -882,6 +913,44 @@ mod tests {
         assert_eq!(d.node, NodeId(1));
         assert_eq!(c.ep(a).core, CoreId(2));
         assert!(c.all_apps_done());
+    }
+
+    /// Satellite-1 regression: a frame that lands inside the IRQ
+    /// moderation window while NO BH run is pending must still be
+    /// serviced. The NIC reports that state as [`RxWake::TimerKick`]
+    /// and the host arms the deferred moderation-timer kick; dropping
+    /// it would strand the skbuff forever if the link then goes idle.
+    #[test]
+    fn moderated_frame_before_silence_is_still_delivered() {
+        use crate::proto::Packet;
+        use bytes::Bytes;
+        let (mut c, mut sim) = build(ClusterParams::default());
+        let rx = c.add_endpoint(NodeId(0), CoreId(2), Box::new(Nop));
+        c.add_endpoint(NodeId(1), CoreId(2), Box::new(Nop));
+        let pkt = |seq: u32| Packet::Tiny {
+            src_ep: 0,
+            dst_ep: 0,
+            match_info: 7,
+            msg_seq: seq,
+            data: Bytes::from_static(b"ping"),
+        };
+        // First frame: hard IRQ + BH run, which drains and goes idle.
+        // Second frame 15 us later sits inside the default 25 us
+        // moderation window — no interrupt — and only the timer kick
+        // can deliver it, because nothing else ever arrives.
+        c.send_packet(&mut sim, NodeId(1), NodeId(0), &pkt(1), Ps::ZERO);
+        c.send_packet(&mut sim, NodeId(1), NodeId(0), &pkt(2), Ps::us(15));
+        sim.run(&mut c);
+        let n = c.node(NodeId(0));
+        assert_eq!(n.nic.frames_received(), 2);
+        assert_eq!(n.nic.pending(), 0, "ring slots replenished");
+        for bh in &n.bh {
+            assert_eq!(bh.backlog(), 0, "skbuff stranded in a BH queue");
+            assert!(!bh.is_scheduled(), "BH left scheduled with no run");
+        }
+        assert_eq!(c.metrics.counter(0, "nic.irqs"), 1);
+        assert_eq!(c.metrics.counter(0, "nic.irqs_coalesced"), 1);
+        assert_eq!(c.ep(rx).counters.rx_tiny, 2, "both frames delivered");
     }
 
     #[test]

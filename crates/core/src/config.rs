@@ -104,6 +104,20 @@ pub struct OmxConfig {
     /// paper).
     pub kernel_matching: bool,
 
+    /// GRO-style frame-train coalescing in the bottom half: while
+    /// consecutive skbuffs of one BH run belong to the same message
+    /// (same flow tuple and message/handle id), every fragment after
+    /// the first is charged [`Self::gro_frag_process`] instead of the
+    /// full [`Self::bh_frag_process`] — the header parse, endpoint
+    /// lookup and bookkeeping are amortized over the train, like the
+    /// kernel's generic receive offload amortizes per-packet protocol
+    /// cost. Default off (the paper's per-frame receive path).
+    pub gro: bool,
+    /// Per-fragment BH processing cost for the coalesced tail of a
+    /// GRO train (only the per-fragment bookkeeping; the flow lookup
+    /// is inherited from the head fragment).
+    pub gro_frag_process: Ps,
+
     // ---------------- counterfactuals / reliability ----------------
     /// Fig 3's prediction mode: process receives normally but charge
     /// zero CPU time for the BH data copy.
@@ -188,6 +202,8 @@ impl Default for OmxConfig {
             warm_copy_head_bytes: 0,
             regcache: true,
             kernel_matching: false,
+            gro: false,
+            gro_frag_process: Ps::ns(700),
             ignore_bh_copy: false,
             loss_one_in: None,
             fault_plan: FaultPlan::default(),

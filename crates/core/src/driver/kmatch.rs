@@ -53,6 +53,7 @@ impl Cluster {
         frag_count: u16,
         offset: u32,
         data: Bytes,
+        coalesced: bool,
     ) -> Ps {
         let _ = frag_count;
         let now = sim.now();
@@ -106,7 +107,7 @@ impl Cluster {
         let fin = if offload {
             let ndesc = self.desc_count(offset as u64, len);
             let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
-            let work = self.p.cfg.bh_frag_process + submit;
+            let work = self.bh_frag_cost(coalesced) + submit;
             let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
             self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             let hw = self.p.hw.clone();
@@ -123,7 +124,7 @@ impl Cluster {
             submit_fin
         } else {
             let copy = self.bh_copy_cost(len);
-            let work = self.p.cfg.bh_frag_process + copy;
+            let work = self.bh_frag_cost(coalesced) + copy;
             let (_, f) = self.run_core(node, core, now, work, category::BH);
             self.metrics.busy(node.0, "bh.copy", copy);
             self.metrics.count(node.0, "bh.copy_bytes", len);

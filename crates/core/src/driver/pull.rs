@@ -222,6 +222,7 @@ impl Cluster {
     }
 
     /// Receiver side: one large fragment arrived in BH context.
+    /// `coalesced` marks a GRO frame-train tail (cheaper bookkeeping).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn rx_large_frag(
         &mut self,
@@ -232,6 +233,7 @@ impl Cluster {
         frag_idx: u32,
         offset: u64,
         data: Bytes,
+        coalesced: bool,
     ) -> Ps {
         let now = sim.now();
         // Stale fragment after completion, or duplicate?
@@ -300,7 +302,7 @@ impl Cluster {
         if offload {
             let ndesc = self.desc_count(offset, len).max(len.div_ceil(chunk_eff));
             let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
-            let work = self.p.cfg.bh_frag_process + submit;
+            let work = self.bh_frag_cost(coalesced) + submit;
             let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
             self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             fin = submit_fin;
@@ -314,7 +316,7 @@ impl Cluster {
             c.rx_large_frags += 1;
         } else {
             let copy = self.bh_copy_cost_chunked(len, chunk_eff);
-            let work = self.p.cfg.bh_frag_process + copy;
+            let work = self.bh_frag_cost(coalesced) + copy;
             let (_, f) = self.run_core(node, core, now, work, category::BH);
             self.metrics.busy(node.0, "bh.copy", copy);
             self.metrics.count(node.0, "bh.copy_bytes", len);

@@ -60,6 +60,18 @@ impl Cluster {
         MemModel::copy_time(&self.p.hw, bytes, chunks, &ctx).scale(self.p.cfg.bh_copy_slowdown)
     }
 
+    /// Per-fragment protocol bookkeeping cost in the BH. A fragment
+    /// that arrived as the tail of a GRO-coalesced frame train
+    /// (`coalesced`) skips the per-frame header parse and endpoint
+    /// lookup and pays only the cheap continuation cost.
+    pub(crate) fn bh_frag_cost(&self, coalesced: bool) -> Ps {
+        if coalesced {
+            self.p.cfg.gro_frag_process
+        } else {
+            self.p.cfg.bh_frag_process
+        }
+    }
+
     /// Descriptors needed for an I/OAT copy into `[offset, offset+len)`
     /// of a page-aligned destination region ("one or two chunks per
     /// page": one per destination page boundary crossed).
@@ -396,13 +408,17 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Process one received skbuff in BH context; returns the BH finish
-    /// time for this packet.
+    /// time for this packet. `coalesced` marks the tail of a GRO frame
+    /// train: the fragment belongs to the same message as the previous
+    /// skbuff in this BH run, so the data paths charge the cheaper
+    /// continuation cost instead of the full per-frame processing.
     pub(crate) fn handle_rx_skbuff(
         &mut self,
         sim: &mut Sim<Cluster>,
         node: NodeId,
         core: CoreId,
         skb: Skbuff,
+        coalesced: bool,
     ) -> Ps {
         // The protocol callback consumes the skbuff here: the payload
         // `Bytes` are shared onward (zero-copy), but the buffer itself
@@ -450,7 +466,7 @@ impl Cluster {
                 data,
             } => self.rx_medium_frag(
                 sim, node, core, src_node, src_ep, dst_ep, match_info, msg_seq, msg_len, frag_idx,
-                frag_count, offset, data,
+                frag_count, offset, data, coalesced,
             ),
             Packet::RndvReq {
                 src_ep,
@@ -494,7 +510,16 @@ impl Cluster {
                 offset,
                 data,
                 ..
-            } => self.rx_large_frag(sim, node, core, recv_handle, frag_idx, offset, data),
+            } => self.rx_large_frag(
+                sim,
+                node,
+                core,
+                recv_handle,
+                frag_idx,
+                offset,
+                data,
+                coalesced,
+            ),
             Packet::Notify {
                 dst_ep,
                 sender_handle,
@@ -648,6 +673,7 @@ impl Cluster {
         frag_count: u16,
         offset: u32,
         data: Bytes,
+        coalesced: bool,
     ) -> Ps {
         let src = self.addr_of(src_node, src_ep);
         let me = self.addr_of(node, dst_ep);
@@ -675,14 +701,14 @@ impl Cluster {
         if self.p.cfg.kernel_matching {
             return self.rx_medium_kernel_match(
                 sim, node, core, src, me, match_info, msg_seq, msg_len, frag_idx, frag_count,
-                offset, data,
+                offset, data, coalesced,
             );
         }
         // Synchronous copy into a statically pinned ring slot: memcpy,
         // or (optionally, §III-C/IV-C) a synchronous I/OAT copy that
         // the BH must busy-poll — the measured medium-path degradation.
         let len = data.len() as u64;
-        let mut work = self.p.cfg.bh_frag_process;
+        let mut work = self.bh_frag_cost(coalesced);
         let mut fin;
         if self.p.cfg.ioat_medium_sync
             && !self.p.cfg.ignore_bh_copy

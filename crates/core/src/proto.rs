@@ -456,6 +456,40 @@ impl Packet {
     }
 }
 
+/// GRO train key of a raw frame payload from `src_node`: fragments of
+/// one in-flight message share a key, so the bottom half can coalesce
+/// consecutive same-key skbuffs into a frame train and amortize the
+/// per-frame protocol cost. Returns `None` for non-fragment packets
+/// (eager singles, control frames) and unparseably short payloads —
+/// anything that must break a train.
+///
+/// Peeks at fixed header offsets instead of running the full parser:
+/// like the kernel's GRO `same_flow` check, this happens once per
+/// frame *before* the protocol handler is charged, so it only reads
+/// the few bytes it needs (kind, endpoints, and the message sequence
+/// or pull handle that names the in-flight message).
+pub fn gro_train_key(src_node: u32, payload: &Bytes) -> Option<(u64, u64)> {
+    let kind = *payload.first()?;
+    let src_ep = *payload.get(1)? as u64;
+    let dst_ep = *payload.get(2)? as u64;
+    let flow = ((kind as u64) << 48) | (src_ep << 40) | (dst_ep << 32) | src_node as u64;
+    match kind {
+        // MediumFrag: match_info u64 at 3..11, then msg_seq u32 —
+        // the (flow, msg_seq) pair names one eager medium message.
+        KIND_MEDIUM => {
+            let seq = u32::from_le_bytes(payload.get(11..15)?.try_into().ok()?);
+            Some((flow, seq as u64))
+        }
+        // LargeFrag: recv_handle u32 right after the endpoint pair —
+        // one pull handle = one large message being deposited.
+        KIND_LARGEFRAG => {
+            let handle = u32::from_le_bytes(payload.get(3..7)?.try_into().ok()?);
+            Some((flow, handle as u64))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +623,66 @@ mod tests {
             data: Bytes::from_static(b"abc"),
         };
         assert_eq!(p.data_len(), 3);
+    }
+
+    #[test]
+    fn gro_train_keys_name_messages() {
+        let frag = |msg_seq, frag_idx| Packet::MediumFrag {
+            src_ep: 1,
+            dst_ep: 2,
+            match_info: 0xDEAD_BEEF,
+            msg_seq,
+            msg_len: 16 << 10,
+            frag_idx,
+            frag_count: 4,
+            offset: frag_idx as u32 * 4096,
+            data: Bytes::from(vec![0u8; 4096]),
+        };
+        // Fragments of one message share the key regardless of index.
+        let k0 = gro_train_key(5, &frag(9, 0).pack()).unwrap();
+        let k1 = gro_train_key(5, &frag(9, 3).pack()).unwrap();
+        assert_eq!(k0, k1);
+        // A different message, sender node or endpoint breaks the key.
+        assert_ne!(gro_train_key(5, &frag(10, 0).pack()).unwrap(), k0);
+        assert_ne!(gro_train_key(6, &frag(9, 0).pack()).unwrap(), k0);
+        // Pulled large fragments key on the receive handle.
+        let lf = |recv_handle, frag_idx| Packet::LargeFrag {
+            src_ep: 1,
+            dst_ep: 2,
+            recv_handle,
+            frag_idx,
+            offset: frag_idx as u64 * 4096,
+            data: Bytes::from(vec![0u8; 4096]),
+        };
+        let l0 = gro_train_key(5, &lf(88, 0).pack()).unwrap();
+        assert_eq!(l0, gro_train_key(5, &lf(88, 7).pack()).unwrap());
+        assert_ne!(l0, gro_train_key(5, &lf(89, 0).pack()).unwrap());
+        assert_ne!(l0, k0, "medium and large trains never merge");
+        // Control frames and eager singles never form trains.
+        for p in [
+            Packet::Tiny {
+                src_ep: 1,
+                dst_ep: 2,
+                match_info: 0,
+                msg_seq: 0,
+                data: Bytes::from_static(b"x"),
+            },
+            Packet::Ack {
+                src_ep: 1,
+                dst_ep: 2,
+                msg_seq: 3,
+            },
+            Packet::Notify {
+                src_ep: 1,
+                dst_ep: 2,
+                sender_handle: 7,
+            },
+        ] {
+            assert_eq!(gro_train_key(5, &p.pack()), None);
+        }
+        // Truncated payloads break the train instead of panicking.
+        assert_eq!(gro_train_key(5, &frag(9, 0).pack().slice(..8)), None);
+        assert_eq!(gro_train_key(5, &Bytes::new()), None);
     }
 
     #[test]

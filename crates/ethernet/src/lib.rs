@@ -33,5 +33,5 @@ pub use bh::BottomHalfQueue;
 pub use fault::{FrameDisposition, LinkFaultParams, LinkFaultState};
 pub use frame::EthFrame;
 pub use link::{Link, LinkParams};
-pub use nic::{Nic, NicParams};
+pub use nic::{spread_queue_cores, Nic, NicParams, RxOutcome, RxWake};
 pub use skbuff::Skbuff;

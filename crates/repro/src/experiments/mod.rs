@@ -15,6 +15,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod microbench;
 pub mod nas_is;
+pub mod rss_ablation;
 
 use omx_hw::CoreId;
 use open_mx::cluster::ClusterParams;

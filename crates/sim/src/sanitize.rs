@@ -4,8 +4,9 @@
 //! `end_pinned_regions`) can tell you *that* a resource drifted, but
 //! not *which* allocation leaked or *where* it was misused. This
 //! module upgrades those counters into precise diagnoses: every
-//! skbuff, pinned region, I/OAT copy descriptor and pull handle
-//! carries a [`Token`] minted by [`SimSanitizer::alloc`], and each
+//! skbuff, pinned region, I/OAT copy descriptor, pull handle and
+//! promised bottom-half run carries a [`Token`] minted by
+//! [`SimSanitizer::alloc`], and each
 //! lifecycle transition is checked against the state machine
 //!
 //! ```text
@@ -51,6 +52,11 @@ pub enum Kind {
     IoatDescriptor,
     /// One in-progress pull-engine handle.
     PullHandle,
+    /// A promised bottom-half run: minted when a `BottomHalfQueue`
+    /// asks its caller to schedule a run, completed when that run
+    /// begins. A dropped re-schedule (lost wakeup) surfaces at
+    /// teardown instead of hanging silently.
+    BhRun,
 }
 
 impl fmt::Display for Kind {
@@ -60,6 +66,7 @@ impl fmt::Display for Kind {
             Kind::Region => "pinned region",
             Kind::IoatDescriptor => "I/OAT descriptor",
             Kind::PullHandle => "pull handle",
+            Kind::BhRun => "scheduled BH run",
         })
     }
 }
