@@ -24,8 +24,10 @@ use omx_sim::walltime::Stopwatch;
 use omx_sim::{Ps, ReferenceSim, Sim};
 use open_mx::cluster::ClusterParams;
 use open_mx::config::OmxConfig;
+use open_mx::fault::FaultPlan;
 use open_mx::harness::{
-    run_fanin, run_pingpong, run_stream, FaninConfig, PingPongConfig, Placement, StreamConfig,
+    run_fanin, run_incast, run_pingpong, run_stream, FaninConfig, IncastConfig, PingPongConfig,
+    Placement, StreamConfig,
 };
 use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -354,6 +356,20 @@ fn fanin_fixed(count: u32) -> open_mx::harness::FaninResult {
     run_fanin(c)
 }
 
+/// The credit-governed pull path: an 8-sender large-message incast
+/// with the receiver budget on, over the 8-slot pressured ring so the
+/// AIMD shrink, the grant FIFO and the shed-load path all execute
+/// inside the fingerprint.
+fn incast_fixed() -> open_mx::harness::IncastResult {
+    let mut params = ClusterParams::with_cfg(OmxConfig {
+        fault_plan: FaultPlan::ring_pressure(),
+        pull_credits: true,
+        ..fixed_cfg()
+    });
+    params.nic.num_queues = 4;
+    run_incast(IncastConfig::new(params, 8, 96 << 10, 2))
+}
+
 fn alltoall_fixed(iters: u32) -> KernelResult {
     let params = ClusterParams {
         nodes: 2,
@@ -384,6 +400,11 @@ fn e2e_benches() -> Vec<E2eBench> {
             assert!(r.verified, "fan-in failed verification");
             (r.elapsed, r.throughput_mibs)
         }),
+        e2e_bench("incast_credit_96k", 3, || {
+            let r = incast_fixed();
+            assert!(r.verified, "incast failed verification");
+            (r.elapsed, 0.0)
+        }),
     ]
 }
 
@@ -409,14 +430,21 @@ fn smoke() {
     let fi = fanin_fixed(8);
     assert!(fi.verified, "fan-in failed verification");
     assert!(fi.gro_coalesced > 0, "fan-in smoke must exercise GRO");
+    let ic = incast_fixed();
+    assert!(ic.verified, "incast failed verification");
+    assert!(
+        ic.stats.credit_shrinks > 0,
+        "incast smoke must engage the credit controller"
+    );
     println!(
-        "{{\"schema\":\"perf-smoke-v2\",\"seed\":{},\"pingpong\":{},\"stream\":{},\
-         \"alltoall\":{},\"fanin_mq\":{}}}",
+        "{{\"schema\":\"perf-smoke-v3\",\"seed\":{},\"pingpong\":{},\"stream\":{},\
+         \"alltoall\":{},\"fanin_mq\":{},\"incast_credit\":{}}}",
         SEED,
         fingerprint(&pp.stats, &pp.breakdown),
         fingerprint(&st.stats, &st.breakdown),
         fingerprint(&a2a.stats, &a2a.breakdown),
         fingerprint(&fi.stats, &fi.breakdown),
+        fingerprint(&ic.stats, &ic.breakdown),
     );
 }
 

@@ -85,7 +85,12 @@ pub struct Node {
 }
 
 /// Aggregate counters over one run.
-#[derive(Debug, Default, Clone, Serialize)]
+///
+/// `Serialize` is hand-written (below) rather than derived: the
+/// congestion-control fields appear in the JSON only when the feature
+/// actually fired, so a credits-off run serializes byte-identically to
+/// the committed result files that predate them.
+#[derive(Debug, Default, Clone)]
 pub struct Stats {
     /// Frames handed to links.
     pub frames_sent: u64,
@@ -127,11 +132,87 @@ pub struct Stats {
     pub ioat_reprobes: u64,
     /// Retransmission-timeout escalations (exponential backoff steps).
     pub backoff_escalations: u64,
+    /// Of [`Stats::frames_ring_dropped`], those that happened on a
+    /// node whose fault plan shrank the RX ring (the `ring-pressure`
+    /// hazard). Drops on nodes with an unmodified ring are genuine
+    /// receiver overload — the signal the incast suite is after —
+    /// while this count is the injected hazard; sharing one counter
+    /// made the two indistinguishable in results.
+    pub frames_ring_dropped_injected: u64,
+    /// Credit-revoke NACKs sent by overloaded receivers
+    /// (`cfg.pull_credits` only; see `driver/pull.rs`).
+    pub credit_nacks: u64,
+    /// Multiplicative budget decreases taken by the credit controller.
+    pub credit_shrinks: u64,
+    /// Additive budget regrowth steps taken by the credit controller.
+    pub credit_regrows: u64,
+    /// Times a pull had to wait in the grant queue because the shared
+    /// credit budget was exhausted.
+    pub credit_stalls: u64,
+    /// Per-node, per-queue RX-ring high watermarks (the credit
+    /// controller's input signal), filled in by
+    /// [`Cluster::stats_snapshot`] when the run used multiple RX
+    /// queues or credits — empty otherwise.
+    pub ring_high_watermarks: Vec<Vec<u64>>,
     /// Aggregated per-endpoint protocol counters (the `omx_counters`
     /// equivalent), summed over every endpoint of the cluster by
     /// [`Cluster::stats_snapshot`]; zero-valued on the live `stats`
     /// field, which only tracks the cluster-global events above.
     pub counters: crate::counters::Counters,
+}
+
+impl Serialize for Stats {
+    fn to_value(&self) -> serde::Value {
+        let mut o: Vec<(String, serde::Value)> = Vec::new();
+        // The first 17 fields and the trailing `counters` reproduce
+        // the old derive's output exactly (declaration order,
+        // unconditional); everything between is emitted only when
+        // nonzero/non-empty so pre-existing goldens stay byte-stable.
+        let mut put = |name: &str, v: serde::Value| o.push((name.to_string(), v));
+        put("frames_sent", self.frames_sent.to_value());
+        put("frames_lost", self.frames_lost.to_value());
+        put("frames_ring_dropped", self.frames_ring_dropped.to_value());
+        put(
+            "frames_corrupt_dropped",
+            self.frames_corrupt_dropped.to_value(),
+        );
+        put("frames_duplicated", self.frames_duplicated.to_value());
+        put("frames_reordered", self.frames_reordered.to_value());
+        put("retransmissions", self.retransmissions.to_value());
+        put("pull_retransmissions", self.pull_retransmissions.to_value());
+        put("acks_sent", self.acks_sent.to_value());
+        put("duplicates_dropped", self.duplicates_dropped.to_value());
+        put("messages_delivered", self.messages_delivered.to_value());
+        put("bytes_delivered", self.bytes_delivered.to_value());
+        put("sends_failed", self.sends_failed.to_value());
+        put("ioat_fallback_copies", self.ioat_fallback_copies.to_value());
+        put("ioat_quarantines", self.ioat_quarantines.to_value());
+        put("ioat_reprobes", self.ioat_reprobes.to_value());
+        put("backoff_escalations", self.backoff_escalations.to_value());
+        if self.frames_ring_dropped_injected > 0 {
+            put(
+                "frames_ring_dropped_injected",
+                self.frames_ring_dropped_injected.to_value(),
+            );
+        }
+        if self.credit_nacks > 0 {
+            put("credit_nacks", self.credit_nacks.to_value());
+        }
+        if self.credit_shrinks > 0 {
+            put("credit_shrinks", self.credit_shrinks.to_value());
+        }
+        if self.credit_regrows > 0 {
+            put("credit_regrows", self.credit_regrows.to_value());
+        }
+        if self.credit_stalls > 0 {
+            put("credit_stalls", self.credit_stalls.to_value());
+        }
+        if !self.ring_high_watermarks.is_empty() {
+            put("ring_high_watermarks", self.ring_high_watermarks.to_value());
+        }
+        put("counters", self.counters.to_value());
+        serde::Value::Object(o)
+    }
 }
 
 /// The simulation world.
@@ -254,6 +335,14 @@ impl Cluster {
         // omx-lint: allow(ad-hoc-rng) root seeding point for the run
         let rng = SplitMix64::new(seed);
         let backoff_rng = rng.derive(0xB0FF);
+        let mut nodes: Vec<Node> = nodes;
+        if p.cfg.pull_credits {
+            // Seed every node's shared pull-block budget; with credits
+            // off the state stays zeroed and untouched.
+            for n in &mut nodes {
+                n.driver.credits.budget = p.cfg.credit_budget_init.max(1);
+            }
+        }
         Cluster {
             p,
             nodes,
@@ -333,6 +422,22 @@ impl Cluster {
             }
             node_total.publish(&self.metrics, scope as u32);
             stats.counters.merge(&node_total);
+        }
+        // Surface the per-queue ring high watermarks (the credit
+        // controller's occupancy input) whenever the run exercised the
+        // multi-queue path or the controller itself; kept empty
+        // otherwise so single-queue, credits-off results serialize
+        // exactly as before.
+        if self.p.nic.num_queues > 1 || self.p.cfg.pull_credits {
+            stats.ring_high_watermarks = self
+                .nodes
+                .iter()
+                .map(|n| {
+                    (0..n.nic.num_queues())
+                        .map(|q| n.nic.ring_high_watermark(q) as u64)
+                        .collect()
+                })
+                .collect();
         }
         stats
     }
@@ -685,6 +790,19 @@ impl Cluster {
     /// (batched) BH run as the returned [`RxWake`] demands.
     fn omx_on_frame(&mut self, sim: &mut Sim<Cluster>, node: NodeId, frame: EthFrame) {
         let now = sim.now();
+        let credits = self.p.cfg.pull_credits;
+        // `Nic::deliver` consumes the frame, so anything the credit
+        // controller might need after a drop is peeked first — and
+        // only when the controller is on, keeping the default path
+        // untouched.
+        let peeked = if credits {
+            Some((
+                NodeId(frame.src),
+                crate::proto::peek_large_frag(&frame.payload),
+            ))
+        } else {
+            None
+        };
         let n = self.node_mut(node);
         let queue = n.nic.rss_queue(&frame);
         let core = n.nic.queue_core(queue);
@@ -692,40 +810,61 @@ impl Cluster {
         match outcome {
             RxOutcome::DroppedRingFull => {
                 self.stats.frames_ring_dropped += 1;
+                if self
+                    .p
+                    .cfg
+                    .fault_plan
+                    .node_params(node.0)
+                    .is_some_and(|nf| nf.rx_ring_size.is_some())
+                {
+                    // The ring on this node was artificially shrunk by
+                    // the fault plan: the drop is the injected hazard,
+                    // not genuine receiver overload.
+                    self.stats.frames_ring_dropped_injected += 1;
+                }
+                if let Some((src_node, peek)) = peeked {
+                    self.credit_ring_shed(sim, node, src_node, peek, now);
+                }
             }
             RxOutcome::DroppedCorrupt => {
                 // Hardware FCS check discarded the frame before it
                 // consumed a ring slot; retransmission recovers it.
                 self.stats.frames_corrupt_dropped += 1;
             }
-            RxOutcome::Queued { queue, wake } => match wake {
-                RxWake::Irq(core) => {
-                    let irq = self.p.hw.irq_cpu_cost;
-                    let (_, irq_fin) = self.run_core(node, core, now, irq, category::IRQ);
-                    let at = irq_fin.max(now + self.p.hw.bh_dispatch_delay);
-                    sim.schedule_at(at, move |c: &mut Cluster, s| c.run_bh(s, node, queue));
+            RxOutcome::Queued { queue, wake } => {
+                if credits {
+                    self.credit_occupancy_check(node, queue, now);
                 }
-                RxWake::IrqPending(core) => {
-                    // Interrupt fires but a BH run is already promised:
-                    // account the hard-IRQ cost only.
-                    let irq = self.p.hw.irq_cpu_cost;
-                    self.run_core(node, core, now, irq, category::IRQ);
+                match wake {
+                    RxWake::Irq(core) => {
+                        let irq = self.p.hw.irq_cpu_cost;
+                        let (_, irq_fin) = self.run_core(node, core, now, irq, category::IRQ);
+                        let at = irq_fin.max(now + self.p.hw.bh_dispatch_delay);
+                        sim.schedule_at(at, move |c: &mut Cluster, s| c.run_bh(s, node, queue));
+                    }
+                    RxWake::IrqPending(core) => {
+                        // Interrupt fires but a BH run is already promised:
+                        // account the hard-IRQ cost only.
+                        let irq = self.p.hw.irq_cpu_cost;
+                        self.run_core(node, core, now, irq, category::IRQ);
+                    }
+                    RxWake::Pending => {
+                        // Coalesced into the window with a run already
+                        // pending: the promised run will drain this skbuff.
+                    }
+                    RxWake::TimerKick(_) => {
+                        // Coalesced into the moderation window with NO
+                        // run pending: the moderation timer must kick
+                        // the BH or the skbuff sits unserviced until
+                        // the link goes idle forever (the
+                        // frame-then-silence bug).
+                        let delay = self.p.hw.bh_dispatch_delay;
+                        sim.schedule_at(now + delay, move |c: &mut Cluster, s| {
+                            c.run_bh(s, node, queue)
+                        });
+                    }
                 }
-                RxWake::Pending => {
-                    // Coalesced into the window with a run already
-                    // pending: the promised run will drain this skbuff.
-                }
-                RxWake::TimerKick(_) => {
-                    // Coalesced into the moderation window with NO run
-                    // pending: the moderation timer must kick the BH or
-                    // the skbuff sits unserviced until the link goes
-                    // idle forever (the frame-then-silence bug).
-                    let delay = self.p.hw.bh_dispatch_delay;
-                    sim.schedule_at(now + delay, move |c: &mut Cluster, s| {
-                        c.run_bh(s, node, queue)
-                    });
-                }
-            },
+            }
         }
     }
 

@@ -61,6 +61,40 @@ pub struct OmxConfig {
     /// Cap on the adaptive retransmission timeout.
     pub rto_max: Ps,
 
+    // ---------------- receiver-driven credit control ----------------
+    /// Receiver-driven credit-based congestion control for the pull
+    /// protocol. Off (the default): every pull independently keeps
+    /// [`Self::pull_blocks_outstanding`] blocks requested, exactly the
+    /// 2008 model — bit-identical to all committed results. On: block
+    /// requests across *all* active pulls of a node draw from one
+    /// shared adaptive budget, granted FIFO across pulls, and the
+    /// budget tracks RX-ring occupancy (multiplicative decrease on
+    /// ring pressure, additive regrowth on sustained headroom). A
+    /// `PullReq` doubles as the credit grant, so the control loop adds
+    /// no frames to the fast path; only the shed-load NACK is new.
+    pub pull_credits: bool,
+    /// Initial shared budget, in pull blocks, per receiving node.
+    pub credit_budget_init: u32,
+    /// Lower clamp for the adaptive budget (effective minimum 1 — the
+    /// head-of-line pull must always be able to make progress).
+    pub credit_budget_min: u32,
+    /// Upper clamp for the adaptive budget. Kept well under the RX
+    /// ring depth: regrowth is gated on instantaneous ring headroom,
+    /// so without this cap the budget climbs until the standing
+    /// backlog's queueing delay alone exceeds the pull RTO and the
+    /// receiver re-requests blocks that were merely queued.
+    pub credit_budget_max: u32,
+    /// RX-ring occupancy, in percent of ring slots, at or above which
+    /// the budget is halved (the PR-6 per-queue high-watermark signal
+    /// is the controller's input).
+    pub credit_high_watermark_pct: u32,
+    /// Minimum spacing between two multiplicative decreases, and the
+    /// rate limit on shed-load NACK frames.
+    pub credit_shrink_cooldown: Ps,
+    /// Spacing of additive regrowth (+1 block) while every ring stays
+    /// under the high watermark.
+    pub credit_regrow_interval: Ps,
+
     // ---------------- I/OAT offload ----------------
     /// Master switch for the DMA engine offload.
     pub ioat_enabled: bool,
@@ -191,6 +225,13 @@ impl Default for OmxConfig {
             pull_blocks_outstanding: 2,
             retransmit_timeout: Ps::us(500),
             rto_max: Ps::ms(8),
+            pull_credits: false,
+            credit_budget_init: 16,
+            credit_budget_min: 2,
+            credit_budget_max: 32,
+            credit_high_watermark_pct: 75,
+            credit_shrink_cooldown: Ps::us(50),
+            credit_regrow_interval: Ps::us(200),
             ioat_enabled: false,
             dca_enabled: false,
             ioat_net_msg_threshold: 64 << 10,
@@ -303,6 +344,18 @@ mod tests {
         assert_eq!(c.pull_blocks_outstanding, 2);
         assert!(!c.ioat_enabled);
         assert!(c.regcache);
+    }
+
+    #[test]
+    fn credits_default_off_and_knobs_sane() {
+        // Credits must default off: the fixed per-pull window is the
+        // paper's model and every committed result depends on it.
+        let c = OmxConfig::default();
+        assert!(!c.pull_credits);
+        assert!(c.credit_budget_min >= 1);
+        assert!(c.credit_budget_min <= c.credit_budget_init);
+        assert!(c.credit_budget_init <= c.credit_budget_max);
+        assert!(c.credit_high_watermark_pct <= 100);
     }
 
     #[test]

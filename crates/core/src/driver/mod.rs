@@ -15,7 +15,7 @@ use crate::{EpAddr, EpIdx, ReqId};
 use omx_hw::ioat::CopyHandle;
 use omx_sim::sanitize::{Kind, SimSanitizer, Token};
 use omx_sim::Ps;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One outstanding asynchronous receive copy: its completion handle,
 /// the skbuffs it pins and the bytes it moves (needed to re-do the
@@ -69,6 +69,13 @@ pub struct PullState {
     /// the pull is stalled, reset to `cfg.retransmit_timeout` on
     /// progress).
     pub rto: Ps,
+    /// Blocks granted to this pull from the node-wide credit pool and
+    /// not yet fully received (always 0 with credits disabled).
+    pub credits_held: u32,
+    /// Whether this pull is currently queued in
+    /// [`CreditState::waiters`] — the flag keeps the FIFO free of
+    /// duplicate entries and lets the pump skip stale handles.
+    pub credit_queued: bool,
     /// Lifecycle sanitizer token: submitted at construction,
     /// completed and released by `finish_pull`, released by the
     /// abandoning watchdog (zero-sized in release builds).
@@ -116,6 +123,8 @@ impl PullState {
             last_progress,
             generation,
             rto,
+            credits_held: 0,
+            credit_queued: false,
             san,
         }
     }
@@ -133,6 +142,37 @@ impl PullState {
     /// Whether every fragment has arrived.
     pub fn all_arrived(&self) -> bool {
         self.frag_seen.iter().all(|&b| b)
+    }
+
+    /// Whether `frag_idx` has not landed yet. Out-of-range indices —
+    /// possible when a stale fragment reaches a recycled handle —
+    /// read as already-seen, so callers drop them as duplicates
+    /// instead of indexing out of bounds.
+    pub fn frag_is_new(&self, frag_idx: u32) -> bool {
+        matches!(self.frag_seen.get(frag_idx as usize), Some(false))
+    }
+
+    /// Record the arrival of fragment `frag_idx` (blocks of `bf`
+    /// fragments): mark it seen and decrement its block's remaining
+    /// count. Idempotent by construction — a duplicate, stale or
+    /// out-of-range index returns `None` and touches nothing, so a
+    /// block re-requested by the watchdog just as its last fragment
+    /// lands can never double-complete (or underflow the remaining
+    /// count) no matter how many copies of each fragment arrive.
+    pub fn note_frag(&mut self, frag_idx: u32, bf: u32) -> Option<FragProgress> {
+        let seen = self.frag_seen.get_mut(frag_idx as usize)?;
+        if *seen {
+            return None;
+        }
+        *seen = true;
+        let b = (frag_idx / bf) as usize;
+        let rem = &mut self.block_remaining[b];
+        debug_assert!(*rem > 0, "unseen fragment in a completed block");
+        *rem = rem.saturating_sub(1);
+        Some(FragProgress {
+            block_done: *rem == 0,
+            all_arrived: self.frag_seen.iter().all(|&s| s),
+        })
     }
 
     /// Release completed asynchronous copies (the cleanup routine of
@@ -182,6 +222,39 @@ impl PullState {
     }
 }
 
+/// What one freshly landed fragment did to its pull's progress
+/// accounting (returned by [`PullState::note_frag`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FragProgress {
+    /// The fragment completed its block.
+    pub block_done: bool,
+    /// The fragment was the last of the whole message.
+    pub all_arrived: bool,
+}
+
+/// Node-wide, receiver-side credit pool for the pull protocol: the
+/// congestion-control state behind `OmxConfig::pull_credits`. Every
+/// pull's block requests draw from one shared adaptive `budget`
+/// instead of a fixed per-pull window, FIFO across pulls, so N
+/// concurrent senders can no longer each push a full window into one
+/// host's RX rings. The default state is inert — nothing here is read
+/// or written while credits are disabled.
+#[derive(Debug, Default)]
+pub struct CreditState {
+    /// Adaptive budget: the maximum total granted-but-incomplete
+    /// blocks across all pulls of this node.
+    pub budget: u32,
+    /// Blocks currently granted and not yet fully received.
+    pub outstanding: u32,
+    /// Pull handles waiting for a block grant, in arrival order.
+    pub waiters: VecDeque<u32>,
+    /// Instant of the last multiplicative decrease (also rate-limits
+    /// shed-load NACKs).
+    pub last_shrink: Ps,
+    /// Instant of the last additive regrowth.
+    pub last_regrow: Ps,
+}
+
 /// Sender-side state of one large message being pulled by the remote
 /// host.
 #[derive(Debug, Clone, Copy)]
@@ -217,6 +290,9 @@ pub struct Driver {
     /// Kernel-matching medium reassemblies (extension), keyed by
     /// (receiving endpoint, sender, sequence).
     pub kmatch: BTreeMap<(EpIdx, EpAddr, u32), kmatch::KernelAssembly>,
+    /// Receiver-driven credit pool (inert unless
+    /// `OmxConfig::pull_credits`).
+    pub credits: CreditState,
 }
 
 impl Driver {

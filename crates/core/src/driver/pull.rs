@@ -89,7 +89,12 @@ impl Cluster {
         // Prefer a channel that is not quarantined; if every channel is
         // blacklisted the fragment path falls back to memcpy anyway.
         let channel = self.pick_healthy_channel(node, fin);
+        let credits = self.p.cfg.pull_credits;
         let first_blocks = blocks_total.min(self.p.cfg.pull_blocks_outstanding);
+        // Credit mode: no block is pre-granted — every request goes
+        // through the shared budget, so an incast start cannot stampede
+        // the receiver with N uncoordinated first windows.
+        let initial_blocks = if credits { 0 } else { first_blocks };
         let base_rto = self.p.cfg.retransmit_timeout;
         self.node_mut(node).driver.pulls.insert(
             handle,
@@ -102,24 +107,29 @@ impl Cluster {
                 msg_len,
                 frags_total,
                 block_remaining,
-                first_blocks,
+                initial_blocks,
                 channel,
                 from,
                 generation,
                 base_rto,
             ),
         );
-        // Request the first window of blocks (driver context).
-        for b in 0..first_blocks {
-            let (_, f) = self.run_core(
-                node,
-                core,
-                fin,
-                self.p.cfg.ctrl_frame_cost,
-                category::DRIVER,
-            );
-            fin = f;
-            self.send_block_request(sim, node, handle, b, fin);
+        if credits {
+            self.credit_enqueue(node, handle);
+            fin = self.credit_pump(sim, node, core, fin, category::DRIVER);
+        } else {
+            // Request the first window of blocks (driver context).
+            for b in 0..first_blocks {
+                let (_, f) = self.run_core(
+                    node,
+                    core,
+                    fin,
+                    self.p.cfg.ctrl_frame_cost,
+                    category::DRIVER,
+                );
+                fin = f;
+                self.send_block_request(sim, node, handle, b, fin);
+            }
         }
         self.schedule_pull_watchdog(sim, node, handle, generation, 0, fin);
     }
@@ -236,13 +246,16 @@ impl Cluster {
         coalesced: bool,
     ) -> Ps {
         let now = sim.now();
-        // Stale fragment after completion, or duplicate?
+        // Stale fragment after completion, duplicate, or out of range?
+        // `frag_is_new` treats an out-of-bounds index as already-seen,
+        // so a corrupted-but-FCS-clean or misrouted index cannot panic
+        // the BH.
         let valid = self
             .node(node)
             .driver
             .pulls
             .get(&recv_handle)
-            .map(|p| !p.frag_seen[frag_idx as usize]);
+            .map(|p| p.frag_is_new(frag_idx));
         match valid {
             None | Some(false) => {
                 self.stats.duplicates_dropped += 1;
@@ -337,14 +350,13 @@ impl Cluster {
             }
         }
         let bf = self.p.cfg.pull_block_frags;
-        let (block_done, all_arrived, next_block, blocks_total) = {
+        let (progress, next_block, blocks_total) = {
             let p = self
                 .node_mut(node)
                 .driver
                 .pulls
                 .get_mut(&recv_handle)
                 .expect("checked");
-            p.frag_seen[frag_idx as usize] = true;
             p.bytes_done += len;
             p.last_progress = fin;
             if let Some(h) = copy_handle {
@@ -354,17 +366,27 @@ impl Cluster {
                     bytes: len,
                 });
             }
-            let b = (frag_idx / bf) as usize;
-            p.block_remaining[b] -= 1;
-            (
-                p.block_remaining[b] == 0,
-                p.all_arrived(),
-                p.next_block,
-                p.block_remaining.len() as u32,
-            )
+            let progress = p
+                .note_frag(frag_idx, bf)
+                .expect("freshness checked on BH entry");
+            (progress, p.next_block, p.block_remaining.len() as u32)
         };
+        let (block_done, all_arrived) = (progress.block_done, progress.all_arrived);
         // --- block completed: cleanup + request the next block -----------
-        if block_done && next_block < blocks_total && !all_arrived {
+        if self.p.cfg.pull_credits {
+            if block_done {
+                // Return the block's credit to the shared budget, then
+                // let the pump hand it to whichever pull (this one or a
+                // starved peer) is first in line.
+                self.credit_release_block(node, recv_handle);
+                self.credit_maybe_regrow(node, fin);
+                if !all_arrived {
+                    fin = self.pull_cleanup(sim, node, core, recv_handle, fin);
+                    self.credit_enqueue(node, recv_handle);
+                }
+                fin = self.credit_pump(sim, node, core, fin, category::BH);
+            }
+        } else if block_done && next_block < blocks_total && !all_arrived {
             fin = self.pull_cleanup(sim, node, core, recv_handle, fin);
             let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, category::BH);
             fin = f;
@@ -564,13 +586,24 @@ impl Cluster {
         // The pull carries its own adaptive timeout (exponential
         // backoff while stalled); fall back to the base timeout when
         // the pull is already gone (the watchdog will no-op anyway).
-        let timeout = self
+        let mut timeout = self
             .node(node)
             .driver
             .pulls
             .get(&handle)
             .map(|p| p.rto)
             .unwrap_or(self.p.cfg.retransmit_timeout);
+        if self.p.cfg.pull_credits {
+            // The receiver sized the in-flight backlog itself: a block
+            // granted behind k outstanding blocks legitimately waits k
+            // service quanta in the RX ring before its first fragment
+            // can land, so re-request patience scales with the granted
+            // backlog. Without this, a wide incast re-requests blocks
+            // that were merely queued — the base RTO is calibrated for
+            // one pull's round trip, not the aggregate drain.
+            let outstanding = self.node(node).driver.credits.outstanding as u64;
+            timeout = Ps::ps(timeout.as_ps() * (8 + outstanding) / 8);
+        }
         sim.schedule_at(from + timeout, move |c: &mut Cluster, s| {
             c.pull_watchdog(s, node, handle, generation, progress_snapshot, stalls);
         });
@@ -611,6 +644,26 @@ impl Cluster {
             self.schedule_pull_watchdog(sim, node, handle, generation, bytes_done, now);
             return;
         }
+        if self.p.cfg.pull_credits {
+            let starved = self.node(node).driver.pulls.get(&handle).is_some_and(|p| {
+                p.credits_held == 0 && (p.next_block as usize) < p.block_remaining.len()
+            });
+            if starved {
+                // No block of this pull is in flight, so the silence is
+                // budget exhaustion, not loss: the fabric owes us
+                // nothing to retransmit. Re-enter the grant queue and
+                // re-arm without escalating the RTO or spending the
+                // stall budget — the pulls that *hold* credits either
+                // progress or get abandoned, which frees budget for us.
+                self.credit_enqueue(node, handle);
+                let core = self.ep(EpAddr { node, ep }).core;
+                let fin = self.credit_pump(sim, node, core, now, category::DRIVER);
+                self.schedule_pull_watchdog_n(
+                    sim, node, handle, generation, bytes_done, stalls, fin,
+                );
+                return;
+            }
+        }
         if stalls >= Self::MAX_PULL_STALLS {
             // The peer stopped responding entirely: abandon the pull so
             // the simulation drains instead of spinning forever,
@@ -624,6 +677,14 @@ impl Cluster {
                     SimSanitizer::release(pc.handle.san);
                 }
                 SimSanitizer::release(p.token());
+                if self.p.cfg.pull_credits {
+                    // Return the abandoned pull's credits so waiters
+                    // behind it are not starved by a dead transfer.
+                    let cr = &mut self.nodes[node.0 as usize].driver.credits;
+                    cr.outstanding = cr.outstanding.saturating_sub(p.credits_held);
+                    let core = self.ep(EpAddr { node, ep }).core;
+                    self.credit_pump(sim, node, core, now, category::DRIVER);
+                }
             }
             return;
         }
@@ -663,6 +724,237 @@ impl Cluster {
             self.send_block_request(sim, node, handle, b, fin);
         }
         self.schedule_pull_watchdog_n(sim, node, handle, generation, bytes_done, stalls + 1, fin);
+    }
+
+    // ------------------------------------------------------------------
+    // receiver-driven credit control (the congestion-control tentpole)
+    //
+    // With `cfg.pull_credits` on, no pull requests blocks on its own:
+    // every block grant comes out of the node-wide
+    // [`crate::driver::CreditState`] budget, handed out FIFO by
+    // [`Self::credit_pump`]. The budget adapts to RX-ring occupancy —
+    // halved (cooldown-limited) when a ring sheds or crosses the high
+    // watermark, regrown additively on sustained headroom. The PullReq
+    // itself is the grant; only the revoke path needs a new packet
+    // ([`Packet::CreditNack`]). Everything here is unreachable when the
+    // knob is off, which keeps the default bit-identical to the fixed
+    // per-pull window.
+    // ------------------------------------------------------------------
+
+    /// Put `handle` in line for a block grant unless it is already
+    /// queued, has no blocks left to request, or is at its per-pull
+    /// cap (`cfg.pull_blocks_outstanding` still bounds one pull's
+    /// share of the budget). Counts a stall when the budget is
+    /// currently exhausted — the controller's queueing signal.
+    fn credit_enqueue(&mut self, node: NodeId, handle: u32) {
+        let cap = self.p.cfg.pull_blocks_outstanding;
+        let d = &mut self.nodes[node.0 as usize].driver;
+        let Some(p) = d.pulls.get_mut(&handle) else {
+            return;
+        };
+        if p.credit_queued
+            || (p.next_block as usize) >= p.block_remaining.len()
+            || p.credits_held >= cap
+        {
+            return;
+        }
+        p.credit_queued = true;
+        d.credits.waiters.push_back(handle);
+        if d.credits.outstanding >= d.credits.budget {
+            self.stats.credit_stalls += 1;
+            self.metrics.count(node.0, "credit.stalls", 1);
+        }
+    }
+
+    /// Grant block credits to waiting pulls until the budget is
+    /// exhausted or the queue drains, sending one PullReq per grant
+    /// (the PullReq *is* the credit). `cat` is the CPU category of the
+    /// calling context (driver syscall vs BH). Returns the new finish
+    /// time.
+    fn credit_pump(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        mut fin: Ps,
+        cat: &'static str,
+    ) -> Ps {
+        enum Pop {
+            Stop,
+            Skip,
+            Grant(u32, u32),
+        }
+        let cap = self.p.cfg.pull_blocks_outstanding;
+        loop {
+            let action = {
+                let d = &mut self.nodes[node.0 as usize].driver;
+                if d.credits.outstanding >= d.credits.budget {
+                    Pop::Stop
+                } else {
+                    match d.credits.waiters.pop_front() {
+                        None => Pop::Stop,
+                        Some(h) => {
+                            // A stale entry (finished/abandoned pull, or
+                            // one whose flag was cleared) is skipped;
+                            // the `credit_queued` flag guarantees each
+                            // live pull appears at most once.
+                            let grant = d.pulls.get_mut(&h).and_then(|p| {
+                                if !p.credit_queued {
+                                    return None;
+                                }
+                                p.credit_queued = false;
+                                if (p.next_block as usize) >= p.block_remaining.len()
+                                    || p.credits_held >= cap
+                                {
+                                    return None;
+                                }
+                                let b = p.next_block;
+                                p.next_block += 1;
+                                p.credits_held += 1;
+                                Some(b)
+                            });
+                            match grant {
+                                None => Pop::Skip,
+                                Some(b) => {
+                                    d.credits.outstanding += 1;
+                                    Pop::Grant(h, b)
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            match action {
+                Pop::Stop => return fin,
+                Pop::Skip => continue,
+                Pop::Grant(h, b) => {
+                    // Round-robin fairness: if the pull wants more
+                    // blocks it re-joins at the back of the line.
+                    self.credit_enqueue(node, h);
+                    let (_, f) = self.run_core(node, core, fin, self.p.cfg.ctrl_frame_cost, cat);
+                    fin = f;
+                    self.send_block_request(sim, node, h, b, fin);
+                }
+            }
+        }
+    }
+
+    /// A granted block fully arrived: return its credit to the shared
+    /// budget.
+    fn credit_release_block(&mut self, node: NodeId, handle: u32) {
+        let d = &mut self.nodes[node.0 as usize].driver;
+        if let Some(p) = d.pulls.get_mut(&handle) {
+            debug_assert!(p.credits_held > 0, "block completed without a credit");
+            p.credits_held = p.credits_held.saturating_sub(1);
+        }
+        d.credits.outstanding = d.credits.outstanding.saturating_sub(1);
+    }
+
+    /// Multiplicative decrease: halve the budget (clamped to
+    /// `cfg.credit_budget_min`), rate-limited by the shrink cooldown so
+    /// one overload episode doesn't collapse the budget to the floor in
+    /// a single burst of drops. Returns `true` when the cooldown window
+    /// opened (even at the floor — callers use it to rate-limit NACKs).
+    fn credit_shrink(&mut self, node: NodeId, now: Ps) -> bool {
+        let cool = self.p.cfg.credit_shrink_cooldown;
+        let min = self.p.cfg.credit_budget_min.max(1);
+        let cr = &mut self.nodes[node.0 as usize].driver.credits;
+        if cr.last_shrink != Ps::ZERO && now < cr.last_shrink + cool {
+            return false;
+        }
+        cr.last_shrink = now;
+        // A shrink also resets the regrow clock: headroom must be
+        // *sustained* after trouble before the budget grows back.
+        cr.last_regrow = now;
+        cr.budget = (cr.budget / 2).max(min);
+        true
+    }
+
+    /// Additive increase: grow the budget by one when every RX queue
+    /// has stayed under the high-watermark fraction of its ring and a
+    /// full regrow interval passed since both the last shrink and the
+    /// last regrow. Called on block completions, so regrowth needs
+    /// live traffic — an idle node keeps its budget.
+    fn credit_maybe_regrow(&mut self, node: NodeId, now: Ps) {
+        let max = self.p.cfg.credit_budget_max;
+        let interval = self.p.cfg.credit_regrow_interval;
+        let pct = self.p.cfg.credit_high_watermark_pct as usize;
+        {
+            let cr = &self.nodes[node.0 as usize].driver.credits;
+            if cr.budget >= max
+                || now < cr.last_regrow + interval
+                || now < cr.last_shrink + interval
+            {
+                return;
+            }
+        }
+        let n = &self.nodes[node.0 as usize];
+        let ring = n.nic.params().rx_ring_size;
+        let queues = n.nic.params().num_queues;
+        let headroom = (0..queues).all(|q| n.nic.pending_on(q) * 100 < ring * pct);
+        if !headroom {
+            return;
+        }
+        let cr = &mut self.nodes[node.0 as usize].driver.credits;
+        cr.budget += 1;
+        cr.last_regrow = now;
+        self.stats.credit_regrows += 1;
+        self.metrics.count(node.0, "credit.regrows", 1);
+    }
+
+    /// The RX ring dropped a frame: shed load. Shrinks the budget
+    /// (cooldown-limited) and, when the dropped frame was a pull
+    /// fragment we could attribute (`peek` = its parsed header), sends
+    /// an explicit [`Packet::CreditNack`] back to the sender so its
+    /// adaptive RTO backs off *now* instead of waiting out a timeout.
+    pub(crate) fn credit_ring_shed(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        src_node: NodeId,
+        peek: Option<(u8, u8, u32)>,
+        now: Ps,
+    ) {
+        if !self.credit_shrink(node, now) {
+            return;
+        }
+        self.stats.credit_shrinks += 1;
+        self.metrics.count(node.0, "credit.shrinks", 1);
+        let Some((frag_src_ep, frag_dst_ep, recv_handle)) = peek else {
+            return;
+        };
+        // sender_handle 0 = unattributed: the sender backs off every
+        // pending send to this peer instead of one transfer.
+        let sender_handle = self
+            .node(node)
+            .driver
+            .pulls
+            .get(&recv_handle)
+            .map(|p| p.sender_handle)
+            .unwrap_or(0);
+        let pkt = Packet::CreditNack {
+            src_ep: frag_dst_ep,
+            dst_ep: frag_src_ep,
+            sender_handle,
+        };
+        self.send_packet(sim, node, src_node, &pkt, now);
+        self.stats.credit_nacks += 1;
+        self.metrics.count(node.0, "credit.nacks", 1);
+    }
+
+    /// Occupancy probe on the frame-queued path: crossing the high
+    /// watermark shrinks the budget *before* the ring actually
+    /// overflows (the PR-6 watermark gauge made this signal visible;
+    /// this is the controller that consumes it).
+    pub(crate) fn credit_occupancy_check(&mut self, node: NodeId, queue: usize, now: Ps) {
+        let ring = self.node(node).nic.params().rx_ring_size;
+        let pct = self.p.cfg.credit_high_watermark_pct as usize;
+        if self.node(node).nic.pending_on(queue) * 100 >= ring * pct
+            && self.credit_shrink(node, now)
+        {
+            self.stats.credit_shrinks += 1;
+            self.metrics.count(node.0, "credit.shrinks", 1);
+        }
     }
 }
 
@@ -719,5 +1011,105 @@ mod tests {
             !c.nodes[0].driver.pulls.contains_key(&handle),
             "the live generation's exhausted watchdog still abandons"
         );
+    }
+
+    /// Satellite-3 regression: a block re-requested by the RTO
+    /// watchdog races its own last in-flight fragment — the original
+    /// copy completes the block, then the re-requested duplicate
+    /// lands. The duplicate must be recognized as already-seen: a
+    /// second decrement would underflow the block's `u32` remaining
+    /// count and mint a phantom block completion (double-granting in
+    /// credit mode, double `next_block` advance without). Out-of-range
+    /// indices likewise must be inert, not a panic.
+    #[test]
+    fn duplicate_fragment_never_double_decrements_a_block() {
+        let mut p = pull_state(1);
+        let bf = 8;
+        for i in 0..8 {
+            let prog = p.note_frag(i, bf).expect("fresh fragment");
+            assert_eq!(prog.block_done, i == 7, "block 0 completes on frag 7");
+            assert!(!prog.all_arrived);
+        }
+        assert_eq!(p.block_remaining[0], 0);
+        // The re-requested duplicate of the block's last fragment.
+        assert!(!p.frag_is_new(7));
+        assert!(p.note_frag(7, bf).is_none(), "duplicate must be inert");
+        assert_eq!(p.block_remaining[0], 0, "no underflow");
+        // Garbage index beyond the message: stale, not a panic.
+        assert!(!p.frag_is_new(999));
+        assert!(p.note_frag(999, bf).is_none());
+        for i in 8..16 {
+            let prog = p.note_frag(i, bf).expect("fresh fragment");
+            assert_eq!(prog.block_done, i == 15);
+            assert_eq!(prog.all_arrived, i == 15);
+        }
+        SimSanitizer::release(p.token());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Satellite-3 property: under arbitrary arrival orders with
+        /// duplicates and out-of-range indices, `note_frag` accepts
+        /// each fragment exactly once, never touches state on a
+        /// rejected index, and its remaining counts always match an
+        /// independent seen-set model.
+        #[test]
+        fn note_frag_is_idempotent_and_exact(
+            frags_total in 1u32..64,
+            bf in 1u32..16,
+            seq in proptest::collection::vec(0u32..80, 1..256),
+        ) {
+            use proptest::prelude::*;
+            let blocks_total = frags_total.div_ceil(bf);
+            let block_remaining: Vec<u32> = (0..blocks_total)
+                .map(|b| (frags_total - b * bf).min(bf))
+                .collect();
+            let mut p = PullState::new(
+                EpIdx(0),
+                ReqId(1),
+                EpAddr {
+                    node: NodeId(1),
+                    ep: EpIdx(0),
+                },
+                1,
+                0,
+                frags_total as u64 * 4096,
+                frags_total,
+                block_remaining,
+                0,
+                0,
+                Ps::ZERO,
+                1,
+                Ps::us(500),
+            );
+            let mut seen = vec![false; frags_total as usize];
+            for idx in seq {
+                let fresh = (idx as usize) < seen.len() && !seen[idx as usize];
+                let before = p.block_remaining.clone();
+                prop_assert_eq!(p.frag_is_new(idx), fresh);
+                match p.note_frag(idx, bf) {
+                    None => {
+                        prop_assert!(!fresh, "fresh fragment rejected");
+                        prop_assert_eq!(&p.block_remaining, &before);
+                    }
+                    Some(prog) => {
+                        prop_assert!(fresh, "stale fragment accepted");
+                        seen[idx as usize] = true;
+                        let b = (idx / bf) as usize;
+                        prop_assert_eq!(p.block_remaining[b] + 1, before[b]);
+                        prop_assert_eq!(prog.block_done, p.block_remaining[b] == 0);
+                        prop_assert_eq!(prog.all_arrived, seen.iter().all(|&s| s));
+                    }
+                }
+            }
+            for b in 0..blocks_total as usize {
+                let lo = b as u32 * bf;
+                let hi = ((b as u32 + 1) * bf).min(frags_total);
+                let unseen = (lo..hi).filter(|&i| !seen[i as usize]).count() as u32;
+                prop_assert_eq!(p.block_remaining[b], unseen);
+            }
+            SimSanitizer::release(p.token());
+        }
     }
 }

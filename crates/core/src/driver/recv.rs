@@ -530,7 +530,72 @@ impl Cluster {
                 dst_ep,
                 msg_seq,
             } => self.rx_ack(sim, node, core, src_node, src_ep, dst_ep, msg_seq),
+            Packet::CreditNack {
+                dst_ep,
+                sender_handle,
+                ..
+            } => self.rx_credit_nack(sim, node, core, src_node, dst_ep, sender_handle),
         }
+    }
+
+    /// Receiver-driven congestion notification (credit revoke): the
+    /// peer's RX ring shed one of our pull fragments. Escalate the
+    /// affected large send's adaptive RTO *now* — the same backoff the
+    /// watchdog would apply one timeout later — so the re-request storm
+    /// turns into pacing. `sender_handle` 0 means the receiver could
+    /// not attribute the drop; every large send toward that node backs
+    /// off. The NACK doubles as proof of life (the peer saw our
+    /// traffic), so the deadline is refreshed, but the give-up budget
+    /// (`retx_attempts`) keeps counting: a peer that only ever NACKs is
+    /// still a failed transfer.
+    fn rx_credit_nack(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: NodeId,
+        core: CoreId,
+        src_node: NodeId,
+        dst_ep: u8,
+        sender_handle: u32,
+    ) -> Ps {
+        let me = self.addr_of(node, dst_ep);
+        let (_, fin) = self.run_core(
+            node,
+            core,
+            sim.now(),
+            self.p.cfg.bh_frag_process,
+            category::BH,
+        );
+        // Counted in the registry, not `Counters`: the counter struct
+        // is embedded verbatim in committed result JSON, and this path
+        // is unreachable with credits off (byte-identity).
+        self.metrics.count(node.0, "credit.nacks_received", 1);
+        let reqs: Vec<ReqId> = if sender_handle != 0 {
+            self.node(node)
+                .driver
+                .tx_large
+                .get(&sender_handle)
+                .filter(|tx| tx.ep == me.ep)
+                .map(|tx| vec![tx.req])
+                .unwrap_or_default()
+        } else {
+            self.ep(me)
+                .sends
+                .iter()
+                .filter(|(_, s)| matches!(s.class, MsgClass::Large) && s.dest.node == src_node)
+                .map(|(r, _)| *r)
+                .collect()
+        };
+        for req in reqs {
+            let Some(cur) = self.ep(me).sends.get(&req).map(|st| st.rto) else {
+                continue;
+            };
+            let next = self.escalate_rto(me.node, cur);
+            if let Some(st) = self.ep_mut(me).sends.get_mut(&req) {
+                st.rto = next;
+                st.last_activity = fin;
+            }
+        }
+        fin
     }
 
     fn addr_of(&self, node: NodeId, ep: u8) -> EpAddr {

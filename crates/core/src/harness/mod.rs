@@ -7,15 +7,19 @@
 //! * [`copybench`] — raw pipelined memcpy vs I/OAT copy rates
 //!   (Figure 7 and the §IV-A micro-benchmark numbers),
 //! * [`fanin`] — many-to-one medium-message fan-in (the multi-queue
-//!   RSS ablation workload).
+//!   RSS ablation workload),
+//! * [`incast`] — many-to-one large-message incast (the pull
+//!   congestion-control survival workload).
 
 pub mod copybench;
 pub mod fanin;
+pub mod incast;
 pub mod pingpong;
 pub mod stream;
 
 pub use copybench::{copy_breakdown, copy_rate_mibs, CopyEngine};
 pub use fanin::{run_fanin, FaninConfig, FaninResult};
+pub use incast::{run_incast, IncastConfig, IncastResult};
 pub use pingpong::{run_pingpong, PingPongConfig, PingPongResult, Placement};
 pub use stream::{run_stream, StreamConfig, StreamResult};
 

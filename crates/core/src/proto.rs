@@ -135,6 +135,22 @@ pub enum Packet {
         /// Sequence number being acknowledged.
         msg_seq: u32,
     },
+    /// Receiver→sender congestion notification (credit revoke): the
+    /// receiver's RX ring shed a pulled fragment while credit-based
+    /// congestion control was active. The sender reacts by escalating
+    /// the matching pending send's adaptive RTO — drops turn into
+    /// pacing instead of a lock-step retransmit storm. Block *grants*
+    /// need no packet of their own: a `PullReq` is the grant.
+    CreditNack {
+        /// Notifying (receiver) endpoint index.
+        src_ep: u8,
+        /// Sender endpoint index.
+        dst_ep: u8,
+        /// Sender-side handle of the affected large transfer (0 when
+        /// the receiver could not attribute the shed frame — the
+        /// sender then backs off every pending send to this peer).
+        sender_handle: u32,
+    },
 }
 
 const KIND_TINY: u8 = 1;
@@ -145,6 +161,7 @@ const KIND_PULLREQ: u8 = 5;
 const KIND_LARGEFRAG: u8 = 6;
 const KIND_NOTIFY: u8 = 7;
 const KIND_ACK: u8 = 8;
+const KIND_CREDIT_NACK: u8 = 9;
 
 struct Writer(BytesMut);
 
@@ -342,6 +359,16 @@ impl Packet {
                 w.u8(*dst_ep);
                 w.u32(*msg_seq);
             }
+            Packet::CreditNack {
+                src_ep,
+                dst_ep,
+                sender_handle,
+            } => {
+                w.u8(KIND_CREDIT_NACK);
+                w.u8(*src_ep);
+                w.u8(*dst_ep);
+                w.u32(*sender_handle);
+            }
         }
         w.finish()
     }
@@ -412,6 +439,11 @@ impl Packet {
                 dst_ep,
                 msg_seq: r.u32()?,
             }),
+            KIND_CREDIT_NACK => Ok(Packet::CreditNack {
+                src_ep,
+                dst_ep,
+                sender_handle: r.u32()?,
+            }),
             k => Err(ParseError::UnknownKind(k)),
         }
     }
@@ -426,7 +458,8 @@ impl Packet {
             | Packet::PullReq { dst_ep, .. }
             | Packet::LargeFrag { dst_ep, .. }
             | Packet::Notify { dst_ep, .. }
-            | Packet::Ack { dst_ep, .. } => *dst_ep,
+            | Packet::Ack { dst_ep, .. }
+            | Packet::CreditNack { dst_ep, .. } => *dst_ep,
         }
     }
 
@@ -440,7 +473,8 @@ impl Packet {
             | Packet::PullReq { src_ep, .. }
             | Packet::LargeFrag { src_ep, .. }
             | Packet::Notify { src_ep, .. }
-            | Packet::Ack { src_ep, .. } => *src_ep,
+            | Packet::Ack { src_ep, .. }
+            | Packet::CreditNack { src_ep, .. } => *src_ep,
         }
     }
 
@@ -454,6 +488,21 @@ impl Packet {
             _ => 0,
         }
     }
+}
+
+/// Cheap header peek for the credit controller: when the NIC sheds a
+/// pulled large fragment on ring overflow, the receiver wants to aim
+/// its `CreditNack` without parsing (the frame is consumed by the
+/// ring). Returns the fragment's `(src_ep, dst_ep, recv_handle)`
+/// triple, or `None` for any other (or too-short) payload.
+pub fn peek_large_frag(payload: &Bytes) -> Option<(u8, u8, u32)> {
+    if *payload.first()? != KIND_LARGEFRAG {
+        return None;
+    }
+    let src_ep = *payload.get(1)?;
+    let dst_ep = *payload.get(2)?;
+    let handle = u32::from_le_bytes(payload.get(3..7)?.try_into().ok()?);
+    Some((src_ep, dst_ep, handle))
 }
 
 /// GRO train key of a raw frame payload from `src_node`: fragments of
@@ -561,6 +610,11 @@ mod tests {
             dst_ep: 1,
             msg_seq: 9,
         });
+        round_trip(Packet::CreditNack {
+            src_ep: 2,
+            dst_ep: 1,
+            sender_handle: 77,
+        });
     }
 
     #[test]
@@ -595,6 +649,18 @@ mod tests {
             assert!(
                 Packet::parse(&short).is_err(),
                 "cut at {cut} should not parse"
+            );
+        }
+        let nack = Packet::CreditNack {
+            src_ep: 1,
+            dst_ep: 2,
+            sender_handle: 9,
+        }
+        .pack();
+        for cut in 0..nack.len() {
+            assert!(
+                Packet::parse(&nack.slice(..cut)).is_err(),
+                "nack cut at {cut} should not parse"
             );
         }
     }
@@ -683,6 +749,43 @@ mod tests {
         // Truncated payloads break the train instead of panicking.
         assert_eq!(gro_train_key(5, &frag(9, 0).pack().slice(..8)), None);
         assert_eq!(gro_train_key(5, &Bytes::new()), None);
+    }
+
+    #[test]
+    fn peek_large_frag_reads_only_large_fragments() {
+        let lf = Packet::LargeFrag {
+            src_ep: 3,
+            dst_ep: 1,
+            recv_handle: 0xABCD_1234,
+            frag_idx: 5,
+            offset: 5 * 4096,
+            data: Bytes::from(vec![0u8; 4096]),
+        }
+        .pack();
+        assert_eq!(peek_large_frag(&lf), Some((3, 1, 0xABCD_1234)));
+        // Control frames, eager frames and truncated payloads peek to
+        // nothing instead of misattributing (or panicking).
+        let ack = Packet::Ack {
+            src_ep: 3,
+            dst_ep: 1,
+            msg_seq: 9,
+        }
+        .pack();
+        assert_eq!(peek_large_frag(&ack), None);
+        assert_eq!(peek_large_frag(&lf.slice(..6)), None);
+        assert_eq!(peek_large_frag(&Bytes::new()), None);
+        // The peek agrees with the full parser.
+        if let Packet::LargeFrag {
+            src_ep,
+            dst_ep,
+            recv_handle,
+            ..
+        } = Packet::parse(&lf).unwrap()
+        {
+            assert_eq!(peek_large_frag(&lf), Some((src_ep, dst_ep, recv_handle)));
+        } else {
+            panic!("wrong kind");
+        }
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub enum RxOutcome {
 struct QueueState {
     /// Skbuffs currently filled and waiting for the bottom half.
     pending: usize,
+    /// Highest `pending` ever reached — the occupancy signal the
+    /// credit controller and the per-queue watermark gauges read.
+    /// Tracked on the NIC itself (not only in the metrics registry)
+    /// so the signal survives `Metrics::disabled()` runs.
+    hwm: usize,
     /// Time of the last raised interrupt on this queue.
     last_irq: Option<Ps>,
     /// Core this queue's IRQ and bottom half run on.
@@ -244,6 +249,7 @@ impl Nic {
             queues: (0..params.num_queues)
                 .map(|_| QueueState {
                     pending: 0,
+                    hwm: 0,
                     last_irq: None,
                     core: params.irq_core,
                 })
@@ -368,6 +374,9 @@ impl Nic {
             return RxOutcome::DroppedRingFull;
         }
         self.queues[queue].pending += 1;
+        if self.queues[queue].pending > self.queues[queue].hwm {
+            self.queues[queue].hwm = self.queues[queue].pending;
+        }
         self.frames_received += 1;
         self.metrics.count(self.scope, "nic.frames", 1);
         self.metrics.count(self.scope, Q_FRAMES[queue], 1);
@@ -424,6 +433,13 @@ impl Nic {
     /// Skbuffs filled and not yet consumed on one queue.
     pub fn pending_on(&self, queue: usize) -> usize {
         self.queues[queue].pending
+    }
+
+    /// Highest ring occupancy `queue` ever reached (matches the
+    /// `nic.q<i>.ring_high_watermark` gauge, but readable even with
+    /// metrics disabled).
+    pub fn ring_high_watermark(&self, queue: usize) -> usize {
+        self.queues[queue].hwm
     }
 
     /// Frames accepted so far.

@@ -13,6 +13,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod incast;
 pub mod microbench;
 pub mod nas_is;
 pub mod rss_ablation;

@@ -14,7 +14,7 @@ use openmx_repro::omx::cluster::ClusterParams;
 use openmx_repro::omx::config::OmxConfig;
 use openmx_repro::omx::fault::FaultPlan;
 use openmx_repro::omx::harness::{
-    run_pingpong, run_stream, PingPongConfig, Placement, StreamConfig,
+    run_incast, run_pingpong, run_stream, IncastConfig, PingPongConfig, Placement, StreamConfig,
 };
 
 const SEED: u64 = 17;
@@ -92,6 +92,31 @@ fn stream_is_bit_deterministic_under_every_plan() {
         let a = stream_fingerprint(plan.clone());
         let b = stream_fingerprint(plan);
         assert_eq!(a, b, "stream under `{name}` diverged between two runs");
+    }
+}
+
+fn incast_fingerprint(plan: FaultPlan) -> String {
+    // Small credit-enabled incast: the grant FIFO, AIMD budget and
+    // NACK path all run on the sim's ordered timeline, so two runs
+    // must agree bit for bit like every other workload.
+    let mut params = ClusterParams::with_cfg(OmxConfig {
+        pull_credits: true,
+        ..cfg(plan)
+    });
+    params.nic.num_queues = 4;
+    let r = run_incast(IncastConfig::new(params, 8, 96 << 10, 2));
+    fingerprint(&r.stats, &r.breakdown)
+}
+
+#[test]
+fn credit_incast_is_bit_deterministic_under_every_plan() {
+    for (name, plan) in plans() {
+        let a = incast_fingerprint(plan.clone());
+        let b = incast_fingerprint(plan);
+        assert_eq!(
+            a, b,
+            "credit-enabled incast under `{name}` diverged between two runs"
+        );
     }
 }
 
