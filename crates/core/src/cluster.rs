@@ -84,6 +84,16 @@ pub struct Node {
     pub predictor: crate::predict::CopyPredictor,
 }
 
+impl Node {
+    /// The bottom-half queue of `core` — the single bounds-checked
+    /// gateway to `self.bh`: core ids come from the NIC's queue→core
+    /// binding, which is built against this node's topology.
+    pub fn bh_mut(&mut self, core: CoreId) -> &mut BottomHalfQueue {
+        // omx-lint: allow(fast-path-panic) core ids come from the NIC queue→core binding built for this topology; exercised at every RSS width [test: tests/incast_soak.rs::incast_with_credits_survives_every_plan]
+        &mut self.bh[core.0 as usize]
+    }
+}
+
 /// Aggregate counters over one run.
 ///
 /// `Serialize` is hand-written (below) rather than derived: the
@@ -332,7 +342,7 @@ impl Cluster {
         }
         // The one place the user-supplied seed enters the simulation;
         // every other stream derives from this root.
-        // omx-lint: allow(ad-hoc-rng) root seeding point for the run
+        // omx-lint: allow(ad-hoc-rng) root seeding point for the run; every derived stream is pinned by the bit-determinism suite [test: tests/determinism.rs::pingpong_is_bit_deterministic_under_every_plan]
         let rng = SplitMix64::new(seed);
         let backoff_rng = rng.derive(0xB0FF);
         let mut nodes: Vec<Node> = nodes;
@@ -448,11 +458,13 @@ impl Cluster {
 
     /// Shared access to a node.
     pub fn node(&self, id: NodeId) -> &Node {
+        // omx-lint: allow(fast-path-panic) NodeIds are minted by Cluster::new from this very vec; an out-of-range id is a construction bug the whole suite would catch [test: tests/determinism.rs::pingpong_is_bit_deterministic_under_every_plan]
         &self.nodes[id.0 as usize]
     }
 
     /// Mutable access to a node.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        // omx-lint: allow(fast-path-panic) NodeIds are minted by Cluster::new from this very vec; an out-of-range id is a construction bug the whole suite would catch [test: tests/determinism.rs::pingpong_is_bit_deterministic_under_every_plan]
         &mut self.nodes[id.0 as usize]
     }
 
@@ -883,9 +895,9 @@ impl Cluster {
         // GRO train state: the (flow, message) key of the previous
         // skbuff in this run. Trains never span runs.
         let mut train: Option<(u64, u64)> = None;
-        self.node_mut(node).bh[core.0 as usize].begin_run();
+        self.node_mut(node).bh_mut(core).begin_run();
         while count < budget {
-            let Some(skb) = self.node_mut(node).bh[core.0 as usize].pop_next() else {
+            let Some(skb) = self.node_mut(node).bh_mut(core).pop_next() else {
                 break;
             };
             count += 1;
@@ -903,7 +915,7 @@ impl Cluster {
             last_fin = self.handle_rx_skbuff(sim, node, core, skb, coalesced);
         }
         self.node_mut(node).nic.replenish(queue, count);
-        let more = self.node_mut(node).bh[core.0 as usize].finish_run();
+        let more = self.node_mut(node).bh_mut(core).finish_run();
         if more {
             sim.schedule_at(last_fin, move |c: &mut Cluster, s| c.run_bh(s, node, queue));
         }

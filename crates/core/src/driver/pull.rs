@@ -197,6 +197,7 @@ impl Cluster {
                 .ep_mut(me)
                 .sends
                 .get_mut(&tx.req)
+                // omx-lint: allow(fast-path-panic) tx_large entries and their send are created together and reaped together; duplicate/stale pull requests are rejected above [test: tests/fault_soak.rs::duplicate_everything_is_idempotent]
                 .expect("large send alive");
             // Pull requests are proof the receiver is making progress:
             // reset the rendezvous retransmission deadline, the give-up
@@ -271,6 +272,7 @@ impl Cluster {
                 .driver
                 .pulls
                 .get(&recv_handle)
+                // omx-lint: allow(fast-path-panic) freshness of recv_handle was checked on BH entry just above [test: tests/fault_soak.rs::duplicate_everything_is_idempotent]
                 .expect("checked");
             (EpAddr { node, ep: p.ep }, p.req, p.msg_len, p.channel)
         };
@@ -345,6 +347,7 @@ impl Cluster {
             if let Some(rs) = ep.recvs.get_mut(&req) {
                 let end = ((offset + len) as usize).min(rs.buf.len());
                 let start = (offset as usize).min(end);
+                // omx-lint: allow(fast-path-panic) start ≤ end ≤ buf.len() by the two clamps above, and end−start ≤ len = data.len() [test: tests/fault_soak.rs::flaky_10g_stream_recovers_with_fallback_and_backoff]
                 rs.buf[start..end].copy_from_slice(&data[..end - start]);
                 rs.received += (end - start) as u64;
             }
@@ -356,6 +359,7 @@ impl Cluster {
                 .driver
                 .pulls
                 .get_mut(&recv_handle)
+                // omx-lint: allow(fast-path-panic) freshness of recv_handle was checked on BH entry just above [test: tests/fault_soak.rs::duplicate_everything_is_idempotent]
                 .expect("checked");
             p.bytes_done += len;
             p.last_progress = fin;
@@ -368,6 +372,7 @@ impl Cluster {
             }
             let progress = p
                 .note_frag(frag_idx, bf)
+                // omx-lint: allow(fast-path-panic) stale/duplicate fragments were filtered by the freshness check on BH entry [test: tests/fault_soak.rs::duplicate_everything_is_idempotent]
                 .expect("freshness checked on BH entry");
             (progress, p.next_block, p.block_remaining.len() as u32)
         };
@@ -394,6 +399,7 @@ impl Cluster {
                 .driver
                 .pulls
                 .get_mut(&recv_handle)
+                // omx-lint: allow(fast-path-panic) freshness of recv_handle was checked on BH entry just above [test: tests/fault_soak.rs::duplicate_everything_is_idempotent]
                 .expect("checked")
                 .next_block += 1;
             self.send_block_request(sim, node, recv_handle, next_block, fin);

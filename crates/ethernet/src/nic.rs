@@ -201,6 +201,13 @@ const Q_RING_HWM: [&str; MAX_QUEUES] = [
     "nic.q7.ring_high_watermark",
 ];
 
+/// Per-queue metric name, total over any queue id (queue counts are
+/// clamped to `MAX_QUEUES` at construction, so the fallback never
+/// publishes in practice).
+fn qname(names: &'static [&'static str; MAX_QUEUES], queue: usize) -> &'static str {
+    names.get(queue).copied().unwrap_or("nic.q_oob")
+}
+
 /// The queue→core binding the cluster uses: queue 0 keeps the
 /// configured `irq_core` (so `num_queues = 1` is exactly the old
 /// single-ring NIC), and further queues walk the remaining cores one
@@ -300,7 +307,22 @@ impl Nic {
 
     /// Core the given queue's IRQ and bottom half run on.
     pub fn queue_core(&self, queue: usize) -> CoreId {
-        self.queues[queue].core
+        self.q(queue).core
+    }
+
+    /// Per-queue state. The single bounds-checked gateway to
+    /// `self.queues`: every caller's queue id comes from
+    /// [`Nic::rss_queue`] (always in range) or is asserted at the
+    /// `deliver`/`replenish` boundary.
+    fn q(&self, queue: usize) -> &QueueState {
+        // omx-lint: allow(fast-path-panic) queue ids come from rss_queue or are asserted at the deliver boundary; exercised at every RSS width [test: tests/incast_soak.rs::incast_with_credits_survives_every_plan]
+        &self.queues[queue]
+    }
+
+    /// Mutable twin of [`Nic::q`].
+    fn q_mut(&mut self, queue: usize) -> &mut QueueState {
+        // omx-lint: allow(fast-path-panic) queue ids come from rss_queue or are asserted at the deliver boundary; exercised at every RSS width [test: tests/incast_soak.rs::incast_with_credits_survives_every_plan]
+        &mut self.queues[queue]
     }
 
     /// RSS: hash the frame's `(src, dst, channel)` tuple onto a queue.
@@ -365,44 +387,41 @@ impl Nic {
             );
             return RxOutcome::DroppedCorrupt;
         }
-        if self.queues[queue].pending >= self.params.rx_ring_size {
+        if self.q(queue).pending >= self.params.rx_ring_size {
             self.frames_dropped += 1;
             self.metrics.count(self.scope, "nic.ring_drops", 1);
-            self.metrics.count(self.scope, Q_RING_DROPS[queue], 1);
+            self.metrics
+                .count(self.scope, qname(&Q_RING_DROPS, queue), 1);
             self.metrics
                 .trace(now, self.scope, "nic", "ring_drop", frame.payload_len(), 0);
             return RxOutcome::DroppedRingFull;
         }
-        self.queues[queue].pending += 1;
-        if self.queues[queue].pending > self.queues[queue].hwm {
-            self.queues[queue].hwm = self.queues[queue].pending;
+        self.q_mut(queue).pending += 1;
+        let pending = self.q(queue).pending;
+        if pending > self.q(queue).hwm {
+            self.q_mut(queue).hwm = pending;
         }
         self.frames_received += 1;
         self.metrics.count(self.scope, "nic.frames", 1);
-        self.metrics.count(self.scope, Q_FRAMES[queue], 1);
+        self.metrics.count(self.scope, qname(&Q_FRAMES, queue), 1);
         self.metrics
             .count(self.scope, "nic.bytes", frame.payload_len());
-        self.metrics.gauge_max(
-            self.scope,
-            "nic.ring_high_watermark",
-            self.queues[queue].pending as i64,
-        );
-        self.metrics.gauge_max(
-            self.scope,
-            Q_RING_HWM[queue],
-            self.queues[queue].pending as i64,
-        );
+        self.metrics
+            .gauge_max(self.scope, "nic.ring_high_watermark", pending as i64);
+        self.metrics
+            .gauge_max(self.scope, qname(&Q_RING_HWM, queue), pending as i64);
         let skb = Skbuff::new(frame.src, frame.payload, now);
-        let core = self.queues[queue].core;
-        let coalesced = matches!(self.queues[queue].last_irq, Some(t)
+        let core = self.q(queue).core;
+        let coalesced = matches!(self.q(queue).last_irq, Some(t)
             if now.saturating_sub(t) < self.params.irq_coalesce);
         if coalesced {
             self.metrics.count(self.scope, "nic.irqs_coalesced", 1);
-            self.metrics.count(self.scope, Q_IRQS_COALESCED[queue], 1);
+            self.metrics
+                .count(self.scope, qname(&Q_IRQS_COALESCED, queue), 1);
         } else {
-            self.queues[queue].last_irq = Some(now);
+            self.q_mut(queue).last_irq = Some(now);
             self.metrics.count(self.scope, "nic.irqs", 1);
-            self.metrics.count(self.scope, Q_IRQS[queue], 1);
+            self.metrics.count(self.scope, qname(&Q_IRQS, queue), 1);
         }
         let bh_wake = bh.enqueue(skb);
         let wake = match (coalesced, bh_wake) {
@@ -418,11 +437,8 @@ impl Nic {
     /// that ring.
     pub fn replenish(&mut self, queue: usize, n: usize) {
         assert!(queue < self.queues.len(), "RX queue {queue} out of range");
-        assert!(
-            n <= self.queues[queue].pending,
-            "replenishing more than pending"
-        );
-        self.queues[queue].pending -= n;
+        assert!(n <= self.q(queue).pending, "replenishing more than pending");
+        self.q_mut(queue).pending -= n;
     }
 
     /// Skbuffs filled and not yet consumed, across all queues.

@@ -1,0 +1,413 @@
+//! Syntactic intra-workspace call graph.
+//!
+//! For every function the resolver knows about, this pass scans the
+//! body token range for call sites and resolves them through the
+//! module's import table:
+//!
+//! * **path calls** — `a::b::f(..)`, `Type::method(..)`,
+//!   `Self::helper(..)` — resolved with [`Workspace::resolve`]
+//!   (`Self` substituted with the impl type first);
+//! * **bare calls** — `f(..)` — resolved against the module's own
+//!   defs and `use` bindings;
+//! * **method calls** — `x.f(..)` — resolved *by name*: when the
+//!   receiver is literally `self`, only methods of the impl type are
+//!   candidates; otherwise every workspace method named `f` is. This
+//!   deliberately over-approximates (no type inference offline), which
+//!   is the safe direction for reachability rules: a false edge can
+//!   only make a hot-path rule *more* suspicious, never blind.
+//!
+//! Closure bodies are part of the enclosing fn's token range, so a
+//! call made inside a scheduled closure is attributed to the function
+//! that creates the closure — exactly the "schedules work" edge the
+//! hot-path rules want. Calls through function-valued variables
+//! (`f(world, sim)` where `f` is data) produce no edge; the engine's
+//! event dispatch is therefore a natural reachability boundary.
+
+use crate::resolve::Workspace;
+use crate::TokKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One resolved call site.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Canonical id of the callee.
+    pub callee: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// Caller canonical id → deduplicated callees in first-seen order.
+    pub edges: BTreeMap<String, Vec<Edge>>,
+}
+
+/// How a function became reachable from an entry point.
+#[derive(Debug, Clone)]
+pub struct Reach {
+    /// Call-graph distance from the nearest entry (0 = entry itself).
+    pub hops: usize,
+    /// The caller that reached it (`None` for entries).
+    pub via: Option<String>,
+    /// The entry point this path started from.
+    pub entry: String,
+}
+
+impl CallGraph {
+    /// Build the graph for every function in `ws` (test-gated fns are
+    /// excluded as callers *and* callees — test code is exempt from
+    /// every rule, so edges through it would only manufacture noise).
+    pub fn build(ws: &Workspace, files: &BTreeMap<String, crate::resolve::FileData>) -> CallGraph {
+        let mut edges: BTreeMap<String, Vec<Edge>> = BTreeMap::new();
+        for module in &ws.modules {
+            let Some(data) = files.get(&module.file) else {
+                continue;
+            };
+            for f in &module.fns {
+                if f.cfg_test {
+                    continue;
+                }
+                let Some((start, end)) = f.body else { continue };
+                let mut out: Vec<Edge> = Vec::new();
+                let mut seen: BTreeSet<String> = BTreeSet::new();
+                let toks = &data.toks;
+                let mut i = start;
+                while i <= end && i < toks.len() {
+                    let t = &toks[i];
+                    if t.kind != TokKind::Ident
+                        || toks.get(i + 1).map(|n| n.text.as_str()) != Some("(")
+                    {
+                        i += 1;
+                        continue;
+                    }
+                    let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+                    if prev == Some(".") {
+                        // Method call. `self.f(..)` restricts the
+                        // candidates to the impl type's own methods.
+                        // Names that collide with std container/Option
+                        // methods are never matched for non-self
+                        // receivers: `opt.take()` must not edge into a
+                        // workspace `Reader::take`.
+                        let recv_is_self = i >= 2 && toks[i - 2].text == "self";
+                        if !recv_is_self && STD_COLLIDING_METHODS.contains(&t.text.as_str()) {
+                            i += 1;
+                            continue;
+                        }
+                        let candidates = ws
+                            .methods_by_name
+                            .get(&t.text)
+                            .map(|v| v.as_slice())
+                            .unwrap_or(&[]);
+                        for canon in candidates {
+                            if recv_is_self {
+                                let Some(self_ty) = f.self_ty.as_deref() else {
+                                    continue;
+                                };
+                                let is_own = ws.fn_info(canon).and_then(|fi| fi.self_ty.as_deref())
+                                    == Some(self_ty);
+                                if !is_own {
+                                    continue;
+                                }
+                            }
+                            push_edge(&mut out, &mut seen, canon.clone(), t.line, ws);
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    // Path or bare call: walk back over `a :: b ::`.
+                    let mut segs = vec![t.text.clone()];
+                    let mut j = i;
+                    while j >= 3
+                        && toks[j - 1].text == ":"
+                        && toks[j - 2].text == ":"
+                        && toks[j - 3].kind == TokKind::Ident
+                    {
+                        segs.insert(0, toks[j - 3].text.clone());
+                        j -= 3;
+                    }
+                    // `<T as Trait>::f(` and `.await`-style tails are
+                    // not paths we can resolve; skip them.
+                    if j >= 1 && (toks[j - 1].text == ":" || toks[j - 1].text == "<") {
+                        i += 1;
+                        continue;
+                    }
+                    if segs[0] == "Self" {
+                        match f.self_ty.as_deref() {
+                            Some(ty) => segs[0] = ty.to_string(),
+                            None => {
+                                i += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    let canon = ws.resolve(f.module, &segs);
+                    if ws.fn_index.contains_key(&canon) {
+                        push_edge(&mut out, &mut seen, canon, t.line, ws);
+                    } else if segs.len() == 1 {
+                        // A bare call to a method of the same impl
+                        // block (`helper(..)` inside `impl T`) — try
+                        // `Type::name` in the defining module.
+                        if let Some(ty) = f.self_ty.as_deref() {
+                            let assoc = format!(
+                                "{}::{}::{}",
+                                ws.modules[f.module].path.join("::"),
+                                ty,
+                                segs[0]
+                            );
+                            if ws.fn_index.contains_key(&assoc) {
+                                push_edge(&mut out, &mut seen, assoc, t.line, ws);
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                edges.insert(f.canon.clone(), out);
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// BFS reachability from `entries` up to `max_hops` call-graph
+    /// hops. Returns every reached fn (entries included at hop 0) with
+    /// its provenance; deterministic (BTreeMap order).
+    pub fn reachable(&self, entries: &[String], max_hops: usize) -> BTreeMap<String, Reach> {
+        let mut out: BTreeMap<String, Reach> = BTreeMap::new();
+        let mut queue: VecDeque<String> = VecDeque::new();
+        for e in entries {
+            if out.contains_key(e) {
+                continue;
+            }
+            out.insert(
+                e.clone(),
+                Reach {
+                    hops: 0,
+                    via: None,
+                    entry: e.clone(),
+                },
+            );
+            queue.push_back(e.clone());
+        }
+        while let Some(cur) = queue.pop_front() {
+            let cur_reach = out.get(&cur).cloned().expect("queued without reach");
+            if cur_reach.hops >= max_hops {
+                continue;
+            }
+            let Some(callees) = self.edges.get(&cur) else {
+                continue;
+            };
+            for edge in callees {
+                if out.contains_key(&edge.callee) {
+                    continue;
+                }
+                out.insert(
+                    edge.callee.clone(),
+                    Reach {
+                        hops: cur_reach.hops + 1,
+                        via: Some(cur.clone()),
+                        entry: cur_reach.entry.clone(),
+                    },
+                );
+                queue.push_back(edge.callee.clone());
+            }
+        }
+        out
+    }
+
+    /// Render the call chain from `reach`'s entry to `canon`
+    /// (`entry → ... → canon`), for rule messages.
+    pub fn chain_to(&self, reached: &BTreeMap<String, Reach>, canon: &str) -> String {
+        let mut parts = vec![short(canon).to_string()];
+        let mut cur = canon.to_string();
+        let mut guard = 0;
+        while let Some(r) = reached.get(&cur) {
+            guard += 1;
+            if guard > 32 {
+                break;
+            }
+            match &r.via {
+                Some(v) => {
+                    parts.push(short(v).to_string());
+                    cur = v.clone();
+                }
+                None => break,
+            }
+        }
+        parts.reverse();
+        parts.join(" -> ")
+    }
+}
+
+/// Method names shared with std's containers/Option/Iterator. A
+/// non-`self` receiver is almost always one of those types, so
+/// matching these by name would flood the graph with false edges;
+/// workspace methods with these names are still reached through
+/// `self.` calls and `Type::name(..)` paths.
+const STD_COLLIDING_METHODS: &[&str] = &[
+    "take",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "clear",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "next",
+    "iter",
+    "into_iter",
+    "drain",
+    "extend",
+    "clone",
+    "last",
+    "first",
+    "entry",
+    "min",
+    "max",
+    "cmp",
+    "eq",
+    "fmt",
+    "hash",
+    "write",
+    "read",
+    "flush",
+    "as_ref",
+    "as_mut",
+    "into",
+    "from",
+];
+
+fn push_edge(
+    out: &mut Vec<Edge>,
+    seen: &mut BTreeSet<String>,
+    canon: String,
+    line: u32,
+    ws: &Workspace,
+) {
+    // Never edge into test-gated fns.
+    if ws.fn_info(&canon).map(|f| f.cfg_test).unwrap_or(false) {
+        return;
+    }
+    if seen.insert(canon.clone()) {
+        out.push(Edge {
+            callee: canon,
+            line,
+        });
+    }
+}
+
+/// `crate::module::Type::fn` → `Type::fn` (or `module::fn` for free
+/// fns) for readable chains.
+fn short(canon: &str) -> &str {
+    let mut it = canon.rsplitn(3, "::");
+    let last = it.next().unwrap_or(canon);
+    let second = it.next();
+    match second {
+        Some(s) if s.chars().next().map(char::is_uppercase).unwrap_or(false) => {
+            // Type::method — include the type.
+            let start = canon.len() - last.len() - 2 - s.len();
+            &canon[start..]
+        }
+        _ => last,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::{load_file, Workspace};
+    use std::collections::BTreeMap;
+    use std::path::Path;
+
+    fn build(files: &[(&str, &str)]) -> (Workspace, CallGraph) {
+        let mut map = BTreeMap::new();
+        for (rel, src) in files {
+            map.insert(rel.to_string(), load_file(src));
+        }
+        let ws = Workspace::build(Path::new("/nonexistent"), &map);
+        let cg = CallGraph::build(&ws, &map);
+        (ws, cg)
+    }
+
+    #[test]
+    fn free_fn_and_method_edges_resolve() {
+        let (_, cg) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub struct S;\n\
+             impl S {\n\
+                 pub fn entry(&self) { self.helper(); free(); }\n\
+                 fn helper(&self) { crate::free(); }\n\
+             }\n\
+             pub fn free() {}\n",
+        )]);
+        let entry = &cg.edges["a::S::entry"];
+        let names: Vec<&str> = entry.iter().map(|e| e.callee.as_str()).collect();
+        assert!(names.contains(&"a::S::helper"), "edges: {names:?}");
+        assert!(names.contains(&"a::free"), "edges: {names:?}");
+        assert!(cg.edges["a::S::helper"]
+            .iter()
+            .any(|e| e.callee == "a::free"));
+    }
+
+    #[test]
+    fn cross_crate_method_calls_over_approximate() {
+        let (_, cg) = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct Q;\nimpl Q { pub fn drain_all(&mut self) {} pub fn drain(&mut self) {} }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn go(q: &mut a::Q) { q.drain_all(); q.drain(); }\n",
+            ),
+        ]);
+        let names: Vec<&str> = cg.edges["b::go"]
+            .iter()
+            .map(|e| e.callee.as_str())
+            .collect();
+        assert!(names.contains(&"a::Q::drain_all"), "edges: {names:?}");
+        // `drain` collides with a std method name: no non-self edge.
+        assert!(!names.contains(&"a::Q::drain"), "edges: {names:?}");
+    }
+
+    #[test]
+    fn reachability_respects_hop_limit() {
+        let (_, cg) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub fn e() { one(); }\nfn one() { two(); }\nfn two() { three(); }\nfn three() {}\n",
+        )]);
+        let r1 = cg.reachable(&["a::e".to_string()], 1);
+        assert!(r1.contains_key("a::one") && !r1.contains_key("a::two"));
+        let r3 = cg.reachable(&["a::e".to_string()], 3);
+        assert!(r3.contains_key("a::three"));
+        assert_eq!(r3["a::three"].hops, 3);
+        let chain = cg.chain_to(&r3, "a::three");
+        assert_eq!(chain, "e -> one -> two -> three");
+    }
+
+    #[test]
+    fn closure_bodies_attribute_calls_to_enclosing_fn() {
+        let (_, cg) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub fn sched() { run(move || { fire(); }); }\n\
+             pub fn run(_f: impl FnOnce()) {}\n\
+             pub fn fire() {}\n",
+        )]);
+        let names: Vec<&str> = cg.edges["a::sched"]
+            .iter()
+            .map(|e| e.callee.as_str())
+            .collect();
+        assert!(names.contains(&"a::fire"), "edges: {names:?}");
+    }
+
+    #[test]
+    fn test_gated_fns_produce_no_edges() {
+        let (_, cg) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub fn live() {}\n#[cfg(test)]\nmod tests { pub fn t() { crate::live(); } }\n",
+        )]);
+        assert!(!cg.edges.contains_key("a::tests::t"));
+    }
+}

@@ -37,6 +37,12 @@
 //! modules — libtest itself runs tests on threads, and test-local
 //! collections never feed event ordering).
 
+pub mod callgraph;
+pub mod parse;
+pub mod resolve;
+pub mod rules_v2;
+
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -367,7 +373,7 @@ pub fn test_mod_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
 
 /// Index of the token closing the bracket opened at `open_idx` (which
 /// must hold `open`).
-fn matching(toks: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+pub(crate) fn matching(toks: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
     if toks.get(open_idx)?.text != open {
         return None;
     }
@@ -387,7 +393,7 @@ fn matching(toks: &[Token], open_idx: usize, open: &str, close: &str) -> Option<
     None
 }
 
-fn in_ranges(line: u32, ranges: &[(u32, u32)]) -> bool {
+pub(crate) fn in_ranges(line: u32, ranges: &[(u32, u32)]) -> bool {
     ranges.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
@@ -403,10 +409,16 @@ pub struct Violation {
     /// 1-based line.
     pub line: u32,
     /// Rule slug (`wall-clock`, `thread`, `ad-hoc-rng`,
-    /// `unordered-iter`, `counters-registry`, `lifecycle-ctor`).
+    /// `unordered-iter`, `counters-registry`, `lifecycle-ctor`,
+    /// `hot-path-alloc`, `fast-path-panic`, `config-knob`,
+    /// `waiver-citation`).
     pub rule: String,
     /// Human-readable description of the finding.
     pub message: String,
+    /// Stable finding id: fnv1a64 over `rule|file|message` (line-free,
+    /// so findings keep their identity as unrelated code moves), with a
+    /// `-N` occurrence suffix for repeats. Assigned at finalize.
+    pub id: String,
 }
 
 impl fmt::Display for Violation {
@@ -429,13 +441,101 @@ pub struct Report {
     pub waivers: Vec<Waiver>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Configured rule anchors (D5/D6 entry fns, D7 knob structs) the
+    /// resolver could not find. A non-empty list fails the check: a
+    /// rule whose entry point silently vanished checks nothing.
+    pub entries_missing: Vec<String>,
 }
 
 impl Report {
     /// Whether the workspace is clean.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.entries_missing.is_empty()
     }
+
+    /// Machine-readable report. Byte-deterministic: everything is
+    /// sorted, ids are content hashes, and volatile fields (scan
+    /// counts, waiver line numbers) are omitted so the committed
+    /// baseline only churns when findings or waivers actually change.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 2,\n");
+        s.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+                 \"message\": \"{}\"}}",
+                json_escape(&v.id),
+                json_escape(&v.rule),
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.message)
+            ));
+        }
+        s.push_str(if self.violations.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let mut waivers: Vec<&Waiver> = self.waivers.iter().collect();
+        waivers.sort_by(|a, b| (&a.file, &a.rule, &a.reason).cmp(&(&b.file, &b.rule, &b.reason)));
+        s.push_str("  \"waivers\": [");
+        for (i, w) in waivers.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"reason\": \"{}\"}}",
+                json_escape(&w.rule),
+                json_escape(&w.file),
+                json_escape(&w.reason)
+            ));
+        }
+        s.push_str(if waivers.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"entries_missing\": [");
+        for (i, e) in self.entries_missing.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!("    \"{}\"", json_escape(e)));
+        }
+        s.push_str(if self.entries_missing.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// 64-bit FNV-1a — the finding-id hash. Stable across runs and
+/// platforms by construction.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 // ---------------------------------------------------------------------
@@ -471,7 +571,7 @@ const LIFECYCLE_TYPES: &[LifecycleType] = &[
 ];
 
 /// Crates whose iteration order feeds event ordering (rule D2).
-const SIM_PATH_CRATES: &[&str] = &[
+pub(crate) const SIM_PATH_CRATES: &[&str] = &[
     "crates/core/",
     "crates/ethernet/",
     "crates/hw/",
@@ -484,7 +584,7 @@ const NON_LITERAL_PRECEDERS: &[&str] = &[
     "struct", "enum", "union", "impl", "for", "trait", "mod", "fn", "dyn", ">", ":",
 ];
 
-fn is_waived(rule: &str, line: u32, waivers: &[(u32, String, String)]) -> bool {
+pub(crate) fn is_waived(rule: &str, line: u32, waivers: &[(u32, String, String)]) -> bool {
     waivers
         .iter()
         .any(|(l, r, _)| r == rule && (*l == line || *l + 1 == line))
@@ -507,6 +607,7 @@ fn check_file_tokens(
                 line,
                 rule: rule.to_string(),
                 message,
+                id: String::new(),
             });
         }
     };
@@ -664,6 +765,7 @@ fn check_counters_registry(root: &Path, out: &mut Report) {
                     "counter field `{field}` is not registered with the Metrics registry \
                      (no \"{want}\" name in Counters::publish)"
                 ),
+                id: String::new(),
             });
         }
     }
@@ -705,6 +807,7 @@ fn check_counters_registry(root: &Path, out: &mut Report) {
             message: "`Stats` has no `counters` field; aggregated endpoint counters never reach \
                       serialized results"
                 .to_string(),
+            id: String::new(),
         });
     }
 }
@@ -731,6 +834,7 @@ fn check_lifecycle_homes(root: &Path, out: &mut Report) {
                      checked constructor must mint a lifecycle token",
                     lt.name
                 ),
+                id: String::new(),
             });
         }
     }
@@ -769,9 +873,19 @@ fn collect_sources(root: &Path) -> Vec<PathBuf> {
     out
 }
 
-/// Check the workspace rooted at `root`; returns the full report.
+/// Check the workspace rooted at `root` with the default (real
+/// workspace) rule configuration; returns the full report.
 pub fn check(root: &Path) -> Report {
+    check_with(root, &rules_v2::RulesConfig::default())
+}
+
+/// Check with an explicit v2 rule configuration (fixture suites pin
+/// their own entry points and knob structs).
+pub fn check_with(root: &Path, cfg: &rules_v2::RulesConfig) -> Report {
     let mut report = Report::default();
+    // Tokenize + parse every source once; both the token rules and the
+    // resolution layer run off this map.
+    let mut files: BTreeMap<String, resolve::FileData> = BTreeMap::new();
     for path in collect_sources(root) {
         let rel = path
             .strip_prefix(root)
@@ -781,16 +895,43 @@ pub fn check(root: &Path) -> Report {
         let Ok(src) = std::fs::read_to_string(&path) else {
             continue;
         };
-        let (toks, waivers) = tokenize(&src);
-        check_file_tokens(&rel, &toks, &waivers, &mut report);
+        files.insert(rel, resolve::load_file(&src));
         report.files_scanned += 1;
+    }
+    for (rel, data) in &files {
+        check_file_tokens(rel, &data.toks, &data.waivers, &mut report);
     }
     check_counters_registry(root, &mut report);
     check_lifecycle_homes(root, &mut report);
+    // v2: module graph, import resolution, call graph, resolved rules.
+    let ws = resolve::Workspace::build(root, &files);
+    let cg = callgraph::CallGraph::build(&ws, &files);
+    rules_v2::run(root, &ws, &cg, &files, cfg, &mut report);
+    finalize(&mut report);
+    report
+}
+
+/// Sort, dedup (token rules and resolved rules can flag the same site)
+/// and assign stable finding ids.
+fn finalize(report: &mut Report) {
+    report.violations.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
     report
         .violations
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    report
+        .dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    for v in &mut report.violations {
+        let base = format!(
+            "{:016x}",
+            fnv1a64(&format!("{}|{}|{}", v.rule, v.file, v.message))
+        );
+        let n = seen.entry(base.clone()).or_insert(0);
+        *n += 1;
+        v.id = if *n == 1 { base } else { format!("{base}-{n}") };
+    }
+    report.entries_missing.sort();
+    report.entries_missing.dedup();
 }
 
 #[cfg(test)]

@@ -1,27 +1,43 @@
 //! CLI for the workspace static-analysis pass.
 //!
 //! ```text
-//! cargo run -p omx-lint -- check .        # exit 0 when clean
+//! cargo run -p omx-lint -- check .          # exit 0 when clean
+//! cargo run -p omx-lint -- check --json .   # machine-readable report
 //! ```
+//!
+//! `--json` prints the byte-deterministic report (stable finding ids,
+//! sorted, line-number-free waivers) that CI diffs against
+//! `results/golden/lint_baseline.json`. The exit code is unchanged:
+//! 0 when clean, 1 on findings, 2 on usage errors.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let (cmd, root) = match args.as_slice() {
         [cmd, root] => (cmd.as_str(), root.as_str()),
         [cmd] => (cmd.as_str(), "."),
         _ => {
-            eprintln!("usage: omx-lint check [PATH]");
+            eprintln!("usage: omx-lint check [--json] [PATH]");
             return ExitCode::from(2);
         }
     };
     if cmd != "check" {
-        eprintln!("unknown command `{cmd}`; usage: omx-lint check [PATH]");
+        eprintln!("unknown command `{cmd}`; usage: omx-lint check [--json] [PATH]");
         return ExitCode::from(2);
     }
     let report = omx_lint::check(Path::new(root));
+    if json {
+        print!("{}", report.to_json());
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if !report.waivers.is_empty() {
         println!("waivers in effect ({}):", report.waivers.len());
         for w in &report.waivers {
@@ -37,6 +53,9 @@ fn main() -> ExitCode {
                 }
             );
         }
+    }
+    for e in &report.entries_missing {
+        eprintln!("omx-lint: config error: {e}");
     }
     if report.is_clean() {
         println!(

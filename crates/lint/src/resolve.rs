@@ -1,0 +1,781 @@
+//! Workspace module graph and offline symbol resolution.
+//!
+//! Built on top of [`crate::parse`]: discovers the workspace's crate
+//! roots (any `<dir>/src/lib.rs` or `src/main.rs` next to a
+//! `Cargo.toml`, or bare fixture crates without one), follows
+//! `mod foo;` declarations to `foo.rs` / `foo/mod.rs`, and materialises
+//! one [`Module`] per declared module (inline modules included). Each
+//! module carries its import table, its item definitions, and its
+//! functions (free and associated).
+//!
+//! [`Workspace::resolve`] then canonicalises any path *as written in
+//! some module* to its defining `crate::module::item` path, following
+//! `use` aliases, nested/group imports, glob imports and `pub use`
+//! re-export chains — entirely offline, with no rustc involved. Paths
+//! that leave the workspace (e.g. `std::...`) canonicalise to their
+//! literal spelling, which is exactly what the rules need to recognise
+//! `use std::collections::HashMap as M` through any number of hops.
+//!
+//! The resolver is deliberately *syntactic*: no type inference, no
+//! trait resolution, no macro expansion. Rules built on it
+//! over-approximate (see `callgraph.rs`) and rely on per-site waivers
+//! for the residue, which keeps the whole pass dependency-free and
+//! byte-deterministic.
+
+use crate::parse::{self, FnItem, Import, Item, ParsedFile, StructItem};
+use crate::{tokenize, Token};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Identifier of a module in [`Workspace::modules`].
+pub type ModId = usize;
+
+/// Per-file data shared between the token rules and the resolver.
+pub struct FileData {
+    /// Token stream of the file.
+    pub toks: Vec<Token>,
+    /// Waiver directives `(line, rule, reason)` found in comments.
+    pub waivers: Vec<(u32, String, String)>,
+    /// Item tree.
+    pub parsed: ParsedFile,
+}
+
+/// One function known to the workspace (free or associated).
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Canonical id: `crate::module::fn` or `crate::module::Type::fn`.
+    pub canon: String,
+    /// Bare name.
+    pub name: String,
+    /// `Some(Type)` for associated functions.
+    pub self_ty: Option<String>,
+    /// File (relative to the checked root).
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Body token range in the file's token stream.
+    pub body: Option<(usize, usize)>,
+    /// Module the function is defined in.
+    pub module: ModId,
+    /// Whether the fn (or an enclosing item) is `#[cfg(test)]`-gated.
+    pub cfg_test: bool,
+    /// Whether the fn (or an enclosing item) is
+    /// `#[cfg(debug_assertions)]`-gated.
+    pub cfg_debug: bool,
+}
+
+/// One module (a crate root, a file module, or an inline module).
+pub struct Module {
+    /// Canonical path segments, starting with the crate's lib name.
+    pub path: Vec<String>,
+    /// File the module lives in (relative to the checked root).
+    pub file: String,
+    /// Line range `[start, end]` of the module within its file
+    /// (`[0, MAX]` for file-level modules).
+    pub lines: (u32, u32),
+    /// Parent module, `None` for crate roots.
+    pub parent: Option<ModId>,
+    /// Directory child `mod x;` declarations resolve against.
+    pub child_dir: String,
+    /// Import table in declaration order.
+    pub imports: Vec<Import>,
+    /// Child modules by name.
+    pub submods: BTreeMap<String, ModId>,
+    /// Type/fn definitions by name (structs, enums, traits, free fns).
+    pub defs: BTreeMap<String, DefKind>,
+    /// Structs declared here (D7 needs their fields).
+    pub structs: BTreeMap<String, StructItem>,
+    /// Functions (free and associated) declared here.
+    pub fns: Vec<FnInfo>,
+    /// Whether the module itself is `#[cfg(test)]`-gated.
+    pub cfg_test: bool,
+}
+
+/// Kind of a named definition in a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefKind {
+    /// A struct/enum/trait definition.
+    Type,
+    /// A free function.
+    Fn,
+}
+
+/// The resolved workspace: module graph + indexes.
+pub struct Workspace {
+    /// All modules; index is the [`ModId`].
+    pub modules: Vec<Module>,
+    /// Crate lib-name → root module.
+    pub crate_roots: BTreeMap<String, ModId>,
+    /// File → modules declared in it (file module first, then inline
+    /// modules in declaration order).
+    pub file_modules: BTreeMap<String, Vec<ModId>>,
+    /// Canonical fn id → `(module, index into its fns)`.
+    pub fn_index: BTreeMap<String, (ModId, usize)>,
+    /// Method name → canonical fn ids of every associated fn with that
+    /// name anywhere in the workspace.
+    pub methods_by_name: BTreeMap<String, Vec<String>>,
+}
+
+impl Workspace {
+    /// Build the module graph for the tree rooted at `root` from the
+    /// already-tokenized-and-parsed `files` (keyed by relative path).
+    pub fn build(root: &Path, files: &BTreeMap<String, FileData>) -> Workspace {
+        let mut ws = Workspace {
+            modules: Vec::new(),
+            crate_roots: BTreeMap::new(),
+            file_modules: BTreeMap::new(),
+            fn_index: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+        };
+        // Crate roots: every `<prefix>/src/lib.rs` (libs) and
+        // `<prefix>/src/main.rs` (bins without a lib of the same name
+        // — the lib wins the crate name when both exist).
+        let mut claimed: Vec<String> = Vec::new();
+        for kind in ["lib.rs", "main.rs"] {
+            for rel in files.keys() {
+                let suffix = format!("src/{kind}");
+                let Some(prefix) = rel
+                    .strip_suffix(&suffix)
+                    .map(|p| p.trim_end_matches('/').to_string())
+                else {
+                    continue;
+                };
+                if kind == "main.rs" && claimed.contains(&prefix) {
+                    continue; // lib.rs of the same crate took the name
+                }
+                claimed.push(prefix.clone());
+                let name = crate_lib_name(root, &prefix);
+                let child_dir = if prefix.is_empty() {
+                    "src".to_string()
+                } else {
+                    format!("{prefix}/src")
+                };
+                let id = ws.add_module(
+                    vec![name.clone()],
+                    rel.clone(),
+                    (0, u32::MAX),
+                    None,
+                    child_dir,
+                    false,
+                    files,
+                );
+                ws.crate_roots.entry(name).or_insert(id);
+            }
+        }
+        // Stray files not reached through any `mod` chain (helper
+        // binaries, generators): give each its own pseudo-module so
+        // their imports still resolve.
+        let reached: Vec<String> = ws.modules.iter().map(|m| m.file.clone()).collect();
+        let strays: Vec<String> = files
+            .keys()
+            .filter(|rel| !reached.contains(rel))
+            .cloned()
+            .collect();
+        for rel in strays {
+            let path = vec![rel.replace(['/', '.'], "_")];
+            let dir = rel
+                .rsplit_once('/')
+                .map(|(d, _)| d)
+                .unwrap_or("")
+                .to_string();
+            ws.add_module(path, rel, (0, u32::MAX), None, dir, false, files);
+        }
+        ws.index();
+        ws
+    }
+
+    /// Materialise one module (and, recursively, its children).
+    #[allow(clippy::too_many_arguments)]
+    fn add_module(
+        &mut self,
+        path: Vec<String>,
+        file: String,
+        lines: (u32, u32),
+        parent: Option<ModId>,
+        child_dir: String,
+        cfg_test: bool,
+        files: &BTreeMap<String, FileData>,
+    ) -> ModId {
+        let id = self.modules.len();
+        self.modules.push(Module {
+            path: path.clone(),
+            file: file.clone(),
+            lines,
+            parent,
+            child_dir: child_dir.clone(),
+            imports: Vec::new(),
+            submods: BTreeMap::new(),
+            defs: BTreeMap::new(),
+            structs: BTreeMap::new(),
+            fns: Vec::new(),
+            cfg_test,
+        });
+        self.file_modules.entry(file.clone()).or_default().push(id);
+        let Some(data) = files.get(&file) else {
+            return id;
+        };
+        // Inline modules of an inline module re-borrow `files`, so
+        // collect child work first, then recurse.
+        enum Child {
+            File {
+                name: String,
+                rel: String,
+            },
+            Inline {
+                name: String,
+                lines: (u32, u32),
+                cfg_test: bool,
+            },
+        }
+        let mut children = Vec::new();
+        {
+            let items = items_for_module(&data.parsed, lines);
+            self.fill_module(id, items, &file);
+            for item in items {
+                if let Item::Mod(m) = item {
+                    match &m.inline {
+                        None => {
+                            // `mod foo;` → foo.rs or foo/mod.rs.
+                            let cand1 = join_rel(&child_dir, &format!("{}.rs", m.name));
+                            let cand2 = join_rel(&child_dir, &format!("{}/mod.rs", m.name));
+                            let rel = if files.contains_key(&cand1) {
+                                Some(cand1)
+                            } else if files.contains_key(&cand2) {
+                                Some(cand2)
+                            } else {
+                                None
+                            };
+                            if let Some(rel) = rel {
+                                children.push(Child::File {
+                                    name: m.name.clone(),
+                                    rel,
+                                });
+                            }
+                        }
+                        Some(_) => children.push(Child::Inline {
+                            name: m.name.clone(),
+                            lines: (m.line, m.end_line),
+                            cfg_test: m.cfg_test,
+                        }),
+                    }
+                }
+            }
+        }
+        for child in children {
+            match child {
+                Child::File { name, rel } => {
+                    let mut cpath = path.clone();
+                    cpath.push(name.clone());
+                    let cdir = join_rel(&child_dir, &name);
+                    let cid =
+                        self.add_module(cpath, rel, (0, u32::MAX), Some(id), cdir, cfg_test, files);
+                    self.modules[id].submods.insert(name, cid);
+                }
+                Child::Inline {
+                    name,
+                    lines,
+                    cfg_test: child_test,
+                } => {
+                    let mut cpath = path.clone();
+                    cpath.push(name.clone());
+                    let cdir = join_rel(&child_dir, &name);
+                    let cid = self.add_module(
+                        cpath,
+                        file.clone(),
+                        lines,
+                        Some(id),
+                        cdir,
+                        child_test || cfg_test,
+                        files,
+                    );
+                    self.modules[id].submods.insert(name, cid);
+                }
+            }
+        }
+        id
+    }
+
+    /// Record a module's own imports, defs, structs and fns.
+    fn fill_module(&mut self, id: ModId, items: &[Item], file: &str) {
+        let base_cfg_test = self.modules[id].cfg_test;
+        let mod_path = self.modules[id].path.join("::");
+        for item in items {
+            match item {
+                Item::Use(imports) => {
+                    self.modules[id].imports.extend(imports.iter().cloned());
+                }
+                Item::Fn(f) => {
+                    let canon = format!("{mod_path}::{}", f.name);
+                    self.modules[id].defs.insert(f.name.clone(), DefKind::Fn);
+                    self.modules[id].fns.push(fn_info(
+                        canon,
+                        f,
+                        None,
+                        file,
+                        id,
+                        base_cfg_test,
+                        false,
+                    ));
+                }
+                Item::Struct(s) => {
+                    self.modules[id].defs.insert(s.name.clone(), DefKind::Type);
+                    self.modules[id].structs.insert(s.name.clone(), s.clone());
+                }
+                Item::Enum { name, .. } => {
+                    self.modules[id].defs.insert(name.clone(), DefKind::Type);
+                }
+                Item::Trait { name, fns, .. } => {
+                    self.modules[id].defs.insert(name.clone(), DefKind::Type);
+                    // Default-bodied trait methods are real code; hang
+                    // them off the trait's name.
+                    for f in fns {
+                        if f.body.is_some() {
+                            let canon = format!("{mod_path}::{name}::{}", f.name);
+                            self.modules[id].fns.push(fn_info(
+                                canon,
+                                f,
+                                Some(name.clone()),
+                                file,
+                                id,
+                                base_cfg_test,
+                                false,
+                            ));
+                        }
+                    }
+                }
+                Item::Impl(im) => {
+                    for f in &im.fns {
+                        let canon = format!("{mod_path}::{}::{}", im.self_ty, f.name);
+                        self.modules[id].fns.push(fn_info(
+                            canon,
+                            f,
+                            Some(im.self_ty.clone()),
+                            file,
+                            id,
+                            base_cfg_test || im.cfg_test,
+                            im.cfg_debug,
+                        ));
+                    }
+                }
+                Item::Mod(_) | Item::Other => {}
+            }
+        }
+    }
+
+    /// Build the fn and method indexes (after all modules exist).
+    fn index(&mut self) {
+        for (mid, m) in self.modules.iter().enumerate() {
+            for (fi, f) in m.fns.iter().enumerate() {
+                self.fn_index.insert(f.canon.clone(), (mid, fi));
+                if f.self_ty.is_some() {
+                    self.methods_by_name
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(f.canon.clone());
+                }
+            }
+        }
+    }
+
+    /// Look up a function by canonical id.
+    pub fn fn_info(&self, canon: &str) -> Option<&FnInfo> {
+        let &(mid, fi) = self.fn_index.get(canon)?;
+        self.modules[mid].fns.get(fi)
+    }
+
+    /// The innermost module containing `line` of `file`, if any.
+    pub fn module_at(&self, file: &str, line: u32) -> Option<ModId> {
+        let mods = self.file_modules.get(file)?;
+        mods.iter()
+            .copied()
+            .filter(|&id| {
+                let (a, b) = self.modules[id].lines;
+                line >= a && line <= b
+            })
+            .min_by_key(|&id| {
+                let (a, b) = self.modules[id].lines;
+                b.saturating_sub(a) // tightest range wins
+            })
+    }
+
+    /// Canonicalise `segs`, as written inside module `m`, to the
+    /// defining path. Returns the literal joined path when resolution
+    /// leaves the workspace (externals) or gives up.
+    pub fn resolve(&self, m: ModId, segs: &[String]) -> String {
+        self.resolve_inner(m, segs, 0).join("::")
+    }
+
+    fn resolve_inner(&self, m: ModId, segs: &[String], depth: u8) -> Vec<String> {
+        if segs.is_empty() || depth > 24 {
+            return segs.to_vec();
+        }
+        let first = segs[0].as_str();
+        // Path-root keywords.
+        match first {
+            "crate" => {
+                let root = self.crate_root_of(m);
+                return self.walk(root, &segs[1..], depth + 1);
+            }
+            "self" => return self.walk(m, &segs[1..], depth + 1),
+            "super" => {
+                let mut cur = m;
+                let mut rest = segs;
+                while rest.first().map(String::as_str) == Some("super") {
+                    cur = match self.modules[cur].parent {
+                        Some(p) => p,
+                        None => return segs.to_vec(),
+                    };
+                    rest = &rest[1..];
+                }
+                return self.walk(cur, rest, depth + 1);
+            }
+            "Self" => return segs.to_vec(), // caller substitutes the impl type
+            _ => {}
+        }
+        // A workspace crate name.
+        if let Some(&root) = self.crate_roots.get(first) {
+            return self.walk(root, &segs[1..], depth + 1);
+        }
+        // A local `use` binding (aliases included).
+        if let Some(imp) = self.modules[m]
+            .imports
+            .iter()
+            .find(|i| !i.glob && i.name == first)
+        {
+            let mut spliced = imp.path.clone();
+            spliced.extend(segs[1..].iter().cloned());
+            return self.resolve_inner(m, &spliced, depth + 1);
+        }
+        // A local submodule or definition.
+        if self.modules[m].submods.contains_key(first) || self.modules[m].defs.contains_key(first) {
+            return self.walk(m, segs, depth + 1);
+        }
+        // Glob imports: workspace-verified hits first, then a single
+        // speculative external join.
+        let globs: Vec<&Import> = self.modules[m].imports.iter().filter(|i| i.glob).collect();
+        for g in &globs {
+            let mut spliced = g.path.clone();
+            spliced.extend(segs.iter().cloned());
+            let out = self.resolve_inner(m, &spliced, depth + 1);
+            // Accept if the glob target turned out to define the name
+            // inside the workspace.
+            if let Some(root_seg) = out.first() {
+                if self.crate_roots.contains_key(root_seg) && self.lands_on_def(&out) {
+                    return out;
+                }
+            }
+        }
+        for g in &globs {
+            let root_is_external = g
+                .path
+                .first()
+                .map(|s| {
+                    !self.crate_roots.contains_key(s.as_str())
+                        && !matches!(s.as_str(), "crate" | "self" | "super")
+                })
+                .unwrap_or(false);
+            if root_is_external {
+                let mut out = g.path.clone();
+                out.extend(segs.iter().cloned());
+                return out;
+            }
+        }
+        // Prelude name, local variable, or external root: literal.
+        segs.to_vec()
+    }
+
+    /// Walk `segs` down from module `cur`, descending submodules,
+    /// stopping at definitions, and splicing through `pub use`
+    /// re-exports.
+    fn walk(&self, cur: ModId, segs: &[String], depth: u8) -> Vec<String> {
+        if depth > 24 {
+            let mut out = self.modules[cur].path.clone();
+            out.extend(segs.iter().cloned());
+            return out;
+        }
+        let Some(first) = segs.first() else {
+            return self.modules[cur].path.clone();
+        };
+        if let Some(&sub) = self.modules[cur].submods.get(first) {
+            return self.walk(sub, &segs[1..], depth + 1);
+        }
+        if self.modules[cur].defs.contains_key(first) {
+            let mut out = self.modules[cur].path.clone();
+            out.extend(segs.iter().cloned());
+            return out;
+        }
+        // A re-export (`pub use`) visible from outside; when walking
+        // within the module where resolution started the non-pub
+        // imports were already consulted by `resolve_inner`.
+        if let Some(imp) = self.modules[cur]
+            .imports
+            .iter()
+            .find(|i| i.is_pub && !i.glob && i.name == *first)
+        {
+            let mut spliced = imp.path.clone();
+            spliced.extend(segs[1..].iter().cloned());
+            return self.resolve_inner(cur, &spliced, depth + 1);
+        }
+        // Re-export globs: `pub use inner::*`.
+        for g in self.modules[cur]
+            .imports
+            .iter()
+            .filter(|i| i.is_pub && i.glob)
+        {
+            let mut spliced = g.path.clone();
+            spliced.extend(segs.iter().cloned());
+            let out = self.resolve_inner(cur, &spliced, depth + 1);
+            if self.lands_on_def(&out) {
+                return out;
+            }
+        }
+        // Unknown below this module: keep the literal tail.
+        let mut out = self.modules[cur].path.clone();
+        out.extend(segs.iter().cloned());
+        out
+    }
+
+    /// Whether a canonical path names a definition (or fn) the
+    /// workspace actually contains — used to validate glob guesses.
+    fn lands_on_def(&self, canon_segs: &[String]) -> bool {
+        let joined = canon_segs.join("::");
+        if self.fn_index.contains_key(&joined) {
+            return true;
+        }
+        // Try `module::Def` and `module::Def::assoc` shapes.
+        for split in (1..canon_segs.len()).rev() {
+            let mod_path = canon_segs[..split].join("::");
+            if let Some(mid) = self.module_by_path(&mod_path) {
+                let rest = &canon_segs[split..];
+                if let Some(name) = rest.first() {
+                    if self.modules[mid].defs.contains_key(name) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Linear scan is fine: called only while validating glob guesses.
+    fn module_by_path(&self, path: &str) -> Option<ModId> {
+        self.modules.iter().position(|m| m.path.join("::") == path)
+    }
+
+    fn crate_root_of(&self, m: ModId) -> ModId {
+        let mut cur = m;
+        while let Some(p) = self.modules[cur].parent {
+            cur = p;
+        }
+        cur
+    }
+}
+
+fn fn_info(
+    canon: String,
+    f: &FnItem,
+    self_ty: Option<String>,
+    file: &str,
+    module: ModId,
+    extra_cfg_test: bool,
+    extra_cfg_debug: bool,
+) -> FnInfo {
+    FnInfo {
+        canon,
+        name: f.name.clone(),
+        self_ty,
+        file: file.to_string(),
+        line: f.line,
+        body: f.body,
+        module,
+        cfg_test: f.cfg_test || extra_cfg_test,
+        cfg_debug: f.cfg_debug || extra_cfg_debug,
+    }
+}
+
+/// The items belonging to the module covering `lines` of a parsed
+/// file: the top-level items for a file module, or the inline items of
+/// the matching `mod` for an inline module.
+fn items_for_module(parsed: &ParsedFile, lines: (u32, u32)) -> &[Item] {
+    if lines == (0, u32::MAX) {
+        return &parsed.items;
+    }
+    fn find(items: &[Item], lines: (u32, u32)) -> Option<&[Item]> {
+        for item in items {
+            if let Item::Mod(m) = item {
+                if (m.line, m.end_line) == lines {
+                    return m.inline.as_deref();
+                }
+                if let Some(inner) = &m.inline {
+                    if let Some(found) = find(inner, lines) {
+                        return Some(found);
+                    }
+                }
+            }
+        }
+        None
+    }
+    find(&parsed.items, lines).unwrap_or(&[])
+}
+
+/// `dir/name` with empty-dir handling.
+fn join_rel(dir: &str, name: &str) -> String {
+    if dir.is_empty() {
+        name.to_string()
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// The lib name of the crate whose sources live under
+/// `<prefix>/src/`: the `name` in `<prefix>/Cargo.toml`'s `[package]`
+/// section with `-` normalised to `_`, falling back to the directory
+/// name (fixture trees carry no manifests).
+fn crate_lib_name(root: &Path, prefix: &str) -> String {
+    let manifest = if prefix.is_empty() {
+        root.join("Cargo.toml")
+    } else {
+        root.join(prefix).join("Cargo.toml")
+    };
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let v = rest.trim().trim_matches('"');
+                    if !v.is_empty() {
+                        return v.replace('-', "_");
+                    }
+                }
+            }
+        }
+    }
+    let dir_name = prefix.rsplit('/').next().unwrap_or(prefix);
+    if dir_name.is_empty() {
+        "crate_root".to_string()
+    } else {
+        dir_name.replace('-', "_")
+    }
+}
+
+/// Tokenize + parse one file into [`FileData`].
+pub fn load_file(src: &str) -> FileData {
+    let (toks, waivers) = tokenize(src);
+    let parsed = parse::parse(&toks);
+    FileData {
+        toks,
+        waivers,
+        parsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_from(files: &[(&str, &str)]) -> (Workspace, BTreeMap<String, FileData>) {
+        let mut map = BTreeMap::new();
+        for (rel, src) in files {
+            map.insert(rel.to_string(), load_file(src));
+        }
+        let ws = Workspace::build(Path::new("/nonexistent"), &map);
+        (ws, map)
+    }
+
+    fn module_named(ws: &Workspace, path: &str) -> ModId {
+        ws.modules
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.path.join("::") == path)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| panic!("no module {path}"))
+    }
+
+    #[test]
+    fn module_graph_follows_mod_decls() {
+        let (ws, _) = ws_from(&[
+            ("crates/a/src/lib.rs", "pub mod x;\n"),
+            ("crates/a/src/x.rs", "pub mod y;\npub fn in_x() {}\n"),
+            ("crates/a/src/x/y.rs", "pub fn in_y() {}\n"),
+        ]);
+        assert!(ws.crate_roots.contains_key("a"));
+        let y = module_named(&ws, "a::x::y");
+        assert_eq!(ws.modules[y].file, "crates/a/src/x/y.rs");
+        assert!(ws.fn_index.contains_key("a::x::y::in_y"));
+    }
+
+    #[test]
+    fn aliased_import_resolves_to_std_target() {
+        let (ws, _) = ws_from(&[(
+            "crates/a/src/lib.rs",
+            "use std::collections::HashMap as Map;\nfn f() {}\n",
+        )]);
+        let m = module_named(&ws, "a");
+        let r = ws.resolve(m, &["Map".to_string()]);
+        assert_eq!(r, "std::collections::HashMap");
+    }
+
+    #[test]
+    fn pub_use_chain_resolves_through_two_crates() {
+        let (ws, _) = ws_from(&[
+            (
+                "crates/helpers/src/lib.rs",
+                "pub mod maps;\npub use maps::Map;\n",
+            ),
+            (
+                "crates/helpers/src/maps.rs",
+                "pub use std::collections::HashMap as Map;\n",
+            ),
+            ("crates/core/src/lib.rs", "use helpers::Map;\nfn f() {}\n"),
+        ]);
+        let m = module_named(&ws, "core");
+        let r = ws.resolve(m, &["Map".to_string()]);
+        assert_eq!(r, "std::collections::HashMap");
+    }
+
+    #[test]
+    fn glob_import_of_external_module_resolves_speculatively() {
+        let (ws, _) = ws_from(&[(
+            "crates/a/src/lib.rs",
+            "use std::collections::*;\nfn f() {}\n",
+        )]);
+        let m = module_named(&ws, "a");
+        let r = ws.resolve(m, &["HashSet".to_string()]);
+        assert_eq!(r, "std::collections::HashSet");
+    }
+
+    #[test]
+    fn crate_relative_paths_resolve() {
+        let (ws, _) = ws_from(&[
+            ("crates/a/src/lib.rs", "pub mod x;\n"),
+            (
+                "crates/a/src/x.rs",
+                "pub fn g() {}\nfn f() { crate::x::g(); super::x::g(); self::g(); }\n",
+            ),
+        ]);
+        let x = module_named(&ws, "a::x");
+        for segs in [
+            vec!["crate".to_string(), "x".to_string(), "g".to_string()],
+            vec!["super".to_string(), "x".to_string(), "g".to_string()],
+            vec!["self".to_string(), "g".to_string()],
+            vec!["g".to_string()],
+        ] {
+            assert_eq!(ws.resolve(x, &segs), "a::x::g", "segs {segs:?}");
+        }
+    }
+
+    #[test]
+    fn inline_modules_get_line_ranges() {
+        let (ws, _) = ws_from(&[(
+            "crates/a/src/lib.rs",
+            "pub fn top() {}\nmod inner {\n    pub fn f() {}\n}\n",
+        )]);
+        let inner = module_named(&ws, "a::inner");
+        assert_eq!(ws.modules[inner].lines, (2, 4));
+        let m_top = ws.module_at("crates/a/src/lib.rs", 1).unwrap();
+        assert_eq!(ws.modules[m_top].path.join("::"), "a");
+        let m_in = ws.module_at("crates/a/src/lib.rs", 3).unwrap();
+        assert_eq!(m_in, inner);
+    }
+}

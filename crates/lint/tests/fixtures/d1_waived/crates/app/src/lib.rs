@@ -1,4 +1,4 @@
 pub fn tolerated() {
-    // omx-lint: allow(ad-hoc-rng) fixture demonstrates the waiver path
+    // omx-lint: allow(ad-hoc-rng) fixture demonstrates the waiver path [test: tests/proof.rs::covers_fixture_waiver]
     let _r = SplitMix64::new(42);
 }

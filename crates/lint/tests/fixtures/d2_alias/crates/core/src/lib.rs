@@ -1,0 +1,9 @@
+use std::collections::HashMap as M;
+
+pub fn histogram(xs: &[u32]) -> usize {
+    let mut m: M<u32, u32> = M::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}

@@ -1,0 +1,9 @@
+use util::FastMap;
+
+pub fn histogram(xs: &[u32]) -> usize {
+    let mut m: FastMap<u32, u32> = FastMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}

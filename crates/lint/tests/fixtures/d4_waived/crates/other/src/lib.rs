@@ -1,4 +1,4 @@
 pub fn forge() -> Skbuff {
-    // omx-lint: allow(lifecycle-ctor) fixture demonstrates the waiver path
+    // omx-lint: allow(lifecycle-ctor) fixture demonstrates the waiver path [test: tests/proof.rs::covers_fixture_waiver]
     Skbuff { src: 0 }
 }

@@ -1,0 +1,22 @@
+pub struct Sim {
+    pending: u64,
+}
+
+impl Sim {
+    pub fn schedule_at(&mut self) {
+        self.pending += direct_alloc().len() as u64;
+        hop_one(self.pending);
+    }
+}
+
+fn direct_alloc() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+fn hop_one(n: u64) {
+    hop_two(n);
+}
+
+fn hop_two(n: u64) {
+    let _s = format!("deep {n}");
+}

@@ -1,0 +1,14 @@
+pub struct Nic {
+    slots: Vec<u32>,
+}
+
+impl Nic {
+    pub fn deliver(&mut self, i: usize) -> u32 {
+        self.pick(i)
+    }
+
+    fn pick(&self, i: usize) -> u32 {
+        let first = self.slots.get(0).copied().unwrap();
+        first + self.slots[i]
+    }
+}

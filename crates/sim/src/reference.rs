@@ -99,6 +99,7 @@ impl<W> ReferenceSim<W> {
 
     /// Schedule `f` to run at absolute time `at`.
     pub fn schedule_at(&mut self, at: Ps, f: impl FnOnce(&mut W, &mut ReferenceSim<W>) + 'static) {
+        // omx-lint: allow(hot-path-alloc) differential-testing reference scheduler; it is never on the cluster path, only compared against the wheel [test: crates/sim/tests/equivalence.rs::fifo_order_holds_at_one_million_same_instant_events]
         self.insert(at, Box::new(f));
     }
 

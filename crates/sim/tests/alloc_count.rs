@@ -96,6 +96,51 @@ fn steady_state_same_instant_burst_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_cancellable_timers_allocate_nothing() {
+    // Cancellable bookkeeping lives in two BTreeSets. Their root nodes
+    // are allocated when the sets first become non-empty and freed when
+    // they empty, so the sentinels below pin one long-lived timer and
+    // one long-lived tombstone: after that, light cancellable traffic
+    // (a handful outstanding, well under a node's capacity) must not
+    // touch the heap — which is what lets the retransmission timers use
+    // the cancellable API on the hot path.
+    let mut sim: Sim<u64> = Sim::new();
+    let far = Ps::ms(100);
+    let _keep_live = sim.schedule_at_cancellable(far, |_: &mut u64, _| {});
+    let doomed = sim.schedule_at_cancellable(far, |_: &mut u64, _| {});
+    assert!(sim.cancel(doomed));
+
+    let pass = |sim: &mut Sim<u64>| {
+        let mut world = 0u64;
+        for batch in 0..500u64 {
+            let mut ids = [None, None, None, None];
+            for (k, slot) in ids.iter_mut().enumerate() {
+                *slot = Some(sim.schedule_in_cancellable(
+                    Ps::ns(50 + (batch + k as u64) % 13),
+                    |w: &mut u64, _| *w += 1,
+                ));
+            }
+            // Cancel half; the other half fires via the bounded
+            // drain entries (step, then run_until).
+            assert!(sim.cancel(ids[0].take().expect("just set")));
+            assert!(sim.cancel(ids[2].take().expect("just set")));
+            sim.step(&mut world, 1);
+            sim.run_until(&mut world, Ps(sim.now().0 + Ps::ns(100).0));
+        }
+        assert_eq!(world, 1_000);
+    };
+    pass(&mut sim);
+    pass(&mut sim);
+    let a0 = allocations();
+    pass(&mut sim);
+    assert_eq!(
+        allocations() - a0,
+        0,
+        "steady-state cancellable scheduling allocated"
+    );
+}
+
+#[test]
 fn pooled_closures_recycle_their_slots() {
     // Medium captures (between the inline and slot limits) go through
     // the pool: the first pass warms it, after which scheduling such
