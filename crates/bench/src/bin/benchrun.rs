@@ -17,9 +17,11 @@
 //! Wall-clock numbers are meaningful only from `--release` builds (the
 //! debug `SimSanitizer` is compiled out there; see EXPERIMENTS.md).
 
-use omx_hw::CoreId;
+use omx_hw::ioat::CopySegment;
+use omx_hw::{CoreId, HwParams, IoatEngine};
 use omx_mpi::runner::{run_kernel, KernelResult, Layout};
 use omx_mpi::Kernel;
+use omx_sim::sanitize::SimSanitizer;
 use omx_sim::walltime::Stopwatch;
 use omx_sim::{Ps, ReferenceSim, Sim};
 use open_mx::cluster::ClusterParams;
@@ -161,12 +163,17 @@ fn engine_bench(
 }
 
 /// Expand one bench body for both engine types (they share the
-/// scheduling API verbatim, so the shape is written once).
+/// scheduling API verbatim, so the shape is written once). An
+/// optional leading argument sets the wheel depth for the `Sim` side;
+/// the reference heap has no levels.
 macro_rules! on_both {
     (|$sim:ident| $body:block) => {
+        on_both!(1, |$sim| $body)
+    };
+    ($levels:expr, |$sim:ident| $body:block) => {
         (
             || {
-                let mut $sim: Sim<u64> = Sim::new();
+                let mut $sim: Sim<u64> = Sim::with_wheel_levels($levels);
                 $body
             },
             || {
@@ -202,17 +209,32 @@ fn engine_benches(scale: u64) -> Vec<EngineBench> {
         world
     });
     out.push(engine_bench("engine_same_instant", reps, w, h));
-    // Spread over ~a simulated second in 100 µs strides: every event
-    // lands beyond the ~67 µs near-wheel horizon (overflow path).
-    let (w, h) = on_both!(|sim| {
+    // Far-future timers: 3 µs strides spread the events over ~30 ms of
+    // simulated time, so all but the first handful land beyond the
+    // ~67 µs level-0 horizon — the retransmit-timer regime PR-4
+    // recorded at ~0.6× vs the heap when every such event paid a boxed
+    // overflow node. With two wheel levels the whole span fits the
+    // ~34 ms coarse ring: slab-resident, allocation-free.
+    let (w, h) = on_both!(2, |sim| {
         let mut world = 0u64;
         for i in 0..n {
-            sim.schedule_at(Ps::us(100 * i), |w: &mut u64, _| *w += 1);
+            sim.schedule_at(Ps::us(3 * (1 + i)), |w: &mut u64, _| *w += 1);
         }
         sim.run(&mut world);
         world
     });
     out.push(engine_bench("engine_far_future", reps, w, h));
+    // Same shape on the single-level wheel: the boxed overflow-heap
+    // cost the second level exists to remove, kept as the A/B record.
+    let (w, h) = on_both!(1, |sim| {
+        let mut world = 0u64;
+        for i in 0..n {
+            sim.schedule_at(Ps::us(3 * (1 + i)), |w: &mut u64, _| *w += 1);
+        }
+        sim.run(&mut world);
+        world
+    });
+    out.push(engine_bench("engine_far_future_one_level", reps, w, h));
     // Cancel-heavy timer workload: retransmit-style timers where most
     // are revoked before they fire.
     let (w, h) = on_both!(|sim| {
@@ -271,6 +293,99 @@ fn chain_benches(n: u64, reps: usize) -> EngineBench {
 }
 
 // ---------------------------------------------------------------------
+// Doorbell-batch microbench
+// ---------------------------------------------------------------------
+
+/// Host cost of driving the I/OAT engine model — N single-descriptor
+/// submissions (one doorbell each) versus the same N as one chained
+/// batch — plus the *simulated* submitting-CPU charge both ways. The
+/// modeled numbers are equal at the default calibration
+/// (`ioat_desc_chain_cpu == ioat_submit_cpu`) and diverge as the chain
+/// cost drops; the `batch_doorbell` experiment sweeps that axis.
+struct DoorbellBench {
+    descriptors: u64,
+    sequential_best_secs: f64,
+    batched_best_secs: f64,
+    modeled_sequential_us: f64,
+    modeled_batched_default_us: f64,
+    modeled_batched_chain35_us: f64,
+}
+
+impl DoorbellBench {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"ioat_doorbell_batch\",\"descriptors\":{},\
+             \"sequential_best_secs\":{:.6},\"batched_best_secs\":{:.6},\
+             \"host_speedup\":{:.2},\"modeled_sequential_us\":{:.2},\
+             \"modeled_batched_default_us\":{:.2},\
+             \"modeled_batched_chain35_us\":{:.2}}}",
+            self.descriptors,
+            self.sequential_best_secs,
+            self.batched_best_secs,
+            self.sequential_best_secs / self.batched_best_secs,
+            self.modeled_sequential_us,
+            self.modeled_batched_default_us,
+            self.modeled_batched_chain35_us,
+        )
+    }
+}
+
+fn doorbell_bench(reps: usize) -> DoorbellBench {
+    let hw = HwParams::default();
+    let n: u64 = 1024;
+    let frag: u64 = 4096;
+    let mut seq_times = Vec::with_capacity(reps);
+    let mut bat_times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        // One doorbell per descriptor (today's submit sites).
+        let mut eng = IoatEngine::new(&hw);
+        let mut handles = Vec::with_capacity(n as usize);
+        let sw = Stopwatch::start();
+        for i in 0..n {
+            let ch = (i as usize) % eng.num_channels();
+            handles.push(eng.submit(&hw, Ps::ZERO, ch, frag, 1));
+        }
+        seq_times.push(sw.elapsed_secs());
+        for h in &handles {
+            SimSanitizer::complete(h.san);
+            SimSanitizer::release(h.san);
+        }
+        // One chained ring, one doorbell.
+        let mut eng = IoatEngine::new(&hw);
+        let segments: Vec<CopySegment> = (0..n)
+            .map(|i| CopySegment {
+                channel: (i as usize) % eng.num_channels(),
+                bytes: frag,
+                descriptors: 1,
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n as usize);
+        let sw = Stopwatch::start();
+        eng.submit_batch(&hw, Ps::ZERO, &segments, &mut out);
+        bat_times.push(sw.elapsed_secs());
+        for h in &out {
+            SimSanitizer::complete(h.san);
+            SimSanitizer::release(h.san);
+        }
+    }
+    seq_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    bat_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let us = |p: Ps| p.as_secs_f64() * 1e6;
+    let cheap = HwParams {
+        ioat_desc_chain_cpu: Ps::ns(35),
+        ..HwParams::default()
+    };
+    DoorbellBench {
+        descriptors: n,
+        sequential_best_secs: seq_times[0],
+        batched_best_secs: bat_times[0],
+        modeled_sequential_us: us(IoatEngine::submit_cpu_cost(&hw, n)),
+        modeled_batched_default_us: us(IoatEngine::submit_cpu_cost_batched(&hw, n, true)),
+        modeled_batched_chain35_us: us(IoatEngine::submit_cpu_cost_batched(&cheap, n, true)),
+    }
+}
+
+// ---------------------------------------------------------------------
 // End-to-end workloads (one per figure family)
 // ---------------------------------------------------------------------
 
@@ -281,37 +396,44 @@ struct E2eBench {
     allocs_total: u64,
     sim_end: Ps,
     throughput_mibs: f64,
+    /// Engine events the run executed (deterministic).
+    events_executed: u64,
 }
 
 impl E2eBench {
     fn json(&self) -> String {
         format!(
             "{{\"name\":\"{}\",\"wall_best_secs\":{:.4},\"wall_median_secs\":{:.4},\
-             \"allocs_total\":{},\"sim_end_ns\":{},\"throughput_mibs\":{:.1}}}",
+             \"allocs_total\":{},\"sim_end_ns\":{},\"throughput_mibs\":{:.1},\
+             \"events_executed\":{},\"events_per_sec\":{:.0}}}",
             self.name,
             self.wall_best_secs,
             self.wall_median_secs,
             self.allocs_total,
             self.sim_end.0 / 1000,
-            self.throughput_mibs
+            self.throughput_mibs,
+            self.events_executed,
+            self.events_executed as f64 / self.wall_best_secs,
         )
     }
 }
 
-fn e2e_bench(name: &'static str, repeats: usize, run: impl Fn() -> (Ps, f64)) -> E2eBench {
+fn e2e_bench(name: &'static str, repeats: usize, run: impl Fn() -> (Ps, f64, u64)) -> E2eBench {
     let mut times = Vec::with_capacity(repeats);
     let mut sim_end = Ps::ZERO;
     let mut throughput = 0.0;
     let mut allocs_total = 0;
+    let mut events_executed = 0;
     for rep in 0..repeats {
         let a0 = allocations();
         let sw = Stopwatch::start();
-        let (end, thr) = run();
+        let (end, thr, events) = run();
         times.push(sw.elapsed_secs());
         if rep + 1 == repeats {
             sim_end = end;
             throughput = thr;
             allocs_total = allocations() - a0;
+            events_executed = events;
         }
     }
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -322,12 +444,13 @@ fn e2e_bench(name: &'static str, repeats: usize, run: impl Fn() -> (Ps, f64)) ->
         allocs_total,
         sim_end,
         throughput_mibs: throughput,
+        events_executed,
     }
 }
 
-fn pingpong_fixed(iters: u32) -> open_mx::harness::PingPongResult {
+fn pingpong_cfg(iters: u32, cfg: OmxConfig) -> open_mx::harness::PingPongResult {
     let mut c = PingPongConfig::new(
-        ClusterParams::with_cfg(fixed_cfg()),
+        ClusterParams::with_cfg(cfg),
         256 << 10,
         Placement::TwoNodes {
             core_a: CoreId(2),
@@ -337,6 +460,10 @@ fn pingpong_fixed(iters: u32) -> open_mx::harness::PingPongResult {
     c.iters = iters;
     c.warmup = 1;
     run_pingpong(c)
+}
+
+fn pingpong_fixed(iters: u32) -> open_mx::harness::PingPongResult {
+    pingpong_cfg(iters, fixed_cfg())
 }
 
 fn stream_fixed(count: u32) -> open_mx::harness::StreamResult {
@@ -383,27 +510,27 @@ fn e2e_benches() -> Vec<E2eBench> {
         e2e_bench("pingpong_256k", 5, || {
             let r = pingpong_fixed(12);
             assert!(r.verified, "pingpong failed verification");
-            (r.end_time, r.throughput_mibs)
+            (r.end_time, r.throughput_mibs, r.events_executed)
         }),
         e2e_bench("stream_1m", 3, || {
             let r = stream_fixed(8);
             assert!(r.verified, "stream failed verification");
-            (r.elapsed, r.throughput_mibs)
+            (r.elapsed, r.throughput_mibs, r.events_executed)
         }),
         e2e_bench("alltoall_1m", 3, || {
             let r = alltoall_fixed(2);
             assert!(r.verified, "alltoall failed verification");
-            (r.end, 0.0)
+            (r.end, 0.0, r.events_executed)
         }),
         e2e_bench("fanin_mq_16k", 3, || {
             let r = fanin_fixed(16);
             assert!(r.verified, "fan-in failed verification");
-            (r.elapsed, r.throughput_mibs)
+            (r.elapsed, r.throughput_mibs, r.events_executed)
         }),
         e2e_bench("incast_credit_96k", 3, || {
             let r = incast_fixed();
             assert!(r.verified, "incast failed verification");
-            (r.elapsed, 0.0)
+            (r.elapsed, 0.0, r.events_executed)
         }),
     ]
 }
@@ -412,9 +539,14 @@ fn e2e_benches() -> Vec<E2eBench> {
 // Smoke mode: deterministic fingerprints only
 // ---------------------------------------------------------------------
 
-fn fingerprint<S: serde::Serialize, B: serde::Serialize>(stats: &S, breakdown: &B) -> String {
+fn fingerprint<S: serde::Serialize, B: serde::Serialize>(
+    stats: &S,
+    breakdown: &B,
+    events_executed: u64,
+) -> String {
     format!(
-        "{{\"stats\":{},\"breakdown\":{}}}",
+        "{{\"events_executed\":{},\"stats\":{},\"breakdown\":{}}}",
+        events_executed,
         serde_json::to_string(stats).expect("stats serialize"),
         serde_json::to_string(breakdown).expect("breakdown serialize")
     )
@@ -436,15 +568,47 @@ fn smoke() {
         ic.stats.credit_shrinks > 0,
         "incast smoke must engage the credit controller"
     );
+    let fp_pp = fingerprint(&pp.stats, &pp.breakdown, pp.events_executed);
+    // The two PR-9 engine knobs must be invisible to the schedule:
+    // batching at the default calibration (chain cost == submit cost)
+    // and a second wheel level both re-run the pingpong and must land
+    // on the very same fingerprint bytes. The golden then *contains*
+    // the identity claim instead of merely asserting it in a test.
+    let ppb = pingpong_cfg(
+        6,
+        OmxConfig {
+            ioat_batch: true,
+            ..fixed_cfg()
+        },
+    );
+    assert!(ppb.verified, "batched pingpong failed verification");
+    let fp_ppb = fingerprint(&ppb.stats, &ppb.breakdown, ppb.events_executed);
+    assert_eq!(
+        fp_pp, fp_ppb,
+        "ioat_batch must be bit-invisible at the default calibration"
+    );
+    let ppw = pingpong_cfg(
+        6,
+        OmxConfig {
+            wheel_levels: 2,
+            ..fixed_cfg()
+        },
+    );
+    assert!(ppw.verified, "two-level pingpong failed verification");
+    let fp_ppw = fingerprint(&ppw.stats, &ppw.breakdown, ppw.events_executed);
+    assert_eq!(fp_pp, fp_ppw, "wheel depth must not change the schedule");
     println!(
-        "{{\"schema\":\"perf-smoke-v3\",\"seed\":{},\"pingpong\":{},\"stream\":{},\
+        "{{\"schema\":\"perf-smoke-v4\",\"seed\":{},\"pingpong\":{},\
+         \"pingpong_batched\":{},\"pingpong_two_level\":{},\"stream\":{},\
          \"alltoall\":{},\"fanin_mq\":{},\"incast_credit\":{}}}",
         SEED,
-        fingerprint(&pp.stats, &pp.breakdown),
-        fingerprint(&st.stats, &st.breakdown),
-        fingerprint(&a2a.stats, &a2a.breakdown),
-        fingerprint(&fi.stats, &fi.breakdown),
-        fingerprint(&ic.stats, &ic.breakdown),
+        fp_pp,
+        fp_ppb,
+        fp_ppw,
+        fingerprint(&st.stats, &st.breakdown, st.events_executed),
+        fingerprint(&a2a.stats, &a2a.breakdown, a2a.events_executed),
+        fingerprint(&fi.stats, &fi.breakdown, fi.events_executed),
+        fingerprint(&ic.stats, &ic.breakdown, ic.events_executed),
     );
 }
 
@@ -462,13 +626,15 @@ fn main() {
     let mut benches = engine_benches(1);
     benches.push(chain_benches(10_000, 9));
     let engine: Vec<String> = benches.iter().map(|b| b.json()).collect();
+    let doorbell = doorbell_bench(9).json();
     let e2e: Vec<String> = e2e_benches().iter().map(|b| b.json()).collect();
     println!(
-        "{{\"schema\":\"benchrun-v1\",\"engine\":\"{}\",\"profile\":\"{}\",\
-         \"engine_benches\":[{}],\"e2e\":[{}]}}",
+        "{{\"schema\":\"benchrun-v2\",\"engine\":\"{}\",\"profile\":\"{}\",\
+         \"engine_benches\":[{}],\"doorbell\":{},\"e2e\":[{}]}}",
         ENGINE,
         profile,
         engine.join(","),
+        doorbell,
         e2e.join(","),
     );
 }

@@ -86,11 +86,42 @@ impl AppCtx<'_> {
             .post_isend(self.sim, self.me, dest, match_info, data, tag)
     }
 
+    /// Post a non-blocking send of an already reference-counted
+    /// payload. The stack clones views of the handle instead of
+    /// promoting a fresh `Vec` per message — an app resending the same
+    /// buffer in a loop stays allocation-free.
+    pub fn isend_bytes(
+        &mut self,
+        dest: EpAddr,
+        match_info: u64,
+        data: bytes::Bytes,
+        tag: Option<u64>,
+    ) -> ReqId {
+        self.cluster
+            .post_isend_bytes(self.sim, self.me, dest, match_info, data, tag)
+    }
+
     /// Post a non-blocking receive of up to `max_len` bytes matching
     /// `(match_info, mask)`.
     pub fn irecv(&mut self, match_info: u64, mask: u64, max_len: u64, tag: Option<u64>) -> ReqId {
         self.cluster
             .post_irecv(self.sim, self.me, match_info, mask, max_len, tag)
+    }
+
+    /// Post a non-blocking receive that recycles a caller-donated
+    /// buffer (typically the `data` Vec of a previous
+    /// [`Completion::Recv`]): the completion hands the same allocation
+    /// back, so a receive loop reuses one buffer indefinitely.
+    pub fn irecv_into(
+        &mut self,
+        match_info: u64,
+        mask: u64,
+        max_len: u64,
+        buf: Vec<u8>,
+        tag: Option<u64>,
+    ) -> ReqId {
+        self.cluster
+            .post_irecv_into(self.sim, self.me, match_info, mask, max_len, buf, tag)
     }
 
     /// Post a non-blocking receive into a *scattered* buffer of

@@ -82,6 +82,11 @@ pub struct Node {
     /// Copy-duration predictor for the sleep-until-completion
     /// extension.
     pub predictor: crate::predict::CopyPredictor,
+    /// Packet-serialization arena: every frame this node sends is
+    /// packed into this long-lived buffer via [`Packet::pack_into`],
+    /// which reclaims the block once in-flight payloads drop — so a
+    /// steady-state node builds frames without allocating.
+    pub pack_arena: bytes::BytesMut,
 }
 
 impl Node {
@@ -319,6 +324,7 @@ impl Cluster {
                     endpoints: Vec::new(),
                     mx: MxNodeState::default(),
                     predictor: crate::predict::CopyPredictor::new(),
+                    pack_arena: bytes::BytesMut::new(),
                 }
             })
             .collect();
@@ -571,6 +577,28 @@ impl Cluster {
         data: Vec<u8>,
         tag: Option<u64>,
     ) -> ReqId {
+        self.post_isend_bytes(sim, me, dest, match_info, bytes::Bytes::from(data), tag)
+    }
+
+    /// Post a non-blocking send of an already-shared payload.
+    ///
+    /// Same as [`Self::post_isend`] but the caller keeps ownership of
+    /// the master [`bytes::Bytes`] handle: the stack only clones
+    /// reference-counted views of it, so an app that sends the same
+    /// buffer repeatedly (a benchmark loop, a broadcast) never touches
+    /// the allocator per message. `Bytes::from(Vec)` inside
+    /// `post_isend` defers its control-block allocation to the first
+    /// clone — handing a pre-shared `Bytes` here avoids exactly that
+    /// per-message promotion.
+    pub fn post_isend_bytes(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        dest: EpAddr,
+        match_info: u64,
+        data: bytes::Bytes,
+        tag: Option<u64>,
+    ) -> ReqId {
         let req = self.alloc_req();
         let len = data.len() as u64;
         let class = self.p.cfg.class_of(len);
@@ -598,7 +626,7 @@ impl Cluster {
                 match_info,
                 msg_seq,
                 class,
-                data: bytes::Bytes::from(data),
+                data,
                 tag,
                 acked: false,
                 completed: false,
@@ -656,6 +684,33 @@ impl Cluster {
         self.post_irecv_vectored(sim, me, match_info, mask, max_len, None, tag)
     }
 
+    /// Post a non-blocking receive that reuses a caller-donated buffer.
+    ///
+    /// The completion for this request hands the same `Vec` back as
+    /// `Completion::Recv { data, .. }`, so an app that re-donates each
+    /// delivered buffer to its next post recycles one allocation for
+    /// the whole conversation instead of paying `vec![0; max_len]` per
+    /// receive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_irecv_into(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        match_info: u64,
+        mask: u64,
+        max_len: u64,
+        mut buf: Vec<u8>,
+        tag: Option<u64>,
+    ) -> ReqId {
+        // Zero-fill to the posted length: a short delivery must not
+        // leak a previous message's bytes. `clear` + `resize` rewrites
+        // in place — no reallocation while the donated capacity covers
+        // `max_len`.
+        buf.clear();
+        buf.resize(max_len as usize, 0);
+        self.post_irecv_buf(sim, me, match_info, mask, max_len, None, buf, tag)
+    }
+
     /// Post a non-blocking receive into a scattered buffer of
     /// `seg_size`-byte segments (None = contiguous).
     #[allow(clippy::too_many_arguments)]
@@ -669,7 +724,26 @@ impl Cluster {
         seg_size: Option<u64>,
         tag: Option<u64>,
     ) -> ReqId {
+        let buf = vec![0u8; max_len as usize];
+        self.post_irecv_buf(sim, me, match_info, mask, max_len, seg_size, buf, tag)
+    }
+
+    /// Common tail of the `post_irecv*` family: `buf` is already
+    /// `max_len` zeroed bytes, however the caller produced it.
+    #[allow(clippy::too_many_arguments)]
+    fn post_irecv_buf(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        me: EpAddr,
+        match_info: u64,
+        mask: u64,
+        max_len: u64,
+        seg_size: Option<u64>,
+        buf: Vec<u8>,
+        tag: Option<u64>,
+    ) -> ReqId {
         assert!(seg_size.is_none_or(|s| s > 0), "segments must be nonzero");
+        debug_assert_eq!(buf.len(), max_len as usize);
         let req = self.alloc_req();
         let core = self.ep(me).core;
         let (_, fin) = self.run_core(
@@ -685,7 +759,7 @@ impl Cluster {
                 req,
                 match_info,
                 mask,
-                buf: vec![0u8; max_len as usize],
+                buf,
                 received: 0,
                 total: 0,
                 matched_info: None,
@@ -723,7 +797,7 @@ impl Cluster {
         pkt: &Packet,
         at: Ps,
     ) {
-        let payload = pkt.pack();
+        let payload = pkt.pack_into(&mut self.node_mut(src).pack_arena);
         self.send_payload(sim, src, dst, payload, at, Ps::ZERO);
     }
 
@@ -1023,9 +1097,12 @@ impl Cluster {
     }
 }
 
-/// Helper bundling cluster + engine construction.
+/// Helper bundling cluster + engine construction. The engine's
+/// timing-wheel depth follows `cfg.wheel_levels` (order-identical
+/// either way — see `crates/sim/src/wheel.rs`).
 pub fn build(p: ClusterParams) -> (Cluster, Sim<Cluster>) {
-    (Cluster::new(p), Sim::new())
+    let levels = p.cfg.wheel_levels;
+    (Cluster::new(p), Sim::with_wheel_levels(levels))
 }
 
 #[cfg(test)]

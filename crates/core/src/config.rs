@@ -117,6 +117,15 @@ pub struct OmxConfig {
     pub ioat_shm_threshold: u64,
     /// How synchronous offloads wait.
     pub sync_wait: SyncWaitPolicy,
+    /// Batch I/OAT descriptor submission: all descriptors of one
+    /// driver copy (and, under GRO, of one coalesced fragment train)
+    /// are chained behind a single doorbell, charging
+    /// `HwParams::ioat_submit_cpu` once plus
+    /// `HwParams::ioat_desc_chain_cpu` per chained descriptor —
+    /// instead of the paper's full 350 ns submission cost per
+    /// descriptor (§IV-A). Default off: per-descriptor submission,
+    /// bit-identical to all committed results.
+    pub ioat_batch: bool,
     /// Split one large copy across all DMA channels instead of the
     /// paper's one-channel-per-message policy (§V related-work
     /// ablation; default off).
@@ -174,6 +183,15 @@ pub struct OmxConfig {
     pub ioat_quarantine_cooldown: Ps,
     /// RNG seed for loss injection and channel selection jitter.
     pub seed: u64,
+
+    // ---------------- engine ----------------
+    /// Timing-wheel depth of the DES engine driving the cluster: 1 =
+    /// single ~67 µs ring (events further out are boxed onto the
+    /// overflow heap), 2 = add a coarser ~34 ms ring so retransmit
+    /// timers and watchdogs stay slab-resident. Execution order — and
+    /// therefore every figure — is bit-identical at either depth; this
+    /// is purely an events/sec knob (see BENCH_pr9.json).
+    pub wheel_levels: u32,
 
     // ---------------- observability ----------------
     /// Enable the per-component metrics registry (counters, gauges and
@@ -239,6 +257,7 @@ impl Default for OmxConfig {
             ioat_medium_sync: false,
             ioat_shm_threshold: 1 << 20,
             sync_wait: SyncWaitPolicy::BusyPoll,
+            ioat_batch: false,
             ioat_multichannel_split: false,
             warm_copy_head_bytes: 0,
             regcache: true,
@@ -251,6 +270,7 @@ impl Default for OmxConfig {
             ioat_stall_deadline: Ps::ms(2),
             ioat_quarantine_cooldown: Ps::ms(20),
             seed: 0x0031_4159_2653_5897,
+            wheel_levels: 1,
             metrics: true,
             trace_capacity: 0,
             bh_frag_process: Ps::ns(1900),

@@ -12,10 +12,103 @@ pub mod recv;
 pub mod shm;
 
 use crate::{EpAddr, EpIdx, ReqId};
-use omx_hw::ioat::CopyHandle;
+use omx_hw::ioat::{CopyHandle, CopySegment};
 use omx_sim::sanitize::{Kind, SimSanitizer, Token};
 use omx_sim::Ps;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Pooled per-node scratch for the driver's hot paths.
+///
+/// Every buffer a BH or syscall path needs transiently — fragment
+/// dedup bitmaps, pull block accounting, pending-copy lists, chained
+/// batch segments — is recycled here instead of round-tripping through
+/// the allocator, extending the engine's zero-steady-state-allocation
+/// guarantee to the send/recv/pull driver paths (pinned by lint D5 and
+/// the driver-path case in the allocation-counting suite). Pools are
+/// bounded: a burst can still allocate, but the steady state never
+/// does.
+#[derive(Debug, Default)]
+pub struct DriverScratch {
+    /// Recycled fragment bitmaps (medium dedup, pull `frag_seen`).
+    bitmaps: Vec<Vec<bool>>,
+    /// Recycled block-remaining vectors (pull protocol).
+    blocks: Vec<Vec<u32>>,
+    /// Recycled pending-copy vectors (pull protocol).
+    pending: Vec<Vec<PendingCopy>>,
+    /// Reusable stuck-copy extraction buffer (cleared between uses).
+    pub stuck: Vec<PendingCopy>,
+    /// Reusable chained-batch segment list (cleared between uses).
+    pub segments: Vec<CopySegment>,
+    /// Reusable chained-batch handle output (cleared between uses).
+    pub handles: Vec<CopyHandle>,
+}
+
+impl DriverScratch {
+    /// Pool-size bound: beyond this, returned buffers are dropped. Far
+    /// above any steady-state working set (one bitmap per in-flight
+    /// medium/large message), it only caps what a pathological burst
+    /// can pin.
+    const POOL_CAP: usize = 64;
+
+    /// A cleared `len`-entry bitmap, recycled when possible.
+    pub fn take_bitmap(&mut self, len: usize) -> Vec<bool> {
+        match self.bitmaps.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, false);
+                v
+            }
+            // omx-lint: allow(hot-path-alloc) pool miss: only the first messages of a run grow the pool; a warmed loop always recycles [test: crates/sim/tests/alloc_count.rs::warmed_medium_pingpong_allocates_nothing]
+            None => vec![false; len],
+        }
+    }
+
+    /// Return a bitmap to the pool.
+    pub fn put_bitmap(&mut self, v: Vec<bool>) {
+        if self.bitmaps.len() < Self::POOL_CAP {
+            self.bitmaps.push(v);
+        }
+    }
+
+    /// An empty block-remaining vector, recycled when possible.
+    pub fn take_blocks(&mut self) -> Vec<u32> {
+        self.blocks.pop().unwrap_or_default()
+    }
+
+    /// Return a block-remaining vector to the pool.
+    pub fn put_blocks(&mut self, mut v: Vec<u32>) {
+        if self.blocks.len() < Self::POOL_CAP {
+            v.clear();
+            self.blocks.push(v);
+        }
+    }
+
+    /// An empty pending-copy vector, recycled when possible.
+    pub fn take_pending(&mut self) -> Vec<PendingCopy> {
+        self.pending.pop().unwrap_or_default()
+    }
+
+    /// Return a pending-copy vector to the pool.
+    pub fn put_pending(&mut self, mut v: Vec<PendingCopy>) {
+        if self.pending.len() < Self::POOL_CAP {
+            v.clear();
+            self.pending.push(v);
+        }
+    }
+
+    /// Recycle every reusable buffer of a retired pull.
+    pub fn recycle_pull(&mut self, pull: PullState) {
+        let PullState {
+            frag_seen,
+            block_remaining,
+            pending_copies,
+            ..
+        } = pull;
+        self.put_bitmap(frag_seen);
+        self.put_blocks(block_remaining);
+        self.put_pending(pending_copies);
+    }
+}
 
 /// One outstanding asynchronous receive copy: its completion handle,
 /// the skbuffs it pins and the bytes it moves (needed to re-do the
@@ -86,7 +179,9 @@ impl PullState {
     /// The checked constructor: a pull starts with no fragments seen,
     /// no bytes landed and no pending copies, and its lifecycle token
     /// is minted (and submitted — the pull is immediately in flight)
-    /// with the caller as the allocation site.
+    /// with the caller as the allocation site. Its accounting buffers
+    /// come from `scratch` so a steady state of pulls never allocates;
+    /// retire them with [`DriverScratch::recycle_pull`].
     #[allow(clippy::too_many_arguments)]
     #[track_caller]
     pub fn new(
@@ -103,6 +198,7 @@ impl PullState {
         last_progress: Ps,
         generation: u64,
         rto: Ps,
+        scratch: &mut DriverScratch,
     ) -> PullState {
         let san = SimSanitizer::alloc(Kind::PullHandle);
         SimSanitizer::submit(san);
@@ -114,12 +210,12 @@ impl PullState {
             msg_seq,
             msg_len,
             frags_total,
-            frag_seen: vec![false; frags_total as usize],
+            frag_seen: scratch.take_bitmap(frags_total as usize),
             block_remaining,
             next_block,
             bytes_done: 0,
             channel,
-            pending_copies: Vec::new(),
+            pending_copies: scratch.take_pending(),
             last_progress,
             generation,
             rto,
@@ -202,23 +298,23 @@ impl PullState {
     /// Extract pending copies whose completion lies further than
     /// `deadline` past `now` — the completion-poll deadline has fired
     /// for them and the driver will re-do them on the CPU. The stuck
-    /// entries are removed from the pending list.
-    pub fn take_stuck(&mut self, now: Ps, deadline: Ps) -> Vec<PendingCopy> {
+    /// entries are removed from the pending list and appended to
+    /// `out` (a recycled [`DriverScratch::stuck`] buffer; the caller
+    /// clears it first).
+    pub fn take_stuck(&mut self, now: Ps, deadline: Ps, out: &mut Vec<PendingCopy>) {
         let horizon = now + deadline;
-        let mut stuck = Vec::new();
         self.pending_copies.retain(|pc| {
             if pc.handle.finish > horizon {
                 // The descriptor is abandoned without ever completing
                 // (the channel died; the caller re-does the copy on
                 // the CPU).
                 SimSanitizer::release(pc.handle.san);
-                stuck.push(*pc);
+                out.push(*pc);
                 false
             } else {
                 true
             }
         });
-        stuck
     }
 }
 
@@ -293,6 +389,8 @@ pub struct Driver {
     /// Receiver-driven credit pool (inert unless
     /// `OmxConfig::pull_credits`).
     pub credits: CreditState,
+    /// Pooled hot-path scratch buffers (zero steady-state allocation).
+    pub scratch: DriverScratch,
 }
 
 impl Driver {
@@ -369,6 +467,7 @@ mod tests {
             Ps::ZERO,
             1,
             Ps::us(500),
+            &mut DriverScratch::default(),
         );
         assert_eq!(p.frag_seen.len(), 16);
         p.bytes_done = 0;
@@ -435,12 +534,13 @@ mod tests {
         let mut p = pull_state();
         p.pending_copies = vec![pc(0, Ps::us(10)), pc(1, omx_hw::ioat::STALLED_FOREVER)];
         // A deadline beyond every completion finds nothing stuck.
-        let stuck = p.take_stuck(Ps::us(5), Ps::secs(7200));
+        let mut stuck = Vec::new();
+        p.take_stuck(Ps::us(5), Ps::secs(7200), &mut stuck);
         assert!(stuck.is_empty());
         assert_eq!(p.pending_copies.len(), 2);
         // The never-finishing copy trips the deadline; the healthy one
         // stays pending.
-        let stuck = p.take_stuck(Ps::us(6), Ps::ms(2));
+        p.take_stuck(Ps::us(6), Ps::ms(2), &mut stuck);
         assert_eq!(stuck.len(), 1);
         assert_eq!(stuck[0].handle.cookie, 1);
         assert_eq!(p.pending_copies.len(), 1);

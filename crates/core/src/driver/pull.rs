@@ -18,7 +18,7 @@ use crate::proto::Packet;
 use crate::{EpAddr, NodeId, ReqId};
 use bytes::Bytes;
 use omx_hw::cpu::category;
-use omx_hw::{CoreId, IoatEngine};
+use omx_hw::CoreId;
 use omx_sim::sanitize::SimSanitizer;
 use omx_sim::{Ps, Sim};
 
@@ -81,9 +81,11 @@ impl Cluster {
         let frags_total = msg_len.div_ceil(frag).max(1) as u32;
         let bf = self.p.cfg.pull_block_frags;
         let blocks_total = frags_total.div_ceil(bf);
-        let block_remaining: Vec<u32> = (0..blocks_total)
-            .map(|b| (frags_total - b * bf).min(bf))
-            .collect();
+        // Per-block and per-fragment accounting buffers come from the
+        // per-node scratch pools: in steady state a new pull reuses the
+        // buffers a finished one returned.
+        let mut block_remaining = self.node_mut(node).driver.scratch.take_blocks();
+        block_remaining.extend((0..blocks_total).map(|b| (frags_total - b * bf).min(bf)));
         let handle = self.node_mut(node).driver.alloc_pull_handle();
         let generation = self.node_mut(node).driver.alloc_pull_generation();
         // Prefer a channel that is not quarantined; if every channel is
@@ -96,24 +98,24 @@ impl Cluster {
         // the receiver with N uncoordinated first windows.
         let initial_blocks = if credits { 0 } else { first_blocks };
         let base_rto = self.p.cfg.retransmit_timeout;
-        self.node_mut(node).driver.pulls.insert(
-            handle,
-            PullState::new(
-                me.ep,
-                req,
-                src,
-                sender_handle,
-                msg_seq,
-                msg_len,
-                frags_total,
-                block_remaining,
-                initial_blocks,
-                channel,
-                from,
-                generation,
-                base_rto,
-            ),
+        let drv = &mut self.node_mut(node).driver;
+        let state = PullState::new(
+            me.ep,
+            req,
+            src,
+            sender_handle,
+            msg_seq,
+            msg_len,
+            frags_total,
+            block_remaining,
+            initial_blocks,
+            channel,
+            from,
+            generation,
+            base_rto,
+            &mut drv.scratch,
         );
+        drv.pulls.insert(handle, state);
         if credits {
             self.credit_enqueue(node, handle);
             fin = self.credit_pump(sim, node, core, fin, category::DRIVER);
@@ -316,7 +318,7 @@ impl Cluster {
         let mut copy_handle = None;
         if offload {
             let ndesc = self.desc_count(offset, len).max(len.div_ceil(chunk_eff));
-            let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let submit = self.ioat_submit_cost(ndesc, coalesced);
             let work = self.bh_frag_cost(coalesced) + submit;
             let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
             self.metrics.busy(node.0, "ioat.submit_cpu", submit);
@@ -462,12 +464,20 @@ impl Cluster {
         from: Ps,
     ) -> Ps {
         let deadline = self.p.cfg.ioat_stall_deadline;
-        let (stuck, ep) = match self.node_mut(node).driver.pulls.get_mut(&recv_handle) {
-            Some(p) => (p.take_stuck(from, deadline), Some(p.ep)),
-            None => (Vec::new(), None),
+        // Reusable extraction buffer: taken from the per-node scratch
+        // (leaving an unallocated empty vec behind) and handed back
+        // below, so the poll path never touches the allocator.
+        let mut stuck = std::mem::take(&mut self.node_mut(node).driver.scratch.stuck);
+        stuck.clear();
+        let ep = match self.node_mut(node).driver.pulls.get_mut(&recv_handle) {
+            Some(p) => {
+                p.take_stuck(from, deadline, &mut stuck);
+                Some(p.ep)
+            }
+            None => None,
         };
         let mut fin = from;
-        for pc in stuck {
+        for pc in stuck.drain(..) {
             let copy = self.bh_copy_cost(pc.bytes);
             let (_, f) = self.run_core(node, core, fin, copy, category::BH);
             self.metrics.busy(node.0, "bh.copy", copy);
@@ -480,6 +490,7 @@ impl Cluster {
             let until = fin + self.p.cfg.ioat_quarantine_cooldown;
             self.quarantine_channel(node, pc.handle.channel, until);
         }
+        self.node_mut(node).driver.scratch.stuck = stuck;
         fin
     }
 
@@ -552,6 +563,9 @@ impl Cluster {
             },
             fin,
         );
+        // Return the pull's heap-backed state to the per-node scratch
+        // pool so the next pull on this node allocates nothing.
+        self.node_mut(node).driver.scratch.recycle_pull(pull);
         fin
     }
 
@@ -691,6 +705,7 @@ impl Cluster {
                     let core = self.ep(EpAddr { node, ep }).core;
                     self.credit_pump(sim, node, core, now, category::DRIVER);
                 }
+                self.node_mut(node).driver.scratch.recycle_pull(p);
             }
             return;
         }
@@ -988,6 +1003,7 @@ mod tests {
             Ps::ZERO,
             generation,
             Ps::us(500),
+            &mut crate::driver::DriverScratch::default(),
         )
     }
 
@@ -1088,6 +1104,7 @@ mod tests {
                 Ps::ZERO,
                 1,
                 Ps::us(500),
+                &mut crate::driver::DriverScratch::default(),
             );
             let mut seen = vec![false; frags_total as usize];
             for idx in seq {

@@ -87,6 +87,20 @@ impl Cluster {
         last - first + 1
     }
 
+    /// CPU submission cost for `ndesc` descriptors at one driver
+    /// submit site. With `OmxConfig::ioat_batch` the descriptors are
+    /// chained behind one doorbell — and a GRO frame-train tail
+    /// (`coalesced`) appends to the chain the train head already rang,
+    /// paying no doorbell at all. Off (the default), every descriptor
+    /// pays the paper's full 350 ns submission (§IV-A).
+    pub(crate) fn ioat_submit_cost(&self, ndesc: u64, coalesced: bool) -> Ps {
+        if self.p.cfg.ioat_batch {
+            IoatEngine::submit_cpu_cost_batched(&self.p.hw, ndesc, !coalesced)
+        } else {
+            IoatEngine::submit_cpu_cost(&self.p.hw, ndesc)
+        }
+    }
+
     // ------------------------------------------------------------------
     // send command processing (driver, syscall context)
     // ------------------------------------------------------------------
@@ -753,24 +767,38 @@ impl Cluster {
         // Duplicate fragment of an in-progress message?
         {
             let frag_slot = frag_idx as usize;
-            let ep = self.ep_mut(me);
-            let seen = ep
-                .drv_medium
-                .entry((src, msg_seq))
-                // Per-message dedup bitmap, allocated once when the first
-                // fragment of a message arrives — not per frame.
-                // omx-lint: allow(hot-path-alloc) one setup allocation per medium message, amortized over its fragments; the per-fragment path below allocates nothing [test: tests/end_to_end.rs::every_message_class_delivers_verified_payloads]
-                .or_insert_with(|| vec![false; frag_count as usize]);
+            if !self.ep(me).drv_medium.contains_key(&(src, msg_seq)) {
+                // Per-message dedup bitmap, drawn from the per-node
+                // scratch pool when the first fragment of a message
+                // arrives: steady state recycles a retired message's
+                // bitmap instead of allocating.
+                let bitmap = self
+                    .node_mut(node)
+                    .driver
+                    .scratch
+                    .take_bitmap(frag_count as usize);
+                self.ep_mut(me).drv_medium.insert((src, msg_seq), bitmap);
+            }
             // A fragment index beyond the announced count would be a
-            // sender bug; treat it as a duplicate, not a panic.
-            if seen.get(frag_slot).copied().unwrap_or(true) {
+            // sender bug; treat it as a duplicate, not a panic. A
+            // missing map entry (impossible: inserted just above) folds
+            // into the same path rather than panicking in BH context.
+            let fresh = self
+                .ep_mut(me)
+                .drv_medium
+                .get_mut(&(src, msg_seq))
+                .is_some_and(|seen| match seen.get_mut(frag_slot) {
+                    Some(bit) if !*bit => {
+                        *bit = true;
+                        true
+                    }
+                    _ => false,
+                });
+            if !fresh {
                 self.stats.duplicates_dropped += 1;
                 let (_, fin) =
                     self.run_core(node, core, now, self.p.cfg.bh_frag_process, category::BH);
                 return fin;
-            }
-            if let Some(bit) = seen.get_mut(frag_slot) {
-                *bit = true;
             }
         }
         if self.p.cfg.kernel_matching {
@@ -793,7 +821,7 @@ impl Cluster {
             // starts just past the packet header and is never page
             // aligned: "one or two chunks per page" (§IV-A) — here two.
             let ndesc = self.desc_count(offset as u64, len) + 1;
-            let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            let submit = self.ioat_submit_cost(ndesc, coalesced);
             work += submit;
             let (_, submit_fin) = self.run_core(node, core, now, work, category::BH);
             self.metrics.busy(node.0, "ioat.submit_cpu", submit);
@@ -884,7 +912,9 @@ impl Cluster {
                 .is_some_and(|v| v.iter().all(|&b| b))
         };
         if done {
-            self.ep_mut(me).drv_medium.remove(&(src, msg_seq));
+            if let Some(b) = self.ep_mut(me).drv_medium.remove(&(src, msg_seq)) {
+                self.node_mut(node).driver.scratch.put_bitmap(b);
+            }
             self.ep_mut(me).record_completed_seq(src, msg_seq);
             fin = self.send_ack(sim, node, core, src, dst_ep, msg_seq, fin);
         }

@@ -19,7 +19,7 @@ use crate::{EpAddr, ReqId};
 use omx_hw::cache::RegionKey;
 use omx_hw::cpu::category;
 use omx_hw::mem::{CopyContext, MemModel};
-use omx_hw::{Distance, IoatEngine};
+use omx_hw::{CopySegment, Distance, IoatEngine};
 use omx_sim::sanitize::SimSanitizer;
 use omx_sim::{Ps, Sim};
 
@@ -312,7 +312,9 @@ impl Cluster {
             // descriptor lands while the CPU keeps feeding the rest
             // (350 ns each < the ~1.6 us a 4 kB descriptor executes).
             let ndesc = IoatEngine::descriptors_for(msg_len, self.p.hw.page_size);
-            let submit = IoatEngine::submit_cpu_cost(&self.p.hw, ndesc);
+            // An intranode pull is one message: under `ioat_batch` the
+            // whole descriptor chain rings a single doorbell.
+            let submit = self.ioat_submit_cost(ndesc, false);
             let (_, submit_fin) = self.run_core(node, core, fin, submit, category::DRIVER);
             self.metrics.busy(node.0, "ioat.submit_cpu", submit);
             let first_desc_at = fin + self.p.hw.ioat_submit_cpu;
@@ -323,40 +325,51 @@ impl Cluster {
             } else {
                 self.pick_healthy_channel(node, first_desc_at)
             };
-            let (handle_finish, stalled_channels, descriptors) = {
-                let n = self.node_mut(node);
-                if multichannel {
-                    // Split across all channels; completion is the max.
-                    let channels = n.ioat.num_channels() as u64;
-                    let per = msg_len / channels;
-                    let mut finish = first_desc_at;
-                    let mut stalled = Vec::new();
-                    let mut descs = Vec::new();
-                    for ch in 0..channels as usize {
-                        let bytes = if ch as u64 == channels - 1 {
-                            msg_len - per * (channels - 1)
-                        } else {
-                            per
-                        };
-                        let nd = IoatEngine::descriptors_for(bytes, hw.page_size);
-                        let h = n.ioat.submit(&hw, first_desc_at, ch, bytes, nd);
-                        if h.finish >= omx_hw::ioat::STALLED_FOREVER {
-                            stalled.push(ch);
-                        }
-                        finish = finish.max(h.finish);
-                        descs.push(h.san);
-                    }
-                    (finish, stalled, descs)
-                } else {
-                    let h = n.ioat.submit(&hw, first_desc_at, single_ch, msg_len, ndesc);
-                    let stalled = if h.finish >= omx_hw::ioat::STALLED_FOREVER {
-                        vec![single_ch]
+            // Build the segment list in the per-node scratch (taken out
+            // of the driver for the duration so `self` stays usable),
+            // then hand the whole chain to the engine in one call.
+            let mut segments = std::mem::take(&mut self.node_mut(node).driver.scratch.segments);
+            let mut handles = std::mem::take(&mut self.node_mut(node).driver.scratch.handles);
+            segments.clear();
+            handles.clear();
+            if multichannel {
+                // Split across all channels; completion is the max.
+                let channels = self.node(node).ioat.num_channels() as u64;
+                let per = msg_len / channels;
+                for ch in 0..channels as usize {
+                    let bytes = if ch as u64 == channels - 1 {
+                        msg_len - per * (channels - 1)
                     } else {
-                        Vec::new()
+                        per
                     };
-                    (h.finish.max(submit_fin), stalled, vec![h.san])
+                    segments.push(CopySegment {
+                        channel: ch,
+                        bytes,
+                        descriptors: IoatEngine::descriptors_for(bytes, hw.page_size),
+                    });
                 }
+            } else {
+                segments.push(CopySegment {
+                    channel: single_ch,
+                    bytes: msg_len,
+                    descriptors: ndesc,
+                });
+            }
+            self.node_mut(node)
+                .ioat
+                .submit_batch(&hw, first_desc_at, &segments, &mut handles);
+            let mut handle_finish = if multichannel {
+                first_desc_at
+            } else {
+                submit_fin
             };
+            let mut any_stalled = false;
+            for h in &handles {
+                if h.finish >= omx_hw::ioat::STALLED_FOREVER {
+                    any_stalled = true;
+                }
+                handle_finish = handle_finish.max(h.finish);
+            }
             // The offloaded copy bypasses caches: stale destination
             // lines become invalid.
             if let Some(t) = dst_tag {
@@ -366,7 +379,7 @@ impl Cluster {
             // so repeated transfers of the same buffers pin for free).
             self.ep_mut(me).regions.release(reg_src.region);
             self.ep_mut(me).regions.release(reg_dst.region);
-            let done = if !stalled_channels.is_empty() {
+            let done = if any_stalled {
                 // The engine died underneath the copy: both wait
                 // policies below would wait forever. Quarantine the
                 // dead channel(s) and re-do the copy on the CPU (the
@@ -375,12 +388,14 @@ impl Cluster {
                 // submitted descriptor — including the healthy ones
                 // nobody will poll again — is abandoned: release
                 // without completing.
-                for san in &descriptors {
-                    SimSanitizer::release(*san);
+                for h in &handles {
+                    SimSanitizer::release(h.san);
                 }
                 let cooldown = self.p.cfg.ioat_quarantine_cooldown;
-                for ch in stalled_channels {
-                    self.quarantine_channel(node, ch, submit_fin + cooldown);
+                for (seg, h) in segments.iter().zip(handles.iter()) {
+                    if h.finish >= omx_hw::ioat::STALLED_FOREVER {
+                        self.quarantine_channel(node, seg.channel, submit_fin + cooldown);
+                    }
                 }
                 self.record_ioat_fallback(node, submit_fin, msg_len);
                 {
@@ -400,9 +415,9 @@ impl Cluster {
             } else {
                 // The wait below (busy-poll or sleep+poll) reaches
                 // `handle_finish`, so every descriptor completes.
-                for san in &descriptors {
-                    SimSanitizer::complete(*san);
-                    SimSanitizer::release(*san);
+                for h in &handles {
+                    SimSanitizer::complete(h.san);
+                    SimSanitizer::release(h.san);
                 }
                 match self.p.cfg.sync_wait {
                     SyncWaitPolicy::BusyPoll => {
@@ -445,6 +460,9 @@ impl Cluster {
                 }
             };
             fin = done;
+            let scratch = &mut self.node_mut(node).driver.scratch;
+            scratch.segments = segments;
+            scratch.handles = handles;
         } else {
             let cost = self.shm_memcpy_cost(node, core, src_core, src_tag, dst_tag, msg_len);
             let (_, f) = self.run_core(node, core, fin, cost, category::DRIVER);

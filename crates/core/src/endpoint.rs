@@ -142,7 +142,7 @@ pub struct Endpoint {
     pub poll_scheduled: bool,
     /// Driver-side duplicate suppression: message sequences already
     /// fully received per partner.
-    pub completed_seqs: BTreeMap<EpAddr, BTreeSet<u32>>,
+    pub completed_seqs: BTreeMap<EpAddr, SeqWindow>,
     /// Driver-side medium reassembly progress (for ack generation):
     /// (src, seq) → fragments seen bitmap.
     pub drv_medium: BTreeMap<(EpAddr, u32), Vec<bool>>,
@@ -194,31 +194,98 @@ impl Endpoint {
         s
     }
 
-    /// Sequences retained per partner for duplicate suppression. Only
-    /// recent sequences can ever be retransmitted (the sender gives up
-    /// after a bounded number of attempts), so the set is pruned to a
-    /// sliding window instead of growing for the whole run.
-    const SEQ_WINDOW: u32 = 4096;
-
     /// Record a fully received message sequence from `src`; returns
     /// `false` when it was already recorded (a duplicate delivery).
     pub fn record_completed_seq(&mut self, src: EpAddr, seq: u32) -> bool {
-        let set = self.completed_seqs.entry(src).or_default();
-        let fresh = set.insert(seq);
-        if fresh && set.len() as u32 > 2 * Self::SEQ_WINDOW {
-            // Drop everything older than the window below the newest
-            // sequence; retransmissions never reach back that far.
-            let keep_from = seq.saturating_sub(Self::SEQ_WINDOW);
-            set.retain(|&s| s >= keep_from);
-        }
-        fresh
+        self.completed_seqs.entry(src).or_default().record(seq)
     }
 
     /// Whether `seq` from `src` was already fully received.
     pub fn seq_completed(&self, src: EpAddr, seq: u32) -> bool {
         self.completed_seqs
             .get(&src)
-            .is_some_and(|s| s.contains(&seq))
+            .is_some_and(|s| s.contains(seq))
+    }
+}
+
+/// Sliding-window duplicate suppressor for one partner's message
+/// sequences.
+///
+/// Replaces the old per-partner `BTreeSet<u32>`: sequences arrive
+/// (near-)monotonically, so a fixed bitmap over the last
+/// [`SeqWindow::SPAN`] sequences answers membership with one bit test
+/// and — unlike a B-tree, whose leaf splits allocated roughly once
+/// every dozen messages — never touches the allocator after the
+/// per-partner setup. Only recent sequences can ever be retransmitted
+/// (the sender gives up after a bounded number of attempts), so
+/// anything that has fallen below the window is reported as already
+/// completed rather than remembered individually.
+#[derive(Debug, Default)]
+pub struct SeqWindow {
+    /// Lowest sequence the bitmap still tracks; everything below it is
+    /// treated as completed (an ancient duplicate, never a live
+    /// message).
+    base: u32,
+    /// Bit `i` tracks sequence `base + i`. Allocated to
+    /// `SPAN / 64` words on first use, never resized.
+    bits: Vec<u64>,
+}
+
+impl SeqWindow {
+    /// Sequences retained per partner: twice the old pruning window,
+    /// so the window holds strictly more history than the set it
+    /// replaced ever did.
+    pub const SPAN: u32 = 8192;
+    const WORDS: usize = (Self::SPAN as usize) / 64;
+
+    /// Record `seq`; returns `false` when it was already recorded.
+    pub fn record(&mut self, seq: u32) -> bool {
+        if self.bits.is_empty() {
+            // One-time setup per partner (1 KiB), amortized over the
+            // whole conversation.
+            // omx-lint: allow(hot-path-alloc) one-time 1 KiB window per partner, never touched again in steady state [test: crates/sim/tests/alloc_count.rs::warmed_tiny_pingpong_allocates_nothing]
+            self.bits = vec![0u64; Self::WORDS];
+        }
+        if seq < self.base {
+            return false;
+        }
+        if seq - self.base >= 2 * Self::SPAN {
+            // A jump far beyond the window (fresh partner after reuse,
+            // or a test fabricating sequences): restart the window at
+            // the word holding `seq` instead of shifting through the
+            // gap word by word.
+            self.bits.iter_mut().for_each(|w| *w = 0);
+            self.base = seq & !63;
+        }
+        while seq - self.base >= Self::SPAN {
+            self.advance_word();
+        }
+        let idx = (seq - self.base) as usize;
+        let mask = 1u64 << (idx % 64);
+        let fresh = self.bits[idx / 64] & mask == 0;
+        self.bits[idx / 64] |= mask;
+        fresh
+    }
+
+    /// Whether `seq` was already recorded (sequences below the window
+    /// count as recorded: they can only be ancient retransmissions).
+    pub fn contains(&self, seq: u32) -> bool {
+        if self.bits.is_empty() || seq >= self.base + Self::SPAN {
+            return false;
+        }
+        if seq < self.base {
+            return true;
+        }
+        let idx = (seq - self.base) as usize;
+        self.bits[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Slide the window up by one 64-bit word (in-place shift; no
+    /// reallocation).
+    fn advance_word(&mut self) {
+        self.bits.copy_within(1.., 0);
+        *self.bits.last_mut().expect("fixed-size bitmap") = 0;
+        self.base += 64;
     }
 }
 
@@ -258,6 +325,43 @@ mod tests {
         assert!(e.seq_completed(a, 5));
         assert!(!e.record_completed_seq(a, 5), "duplicate detected");
         assert!(!e.seq_completed(addr(1, 1), 5), "per-partner isolation");
+    }
+
+    /// The bitmap window slides without forgetting recent history and
+    /// treats anything below the window as an ancient duplicate.
+    #[test]
+    fn seq_window_slides_monotonically() {
+        let mut w = SeqWindow::default();
+        for s in 0..3 * SeqWindow::SPAN {
+            assert!(w.record(s), "fresh sequence {s}");
+            assert!(w.contains(s));
+            assert!(!w.record(s), "immediate duplicate {s}");
+        }
+        // Recent history survives the slides.
+        let newest = 3 * SeqWindow::SPAN - 1;
+        assert!(w.contains(newest - 100));
+        // Sequences that fell below the window are duplicates, not
+        // fresh messages.
+        assert!(w.contains(0));
+        assert!(!w.record(0));
+        // A far-future jump restarts the window cleanly.
+        let far = u32::MAX - SeqWindow::SPAN;
+        assert!(w.record(far));
+        assert!(w.contains(far));
+        assert!(!w.record(far));
+        assert!(w.contains(3), "ancient sequence reads as completed");
+    }
+
+    /// The window never reallocates after its per-partner setup.
+    #[test]
+    fn seq_window_bitmap_is_fixed_size() {
+        let mut w = SeqWindow::default();
+        w.record(0);
+        let cap = w.bits.capacity();
+        for s in 0..4 * SeqWindow::SPAN {
+            w.record(s);
+        }
+        assert_eq!(w.bits.capacity(), cap, "bitmap must not grow");
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct FaninResult {
     pub elapsed: Ps,
     /// Every payload matched its pattern and no send was aborted.
     pub verified: bool,
+    /// Engine events executed over the whole run (deterministic; feeds
+    /// benchrun's events/sec figure and the perf-smoke fingerprint).
+    pub events_executed: u64,
     /// Receiver-host BH+IRQ busy time per core, indexed by core id —
     /// the spread (or pile-up) the multi-queue path is about.
     pub bh_busy_per_core: Vec<Ps>,
@@ -169,7 +172,7 @@ pub fn run_fanin(cfg: FaninConfig) -> FaninResult {
     let shared = Rc::new(RefCell::new(SharedState::default()));
     let total = SENDERS * cfg.count;
     let mut cluster = Cluster::new(cfg.params.clone());
-    let mut sim: Sim<Cluster> = Sim::new();
+    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
     // Receiver endpoints on the odd cores (1, 3, 5, 7).
     for e in 0..RECV_ENDPOINTS {
         let quota = total / RECV_ENDPOINTS;
@@ -224,6 +227,7 @@ pub fn run_fanin(cfg: FaninConfig) -> FaninResult {
         throughput_mibs: bytes as f64 / horizon.as_secs_f64() / (1u64 << 20) as f64,
         elapsed,
         verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0 && clean_wire,
+        events_executed: sim.events_executed(),
         bh_busy_per_core,
         gro_coalesced: cluster.metrics.counter(0, "bh.gro_coalesced"),
         stats: cluster.stats_snapshot(),

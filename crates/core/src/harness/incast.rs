@@ -92,6 +92,9 @@ pub struct IncastResult {
     /// Every expected message arrived intact, no send was aborted,
     /// and nothing leaked.
     pub verified: bool,
+    /// Engine events executed over the whole run (deterministic; feeds
+    /// benchrun's events/sec figure and the perf-smoke fingerprint).
+    pub events_executed: u64,
     /// Aggregate cluster counters at the end of the run (includes the
     /// credit counters and per-queue ring high-watermarks).
     pub stats: crate::cluster::Stats,
@@ -200,7 +203,7 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
     let shared = Rc::new(RefCell::new(SharedState::default()));
     let expected = cfg.senders * cfg.count;
     let mut cluster = Cluster::new(cfg.params.clone());
-    let mut sim: Sim<Cluster> = Sim::new();
+    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
     // Receiver endpoints on the odd cores (1, 3, 5, 7). Flows are
     // dealt round-robin, so every endpoint serves senders/4 flows.
     for e in 0..RECV_ENDPOINTS {
@@ -276,6 +279,7 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
         ring_dropped_genuine,
         ring_dropped_injected,
         verified,
+        events_executed: sim.events_executed(),
         breakdown: super::ComponentBreakdown::from_cluster(&cluster, elapsed.max(Ps::ps(1))),
         stats,
         end_skbuffs_held,

@@ -86,6 +86,10 @@ pub struct PingPongResult {
     /// configuration deliberately injects faults — the wire stayed
     /// clean (no ring or FCS drops).
     pub verified: bool,
+    /// Engine events executed over the whole run — the denominator of
+    /// benchrun's events/sec figure, and deterministic (it goes into
+    /// the perf-smoke fingerprint).
+    pub events_executed: u64,
     /// Simulation end time.
     pub end_time: Ps,
     /// Per-component time accounting over the whole run.
@@ -215,7 +219,7 @@ pub fn run_pingpong(cfg: PingPongConfig) -> PingPongResult {
         ep: EpIdx(if node_a == node_b { 1 } else { 0 }),
     };
     let mut cluster = Cluster::new(cfg.params);
-    let mut sim: Sim<Cluster> = Sim::new();
+    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
     cluster.add_endpoint(
         node_a,
         core_a,
@@ -253,6 +257,7 @@ pub fn run_pingpong(cfg: PingPongConfig) -> PingPongResult {
         half_rtt,
         throughput_mibs,
         verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0 && clean_wire,
+        events_executed: sim.events_executed(),
         end_time,
         breakdown: super::ComponentBreakdown::from_cluster(&cluster, end_time),
         stats: cluster.stats_snapshot(),

@@ -63,6 +63,9 @@ pub struct StreamResult {
     /// deliberately injects faults — the wire stayed clean (no ring or
     /// FCS drops).
     pub verified: bool,
+    /// Engine events executed over the whole run (deterministic; feeds
+    /// benchrun's events/sec figure and the perf-smoke fingerprint).
+    pub events_executed: u64,
     /// Peak skbuffs held by pending I/OAT copies on the receiver (the
     /// §III-B resource bound).
     pub max_skbuffs_held: u64,
@@ -169,7 +172,7 @@ pub fn run_stream(cfg: StreamConfig) -> StreamResult {
         ep: EpIdx(0),
     };
     let mut cluster = Cluster::new(cfg.params);
-    let mut sim: Sim<Cluster> = Sim::new();
+    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
     cluster.add_endpoint(
         NodeId(0),
         cfg.send_core,
@@ -207,6 +210,7 @@ pub fn run_stream(cfg: StreamConfig) -> StreamResult {
         user_util: util(category::USER_LIB),
         throughput_mibs: bytes as f64 / horizon.as_secs_f64() / (1u64 << 20) as f64,
         verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0 && clean_wire,
+        events_executed: sim.events_executed(),
         max_skbuffs_held,
         elapsed,
         breakdown: super::ComponentBreakdown::from_cluster(&cluster, horizon),

@@ -118,7 +118,8 @@ impl Cluster {
                 msg_len: data.len() as u64,
                 sender_handle: handle,
             };
-            self.send_payload(sim, me.node, dest.node, pkt.pack(), now, Ps::ZERO);
+            let payload = pkt.pack_into(&mut self.node_mut(me.node).pack_arena);
+            self.send_payload(sim, me.node, dest.node, payload, now, Ps::ZERO);
             return;
         }
         // Eager: fragment and stream; the NIC DMA engine does the work.
@@ -139,14 +140,8 @@ impl Cluster {
                 offset: lo as u32,
                 data: data.slice(lo..hi),
             };
-            self.send_payload(
-                sim,
-                me.node,
-                dest.node,
-                pkt.pack(),
-                now,
-                mx.nic_frag_overhead,
-            );
+            let payload = pkt.pack_into(&mut self.node_mut(me.node).pack_arena);
+            self.send_payload(sim, me.node, dest.node, payload, now, mx.nic_frag_overhead);
         }
         // Eager MX sends complete once handed to the NIC.
         if let Some(st) = self.ep_mut(me).sends.get_mut(&req) {
@@ -275,7 +270,8 @@ impl Cluster {
                         offset: lo as u64,
                         data: data.slice(lo..hi),
                     };
-                    self.send_payload(sim, node, dest.node, pkt.pack(), now, overhead);
+                    let payload = pkt.pack_into(&mut self.node_mut(node).pack_arena);
+                    self.send_payload(sim, node, dest.node, payload, now, overhead);
                 }
             }
             Packet::LargeFrag {
@@ -346,12 +342,17 @@ impl Cluster {
                 }
                 None => (None, vec![0u8; msg_len as usize]),
             };
+            let frag_seen = self
+                .node_mut(me.node)
+                .driver
+                .scratch
+                .take_bitmap(frag_count as usize);
             self.ep_mut(me).assemblies.insert(
                 key,
                 MediumAssembly {
                     req,
                     match_info,
-                    frag_seen: vec![false; frag_count as usize],
+                    frag_seen,
                     arrived: 0,
                     total: msg_len,
                     data: buf,
@@ -391,7 +392,12 @@ impl Cluster {
             }
         };
         if let Some(req) = completed_req {
-            self.ep_mut(me).assemblies.remove(&key);
+            if let Some(asm) = self.ep_mut(me).assemblies.remove(&key) {
+                self.node_mut(me.node)
+                    .driver
+                    .scratch
+                    .put_bitmap(asm.frag_seen);
+            }
             let core = self.ep(me).core;
             let at = now + self.p.mx.nic_match_latency;
             let (_, fin) = self.run_core(
@@ -443,7 +449,8 @@ impl Cluster {
             frag_count: frags,
         };
         let at = from + self.p.mx.rndv_host_cost;
-        self.send_payload(sim, me.node, src.node, pkt.pack(), at, Ps::ZERO);
+        let payload = pkt.pack_into(&mut self.node_mut(me.node).pack_arena);
+        self.send_payload(sim, me.node, src.node, payload, at, Ps::ZERO);
     }
 
     /// Zero-copy deposit of one pulled fragment.
@@ -487,7 +494,8 @@ impl Cluster {
                 dst_ep: src.ep.0,
                 sender_handle,
             };
-            self.send_payload(sim, node, src.node, pkt.pack(), now, Ps::ZERO);
+            let payload = pkt.pack_into(&mut self.node_mut(node).pack_arena);
+            self.send_payload(sim, node, src.node, payload, now, Ps::ZERO);
             let core = self.ep(me).core;
             let at = now + self.p.mx.nic_match_latency;
             let (_, fin) =

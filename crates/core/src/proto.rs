@@ -163,12 +163,9 @@ const KIND_NOTIFY: u8 = 7;
 const KIND_ACK: u8 = 8;
 const KIND_CREDIT_NACK: u8 = 9;
 
-struct Writer(BytesMut);
+struct Writer<'a>(&'a mut BytesMut);
 
-impl Writer {
-    fn new() -> Self {
-        Writer(BytesMut::with_capacity(64))
-    }
+impl Writer<'_> {
     fn u8(&mut self, v: u8) {
         self.0.extend_from_slice(&[v]);
     }
@@ -185,7 +182,7 @@ impl Writer {
         self.0.extend_from_slice(v);
     }
     fn finish(self) -> Bytes {
-        self.0.freeze()
+        self.0.split().freeze()
     }
 }
 
@@ -237,9 +234,24 @@ pub enum ParseError {
 }
 
 impl Packet {
-    /// Serialize to a frame payload.
+    /// Serialize to a frame payload (standalone allocation; the hot
+    /// paths use [`Packet::pack_into`] with a per-node arena instead).
     pub fn pack(&self) -> Bytes {
-        let mut w = Writer::new();
+        let mut arena = BytesMut::with_capacity(64);
+        self.pack_into(&mut arena)
+    }
+
+    /// Serialize to a frame payload drawn from `arena`.
+    ///
+    /// The arena is a long-lived `BytesMut`: each pack writes at the
+    /// arena's tail and splits the written prefix off as the frozen
+    /// payload. Once every payload split from the current block has
+    /// been dropped (frames are transient — parsed in the receiver's
+    /// BH and released), the next `reserve` inside `extend_from_slice`
+    /// reclaims the whole block instead of asking the allocator, so a
+    /// steady-state node serializes every packet without allocating.
+    pub fn pack_into(&self, arena: &mut BytesMut) -> Bytes {
+        let mut w = Writer(arena);
         match self {
             Packet::Tiny {
                 src_ep,

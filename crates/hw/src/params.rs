@@ -47,6 +47,15 @@ pub struct HwParams {
     /// Paper §IV-A: "we first measured the submission time on our
     /// machine to about 350 nanoseconds".
     pub ioat_submit_cpu: Ps,
+    /// CPU time to *chain* one further descriptor behind an already
+    /// rung doorbell when batched submission (`OmxConfig::ioat_batch`)
+    /// is on: descriptor setup and next-pointer link, without the
+    /// MMIO doorbell write. Defaults to [`Self::ioat_submit_cpu`], so
+    /// a batch costs exactly what per-descriptor submission does until
+    /// an experiment lowers it — the `batch_doorbell` study sweeps
+    /// this to ask whether amortized submission flips the paper's
+    /// medium-message offload verdict.
+    pub ioat_desc_chain_cpu: Ps,
     /// Hardware startup per descriptor (fetch + setup inside the DMA
     /// engine). Calibrated with `ioat_raw_rate` so that 4 kB-chunked
     /// streams sustain ≈2.4 GiB/s and 1 kB chunks land at memcpy parity
@@ -97,6 +106,7 @@ impl Default for HwParams {
             l2_usable_fraction: 0.25,
             ioat_channels: 4,
             ioat_submit_cpu: Ps::ns(350),
+            ioat_desc_chain_cpu: Ps::ns(350),
             ioat_desc_overhead: Ps::ns(390),
             ioat_raw_rate: Rate::gib_per_sec_f64(3.18),
             ioat_aggregate_rate: Rate::gib_per_sec_f64(3.36),
@@ -136,6 +146,10 @@ mod tests {
     fn defaults_match_paper_quotes() {
         let p = HwParams::default();
         assert_eq!(p.ioat_submit_cpu, Ps::ns(350));
+        // The chain cost must default to the full submission cost so
+        // that batched submission is cost-identical until an
+        // experiment lowers it.
+        assert_eq!(p.ioat_desc_chain_cpu, p.ioat_submit_cpu);
         assert_eq!(p.syscall_cost, Ps::ns(100));
         assert_eq!(p.ioat_channels, 4);
         assert_eq!(p.l2_cache_bytes, 4 << 20);

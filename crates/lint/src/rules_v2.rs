@@ -81,6 +81,16 @@ impl Default for RulesConfig {
                 own("omx_sim::engine::Sim::run_until"),
                 own("open_mx::cluster::Cluster::run_bh"),
                 own("omx_ethernet::bh::BottomHalfQueue::pop_next"),
+                // Driver/library data paths: the zero-steady-state-alloc
+                // guarantee extends past the engine into fragment
+                // receive, pull, shared-memory offload and library
+                // assembly (dynamic pin: the driver_paths cases in
+                // crates/sim/tests/alloc_count.rs).
+                own("open_mx::driver::recv::Cluster::rx_medium_frag"),
+                own("open_mx::driver::pull::Cluster::rx_large_frag"),
+                own("open_mx::driver::pull::Cluster::start_pull"),
+                own("open_mx::driver::shm::Cluster::shm_send"),
+                own("open_mx::libproc::Cluster::lib_apply_medium_frag"),
             ],
             d5_hops: 2,
             d6_entries: vec![

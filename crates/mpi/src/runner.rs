@@ -77,6 +77,9 @@ pub struct KernelResult {
     /// unless the configuration deliberately injects faults — the wire
     /// stayed clean (no ring or FCS drops).
     pub verified: bool,
+    /// Engine events executed over the whole job (deterministic; feeds
+    /// benchrun's events/sec figure and the perf-smoke fingerprint).
+    pub events_executed: u64,
     /// Aggregate cluster counters at the end of the job, fault and
     /// recovery events included.
     pub stats: open_mx::cluster::Stats,
@@ -201,7 +204,7 @@ pub fn run_scripts(params: ClusterParams, layout: Layout, scripts: Vec<Script>) 
     let shared = Rc::new(RefCell::new(JobShared::default()));
     let addrs: Vec<EpAddr> = (0..np).map(|r| layout.addr(r)).collect();
     let mut cluster = Cluster::new(params);
-    let mut sim: Sim<Cluster> = Sim::new();
+    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
     for (rank, script) in scripts.into_iter().enumerate() {
         let (node, core) = layout.spec(rank);
         cluster.add_endpoint(
@@ -237,6 +240,7 @@ pub fn run_scripts(params: ClusterParams, layout: Layout, scripts: Vec<Script>) 
         marks,
         breakdown: open_mx::harness::ComponentBreakdown::from_cluster(&cluster, end),
         verified: clean_wire && cluster.stats.sends_failed == 0,
+        events_executed: sim.events_executed(),
         stats: cluster.stats_snapshot(),
         end_skbuffs_held,
         end_pinned_regions,

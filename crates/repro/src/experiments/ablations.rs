@@ -71,7 +71,7 @@ fn vectored_recv(seg: u64, frag_threshold: u64) -> (omx_sim::Ps, u64) {
         ..OmxConfig::with_ioat()
     });
     let mut cluster = Cluster::new(params);
-    let mut sim: Sim<Cluster> = Sim::new();
+    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
     let peer = EpAddr {
         node: NodeId(1),
         ep: EpIdx(0),

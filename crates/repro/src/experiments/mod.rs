@@ -6,6 +6,7 @@
 //! grid order — into the byte-exact text of the results file.
 
 pub mod ablations;
+pub mod batch_doorbell;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

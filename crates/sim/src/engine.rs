@@ -29,9 +29,11 @@
 //!   slab; finding the next instant is a bitmap scan plus a cached
 //!   per-slot minimum.
 //! * **overflow heap** — `(time, seq)`-ordered `BinaryHeap` of
-//!   small boxed-closure nodes for events beyond the window
+//!   small boxed-closure nodes for events beyond the wheel's coverage
 //!   (retransmit timers, watchdogs). They cascade into the wheel as
-//!   the cursor advances.
+//!   the cursor advances. [`Sim::with_wheel_levels`]`(2)` extends the
+//!   slab-resident coverage to ~34 ms with a coarser second ring, so
+//!   only truly-far events (seconds-scale watchdogs) pay the box.
 //!
 //! Closures are packed by [`crate::event::EventFn`]: up to three words
 //! inline in the queue node, medium captures in pooled free-list
@@ -90,13 +92,23 @@ impl<W> Default for Sim<W> {
 impl<W> Sim<W> {
     /// A fresh simulator at time zero with an empty queue.
     pub fn new() -> Self {
+        Self::with_wheel_levels(1)
+    }
+
+    /// A fresh simulator with an explicit timing-wheel depth. `1` is
+    /// the default single ring (~67 µs window, overflow boxed on the
+    /// far heap); `2` layers a coarser ring on top so events up to
+    /// ~34 ms out stay slab-resident and allocation-free. The executed
+    /// schedule is bit-identical either way — level count is purely a
+    /// throughput knob (`wheel_levels` in `OmxConfig`).
+    pub fn with_wheel_levels(levels: u32) -> Self {
         Sim {
             now: Ps::ZERO,
             seq: 0,
             executed: 0,
             pending: 0,
             current: VecDeque::new(),
-            wheel: Wheel::new(),
+            wheel: Wheel::with_levels(levels),
             far: FarHeap::new(),
             pool: EventPool::new(),
             live: BTreeSet::new(),
@@ -213,7 +225,7 @@ impl<W> Sim<W> {
             self.far.push(std::cmp::Reverse(FarEntry {
                 at,
                 seq,
-                // omx-lint: allow(hot-path-alloc) far-future overflow heap only; events inside the wheel window stay pooled and steady state never lands here [test: crates/sim/tests/alloc_count.rs::steady_state_small_closures_allocate_nothing]
+                // omx-lint: allow(hot-path-alloc) truly-far overflow heap only; events inside the wheel coverage (~67 µs, or ~34 ms with wheel_levels=2) stay slab-resident and steady state never lands here [test: crates/sim/tests/alloc_count.rs::steady_state_far_future_timers_allocate_nothing_with_two_levels]
                 f: Box::new(f),
             }));
         }
@@ -251,14 +263,12 @@ impl<W> Sim<W> {
             // go directly into `current` — already sorted, no bucket
             // swap — and the rest of the new window cascades normally.
             self.wheel.jump_to(s);
-            let horizon = s + crate::wheel::WHEEL_SLOTS;
             while let Some(std::cmp::Reverse(head)) = self.far.peek() {
-                let hs = slot_of(head.at);
-                if hs >= horizon {
+                if !self.wheel.in_window(head.at) {
                     break;
                 }
                 let std::cmp::Reverse(e) = self.far.pop().expect("peeked entry vanished");
-                if hs == s {
+                if slot_of(e.at) == s {
                     let node = self.wheel.adopt(e.into_entry());
                     self.current.push_back(node);
                 } else {

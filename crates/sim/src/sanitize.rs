@@ -299,6 +299,19 @@ impl SimSanitizer {
         REGISTRY.with(|r| r.borrow_mut().clear());
     }
 
+    /// Pre-grow the registry for `tokens` more entries. The registry
+    /// is append-only (released tombstones stay behind to catch
+    /// use-after-release), so in debug builds minting a token can
+    /// reallocate its backing storage; allocation-accounting tests
+    /// call this before their measured span so that growth never
+    /// lands inside it. No-op in release builds.
+    pub fn reserve(tokens: usize) {
+        #[cfg(debug_assertions)]
+        REGISTRY.with(|r| r.borrow_mut().reserve(tokens));
+        #[cfg(not(debug_assertions))]
+        let _ = tokens;
+    }
+
     #[cfg(debug_assertions)]
     #[track_caller]
     fn transition(

@@ -141,6 +141,270 @@ fn steady_state_cancellable_timers_allocate_nothing() {
 }
 
 #[test]
+fn steady_state_far_future_timers_allocate_nothing_with_two_levels() {
+    // Events beyond the ~67 µs level-0 window but inside the ~34 ms
+    // level-1 ring: a one-level wheel boxes each of them onto the
+    // overflow heap (the documented far-future allocation), a
+    // two-level wheel keeps them slab-resident. This is the dynamic
+    // pin for the far-heap `hot-path-alloc` waiver in `engine.rs`:
+    // with `wheel_levels = 2` only truly-far events (beyond level-1
+    // coverage) may allocate.
+    fn far_pass(sim: &mut Sim<u64>, n: u64) {
+        let mut world = 0u64;
+        fn tick(limit: u64) -> impl Fn(&mut u64, &mut Sim<u64>) {
+            move |w, sim| {
+                *w += 1;
+                if *w < limit {
+                    // ~1 ms out: 15 level-0 windows beyond the cursor.
+                    sim.schedule_in(Ps::us(1000), tick(limit));
+                }
+            }
+        }
+        let start = sim.now();
+        sim.schedule_at(start, tick(n));
+        sim.run(&mut world);
+        assert_eq!(world, n);
+    }
+    let mut sim: Sim<u64> = Sim::with_wheel_levels(2);
+    far_pass(&mut sim, 5_000);
+    let a0 = allocations();
+    far_pass(&mut sim, 5_000);
+    let delta = allocations() - a0;
+    assert_eq!(
+        delta, 0,
+        "steady-state far-future scheduling allocated {delta} times despite the level-1 ring"
+    );
+
+    // Control: the same workload on a one-level wheel pays roughly one
+    // box per event — proving the test would catch a regression where
+    // level-1 events silently fall through to the heap.
+    let mut sim1: Sim<u64> = Sim::new();
+    far_pass(&mut sim1, 5_000);
+    let b0 = allocations();
+    far_pass(&mut sim1, 5_000);
+    let boxed = allocations() - b0;
+    assert!(
+        boxed >= 4_000,
+        "control: one-level far-future pass should box per event, saw {boxed}"
+    );
+}
+
+mod driver_paths {
+    //! The same accounting pushed through the whole protocol stack:
+    //! a ping-pong loop whose application reuses its buffers (master
+    //! payload cloned per send via `isend_bytes`, one receive buffer
+    //! recycled via `irecv_into`) must reach a steady state where a
+    //! full round trip — send descriptors, BH fragment processing,
+    //! matching, copies or pulls, completions — touches the heap zero
+    //! times.
+
+    use super::allocations;
+    use omx_hw::CoreId;
+    use omx_sim::Sim;
+    use open_mx::app::{App, AppCtx, Completion};
+    use open_mx::cluster::{Cluster, ClusterParams};
+    use open_mx::config::OmxConfig;
+    use open_mx::{EpAddr, EpIdx, NodeId};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const ZPING: u64 = 0x5A50;
+    const ZPONG: u64 = 0x5A4F;
+
+    #[derive(Default)]
+    struct Shared {
+        /// Allocation count at the end of the warm-up iterations.
+        warm: u64,
+        /// Allocation count after the final measured iteration.
+        end: u64,
+        corrupt: u64,
+        done: bool,
+    }
+
+    struct Pinger {
+        peer: EpAddr,
+        size: u64,
+        warmup: u32,
+        total: u32,
+        cur: u32,
+        payload: bytes::Bytes,
+        shared: Rc<RefCell<Shared>>,
+    }
+
+    impl Pinger {
+        fn kick(&mut self, ctx: &mut AppCtx<'_>, buf: Vec<u8>) {
+            ctx.irecv_into(ZPONG, u64::MAX, self.size, buf, Some(1));
+            ctx.isend_bytes(self.peer, ZPING, self.payload.clone(), Some(2));
+        }
+    }
+
+    impl App for Pinger {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            let buf = vec![0u8; self.size as usize];
+            self.kick(ctx, buf);
+        }
+
+        fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
+            let Completion::Recv { data, .. } = comp else {
+                return;
+            };
+            if data[..] != self.payload[..] {
+                self.shared.borrow_mut().corrupt += 1;
+            }
+            self.cur += 1;
+            if self.cur == self.warmup {
+                self.shared.borrow_mut().warm = allocations();
+            }
+            if self.cur >= self.total {
+                let mut sh = self.shared.borrow_mut();
+                sh.end = allocations();
+                sh.done = true;
+                return;
+            }
+            self.kick(ctx, data);
+        }
+
+        fn is_done(&self) -> bool {
+            self.shared.borrow().done
+        }
+    }
+
+    struct Ponger {
+        peer: EpAddr,
+        size: u64,
+        total: u32,
+        cur: u32,
+        payload: bytes::Bytes,
+        shared: Rc<RefCell<Shared>>,
+    }
+
+    impl App for Ponger {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            let buf = vec![0u8; self.size as usize];
+            ctx.irecv_into(ZPING, u64::MAX, self.size, buf, Some(3));
+        }
+
+        fn on_completion(&mut self, ctx: &mut AppCtx<'_>, comp: Completion) {
+            let Completion::Recv { data, .. } = comp else {
+                return;
+            };
+            if data[..] != self.payload[..] {
+                self.shared.borrow_mut().corrupt += 1;
+            }
+            ctx.isend_bytes(self.peer, ZPONG, self.payload.clone(), Some(4));
+            self.cur += 1;
+            if self.cur < self.total {
+                ctx.irecv_into(ZPING, u64::MAX, self.size, data, Some(3));
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    /// Run `total` round trips of `size` bytes and return the heap
+    /// allocation count across the measured (post-warm-up) span.
+    fn measured_allocs(size: u64, cfg: OmxConfig) -> u64 {
+        // The warm-up must outlast every high-water mark, including the
+        // slowest one: cancelled retransmit timers tombstone their
+        // level-1 wheel slots until the cursor first sweeps them
+        // (~one retransmission timeout, i.e. tens of round trips).
+        let warmup = 64;
+        let total = 96;
+        // Debug builds mint one SimSanitizer token per tracked resource
+        // into an append-only registry; pre-grow it so its backing Vec
+        // never reallocates inside the measured span (release builds:
+        // no-op, the registry does not exist).
+        omx_sim::sanitize::SimSanitizer::reserve(1 << 20);
+        let shared = Rc::new(RefCell::new(Shared::default()));
+        let payload: bytes::Bytes = (0..size)
+            .map(|i| (i as u32).wrapping_mul(31) as u8)
+            .collect::<Vec<u8>>()
+            .into();
+        let a = EpAddr {
+            node: NodeId(0),
+            ep: EpIdx(0),
+        };
+        let b = EpAddr {
+            node: NodeId(1),
+            ep: EpIdx(0),
+        };
+        let mut cluster = Cluster::new(ClusterParams::with_cfg(cfg));
+        let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
+        cluster.add_endpoint(
+            NodeId(0),
+            CoreId(2),
+            Box::new(Pinger {
+                peer: b,
+                size,
+                warmup,
+                total,
+                cur: 0,
+                payload: payload.clone(),
+                shared: shared.clone(),
+            }),
+        );
+        cluster.add_endpoint(
+            NodeId(1),
+            CoreId(2),
+            Box::new(Ponger {
+                peer: a,
+                size,
+                total,
+                cur: 0,
+                payload,
+                shared: shared.clone(),
+            }),
+        );
+        cluster.start(&mut sim);
+        sim.run(&mut cluster);
+        let sh = shared.borrow();
+        assert!(sh.done, "{size}B ping-pong did not complete");
+        assert_eq!(sh.corrupt, 0, "{size}B payload corrupted");
+        sh.end - sh.warm
+    }
+
+    fn two_level(cfg: OmxConfig) -> OmxConfig {
+        OmxConfig {
+            wheel_levels: 2,
+            ..cfg
+        }
+    }
+
+    #[test]
+    fn warmed_tiny_pingpong_allocates_nothing() {
+        // Small-message path: inline frames, ring copy on receive.
+        let d = measured_allocs(16, two_level(OmxConfig::default()));
+        assert_eq!(d, 0, "warmed 16 B ping-pong allocated {d} times");
+    }
+
+    #[test]
+    fn warmed_medium_pingpong_allocates_nothing() {
+        // Medium path: fragmentation, per-message dedup bitmaps (from
+        // the driver scratch pool), BH processing.
+        let d = measured_allocs(16 << 10, two_level(OmxConfig::default()));
+        assert_eq!(d, 0, "warmed 16 KiB ping-pong allocated {d} times");
+    }
+
+    #[test]
+    fn warmed_large_pingpong_allocates_nothing() {
+        // Large path: rendezvous pulls, block bitmaps and pending-copy
+        // queues recycled through the driver scratch pool.
+        let d = measured_allocs(256 << 10, two_level(OmxConfig::default()));
+        assert_eq!(d, 0, "warmed 256 KiB ping-pong allocated {d} times");
+    }
+
+    #[test]
+    fn warmed_large_ioat_pingpong_allocates_nothing() {
+        // Large path with I/OAT offload: copy segments, handles and
+        // completion bookkeeping all travel through pooled scratch.
+        let d = measured_allocs(256 << 10, two_level(OmxConfig::with_ioat()));
+        assert_eq!(d, 0, "warmed 256 KiB I/OAT ping-pong allocated {d} times");
+    }
+}
+
+#[test]
 fn pooled_closures_recycle_their_slots() {
     // Medium captures (between the inline and slot limits) go through
     // the pool: the first pass warms it, after which scheduling such

@@ -27,13 +27,16 @@ enum Op {
 
 /// Map a (class, magnitude) pair onto the engine's interesting delay
 /// regimes: same instant, within the cursor slot, inside the wheel
-/// window, and far beyond it (the overflow heap, ≳ 67 µs out).
+/// window, beyond it (level-1 territory for a two-level wheel, the
+/// overflow heap otherwise, ≳ 67 µs out), and straddling the ~34 ms
+/// level-1 boundary (the far heap in both configurations past it).
 fn delay(class: u8, mag: u64) -> Ps {
-    match class % 4 {
+    match class % 5 {
         0 => Ps::ZERO,
         1 => Ps::ns(1 + mag % 200),
         2 => Ps::us(1 + mag % 60),
-        _ => Ps::us(70 + mag % 5000),
+        3 => Ps::us(70 + mag % 5000),
+        _ => Ps::ms(30 + mag % 20),
     }
 }
 
@@ -42,8 +45,11 @@ fn delay(class: u8, mag: u64) -> Ps {
 /// macro because `Sim` and `ReferenceSim` share an API surface but no
 /// trait.
 macro_rules! run_ops {
-    ($SimTy:ident, $ops:expr) => {{
-        let mut sim: $SimTy<Vec<(u32, u64)>> = $SimTy::new();
+    ($SimTy:ident, $ops:expr) => {
+        run_ops!($SimTy::new(), $ops)
+    };
+    ($ctor:expr, $ops:expr) => {{
+        let mut sim = $ctor;
         let mut world: Vec<(u32, u64)> = Vec::new();
         let mut timers = Vec::new();
         let mut label = 0u32;
@@ -102,12 +108,15 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 proptest! {
-    /// Bit-identical execution order for arbitrary op sequences.
+    /// Bit-identical execution order for arbitrary op sequences, at
+    /// both wheel depths.
     #[test]
     fn wheel_matches_reference_scheduler(ops in proptest::collection::vec(op_strategy(), 0..200)) {
-        let wheel = run_ops!(Sim, ops);
         let heap = run_ops!(ReferenceSim, ops);
-        prop_assert_eq!(wheel, heap);
+        let wheel = run_ops!(Sim, ops);
+        prop_assert_eq!(&wheel, &heap);
+        let wheel2 = run_ops!(Sim::with_wheel_levels(2), ops);
+        prop_assert_eq!(&wheel2, &heap);
     }
 }
 
@@ -139,8 +148,8 @@ fn overflow_cascade_preserves_global_order() {
         let mut rng = SplitMix64::new(0x9E37_79B9_7F4A_7C15);
         (0..N).map(|_| rng.next_u64() % 10_000_000_000).collect()
     };
-    let run = |times: &[u64]| {
-        let mut sim: Sim<Vec<(u32, u64)>> = Sim::new();
+    let run = |times: &[u64], levels: u32| {
+        let mut sim: Sim<Vec<(u32, u64)>> = Sim::with_wheel_levels(levels);
         let mut world = Vec::new();
         for (i, &t) in times.iter().enumerate() {
             let l = i as u32;
@@ -165,10 +174,13 @@ fn overflow_cascade_preserves_global_order() {
         sim.run(&mut world);
         world
     };
-    let wheel = run(&times);
+    let wheel = run(&times, 1);
     let heap = run_ref(&times);
     assert_eq!(wheel.len(), N as usize);
     assert_eq!(wheel, heap);
+    // The 10 ms spread keeps most events in level-1 territory for the
+    // two-level wheel: same trace required.
+    assert_eq!(run(&times, 2), heap);
     // And the trace really is (time, schedule-order) sorted.
     let mut sorted = wheel.clone();
     sorted.sort_by_key(|&(l, t)| (t, l));

@@ -17,10 +17,14 @@ const WINDOW_PS: u64 = 512 * SLOT_PS;
 
 /// Drive one engine through a scenario and capture its trace. Written
 /// as a macro because `Sim` and `ReferenceSim` share an API surface
-/// but no trait.
+/// but no trait. The second form takes an explicit constructor
+/// expression (e.g. `Sim::with_wheel_levels(2)`).
 macro_rules! trace {
-    ($SimTy:ident, $scenario:ident) => {{
-        let mut sim: $SimTy<Vec<(u32, u64)>> = $SimTy::new();
+    ($SimTy:ident, $scenario:ident) => {
+        trace!($SimTy::new(), $scenario)
+    };
+    ($ctor:expr, $scenario:ident) => {{
+        let mut sim = $ctor;
         let mut world: Vec<(u32, u64)> = Vec::new();
         $scenario!(sim, world);
         sim.run(&mut world);
@@ -44,6 +48,12 @@ macro_rules! mark {
     };
     ($sim:ident, cancellable in $d:expr, label $l:expr) => {
         $sim.schedule_in_cancellable($d, move |w: &mut Vec<(u32, u64)>, s| {
+            let now = s.now().0;
+            w.push(($l, now));
+        })
+    };
+    ($sim:ident, cancellable at $t:expr, label $l:expr) => {
+        $sim.schedule_at_cancellable(Ps($t), move |w: &mut Vec<(u32, u64)>, s| {
             let now = s.now().0;
             w.push(($l, now));
         })
@@ -83,6 +93,10 @@ fn cancel_on_overflow_heap_before_cascade() {
     assert_eq!(wheel, heap);
     let labels: Vec<u32> = wheel.2.iter().map(|&(l, _)| l).collect();
     assert_eq!(labels, vec![0, 4, 1], "cancelled overflow entries fired");
+    // With two levels the victims are level-1 residents, not heap
+    // entries; the tombstones must behave identically.
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel2, heap);
 }
 
 #[test]
@@ -101,6 +115,8 @@ fn cancel_far_future_entry_that_never_cascades() {
     let heap = trace!(ReferenceSim, scenario);
     assert_eq!(wheel, heap);
     assert_eq!(wheel.2.len(), 1, "only the live event fires");
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel2, heap);
 }
 
 #[test]
@@ -136,6 +152,10 @@ fn schedule_exactly_on_window_boundary() {
     let mut sorted = wheel.2.clone();
     sorted.sort_by_key(|&(l, t)| (t, l));
     assert_eq!(wheel.2, sorted);
+    // With two levels the same boundary instants are level-0/level-1
+    // routing decisions instead of wheel/heap ones.
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel2, heap);
 }
 
 #[test]
@@ -183,6 +203,8 @@ fn slab_reuse_after_tombstoned_cancels() {
     assert_eq!(wheel, heap);
     // 8 generations × (16 survivors + 16 plain) events.
     assert_eq!(wheel.2.len(), 8 * 32, "wrong survivor count after reuse");
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel2, heap);
 }
 
 #[test]
@@ -204,4 +226,163 @@ fn cancel_after_fire_is_idempotent_across_engines() {
     assert_eq!(wheel, heap);
     let labels: Vec<u32> = wheel.2.iter().map(|&(l, _)| l).collect();
     assert_eq!(labels, vec![0, 1], "stale cancel clobbered a reused slot");
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel2, heap);
+}
+
+/// Span of the level-1 ring: 512 level-1 slots, each one level-0
+/// window wide (~34 ms total).
+const L1_WINDOW_PS: u64 = 512 * WINDOW_PS;
+
+#[test]
+fn level1_boundary_instants_match_reference() {
+    // With two wheel levels the interesting edges move: `WINDOW_PS` is
+    // the first instant that leaves level 0 for level 1, and
+    // `L1_WINDOW_PS` (plus the partial slot the cursor sits in) is the
+    // first that must overflow to the far heap. Straddle both edges
+    // from a cold start and from an advanced (unaligned) cursor,
+    // with FIFO ties on each edge.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            mark!($sim, at WINDOW_PS - 1, label 0);
+            mark!($sim, at WINDOW_PS, label 1); // first level-1 resident
+            mark!($sim, at WINDOW_PS, label 2); // FIFO tie on the edge
+            mark!($sim, at L1_WINDOW_PS - 1, label 3);
+            mark!($sim, at L1_WINDOW_PS, label 4);
+            mark!($sim, at L1_WINDOW_PS + WINDOW_PS, label 5); // beyond even the partial slot
+            // Advance into the middle of a slot so the cursor is
+            // unaligned with the level-1 grid, then straddle again.
+            $sim.run_until(&mut $world, Ps(5 * SLOT_PS + 11));
+            let base = $sim.now().0;
+            mark!($sim, at base + WINDOW_PS - 1, label 6);
+            mark!($sim, at base + WINDOW_PS, label 7);
+            mark!($sim, at base + L1_WINDOW_PS, label 8);
+            mark!($sim, at base + L1_WINDOW_PS + WINDOW_PS, label 9);
+        };
+    }
+    let heap = trace!(ReferenceSim, scenario);
+    let wheel1 = trace!(Sim, scenario);
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel1, heap);
+    assert_eq!(wheel2, heap);
+    assert_eq!(
+        wheel2.2.len(),
+        10,
+        "every boundary event fires exactly once"
+    );
+    let mut sorted = wheel2.2.clone();
+    sorted.sort_by_key(|&(l, t)| (t, l));
+    assert_eq!(wheel2.2, sorted);
+}
+
+#[test]
+fn cancel_while_resident_in_level1() {
+    // Cancel events at every stage of a level-1 residency: right after
+    // the push, after the cursor has advanced but before their slot
+    // cascades, and (as a control) after the cascade has already moved
+    // them down to level 0. None may fire; survivors keep exact order.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            mark!($sim, in Ps::us(1), label 0);
+            // All three victims sit ~30 level-0 windows out: level-1
+            // residents in the two-level engine, heap entries in the
+            // one-level engine.
+            let a = mark!($sim, cancellable at 30 * WINDOW_PS + 5, label 1);
+            let b = mark!($sim, cancellable at 30 * WINDOW_PS + 7, label 2);
+            let keep = mark!($sim, cancellable at 30 * WINDOW_PS + 9, label 3);
+            let _ = keep;
+            $sim.cancel(a); // cancelled while freshly resident
+            // Advance close enough that the victims' level-1 slot is
+            // next but has not cascaded yet (still beyond the level-0
+            // window).
+            $sim.run_until(&mut $world, Ps(29 * WINDOW_PS - 3 * SLOT_PS));
+            $sim.cancel(b); // cancelled mid-residency
+            // Advance past the cascade; cancel something already
+            // moved down to level 0.
+            let c = mark!($sim, cancellable at 30 * WINDOW_PS + 11, label 4);
+            $sim.run_until(&mut $world, Ps(30 * WINDOW_PS));
+            $sim.cancel(c);
+        };
+    }
+    let heap = trace!(ReferenceSim, scenario);
+    let wheel1 = trace!(Sim, scenario);
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel1, heap);
+    assert_eq!(wheel2, heap);
+    let labels: Vec<u32> = wheel2.2.iter().map(|&(l, _)| l).collect();
+    assert_eq!(labels, vec![0, 3], "cancelled level-1 residents fired");
+}
+
+#[test]
+fn whole_level1_slot_cascades_onto_one_level0_slot() {
+    // Many events inside one level-1 slot that all share a single
+    // level-0 slot (same ~131 ns bucket, distinct instants plus FIFO
+    // ties): the cascade must land them all in that one slot and the
+    // adoption sort must reconstruct exact (time, seq) order.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            let base = 40 * WINDOW_PS + 17 * SLOT_PS; // one level-0 slot, far out
+            for k in 0..24u64 {
+                // 24 events inside one slot: ties every third instant.
+                mark!($sim, at base + (k / 3), label k as u32);
+            }
+            // A stray event in the *previous* level-0 slot of the same
+            // level-1 slot, scheduled last: fires first.
+            mark!($sim, at base - SLOT_PS, label 99);
+        };
+    }
+    let heap = trace!(ReferenceSim, scenario);
+    let wheel1 = trace!(Sim, scenario);
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel1, heap);
+    assert_eq!(wheel2, heap);
+    let labels: Vec<u32> = wheel2.2.iter().map(|&(l, _)| l).collect();
+    let mut want: Vec<u32> = vec![99];
+    want.extend(0..24);
+    assert_eq!(labels, want, "cascade broke slot-internal order");
+}
+
+#[test]
+fn reschedule_across_levels() {
+    // A recurring timer that hops between delay regimes — cursor slot,
+    // level-0 window, level-1 range, beyond level-1 — cancelling and
+    // re-arming itself each time it fires. Both the cancels and the
+    // re-arms cross level boundaries in every direction.
+    macro_rules! scenario {
+        ($sim:ident, $world:ident) => {
+            // Hop pattern cycles: near, far (level 1), very far (heap
+            // in both engines), slot-local.
+            let delays: [u64; 8] = [
+                SLOT_PS / 2,          // cursor slot
+                3 * WINDOW_PS,        // level 1
+                WINDOW_PS / 2,        // level 0
+                600 * WINDOW_PS,      // beyond level-1 coverage
+                WINDOW_PS,            // exactly the level-0 edge
+                L1_WINDOW_PS,         // exactly the level-1 edge
+                7,                    // same slot again
+                2 * WINDOW_PS + 1,    // level 1 again
+            ];
+            // Shadow timers armed one hop ahead and cancelled when the
+            // main timer fires, so cancellation also crosses levels.
+            for (i, &d) in delays.iter().enumerate() {
+                let l = i as u32;
+                mark!($sim, in Ps(d), label l);
+                let shadow = mark!($sim, cancellable in Ps(d + WINDOW_PS / 4), label 100 + l);
+                // Cancel shadows of even hops immediately (while
+                // resident wherever `d` put them); odd ones survive.
+                if i % 2 == 0 {
+                    $sim.cancel(shadow);
+                }
+            }
+            // Let some fire, then re-arm across the opposite level.
+            $sim.run_until(&mut $world, Ps(4 * WINDOW_PS));
+            mark!($sim, in Ps(500 * WINDOW_PS), label 200);
+            mark!($sim, in Ps(SLOT_PS), label 201);
+        };
+    }
+    let heap = trace!(ReferenceSim, scenario);
+    let wheel1 = trace!(Sim, scenario);
+    let wheel2 = trace!(Sim::with_wheel_levels(2), scenario);
+    assert_eq!(wheel1, heap);
+    assert_eq!(wheel2, heap);
 }
