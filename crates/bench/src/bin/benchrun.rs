@@ -505,6 +505,16 @@ fn alltoall_fixed(iters: u32) -> KernelResult {
     run_kernel(Kernel::Alltoall, Layout::TwoPerNode, 1 << 20, iters, params)
 }
 
+/// The scale cell: a 1024-rank IMB Alltoall (one rank per node, 256 B,
+/// the `scale_ablation` workload) under `partitions` shards fanned
+/// across as many workers.
+fn alltoall_1k(partitions: usize) -> KernelResult {
+    let mut params = ClusterParams::with_cfg(fixed_cfg());
+    params.partitions = partitions;
+    params.partition_workers = partitions;
+    run_kernel(Kernel::Alltoall, Layout::Nodes(1024), 256, 2, params)
+}
+
 fn e2e_benches() -> Vec<E2eBench> {
     vec![
         e2e_bench("pingpong_256k", 5, || {
@@ -597,10 +607,30 @@ fn smoke() {
     assert!(ppw.verified, "two-level pingpong failed verification");
     let fp_ppw = fingerprint(&ppw.stats, &ppw.breakdown, ppw.events_executed);
     assert_eq!(fp_pp, fp_ppw, "wheel depth must not change the schedule");
+    // The scale cell: the partitioned engine's 1024-rank Alltoall at 4
+    // partitions must land byte-for-byte on the single-engine run, and
+    // its event count is pinned in the golden — a partitioning change
+    // that reorders or drops a single event fails the byte-compare.
+    let a1k = alltoall_1k(1);
+    assert!(a1k.verified, "1k-rank alltoall failed verification");
+    let a1k4 = alltoall_1k(4);
+    assert!(
+        a1k4.verified,
+        "partitioned 1k-rank alltoall failed verification"
+    );
+    let fp_a1k = fingerprint(&a1k.stats, &a1k.breakdown, a1k.events_executed);
+    let fp_a1k4 = fingerprint(&a1k4.stats, &a1k4.breakdown, a1k4.events_executed);
+    assert_eq!(
+        fp_a1k, fp_a1k4,
+        "1k-rank alltoall at 4 partitions must be byte-identical to the single engine"
+    );
+    assert_eq!(a1k.end, a1k4.end, "partitioning moved the completion time");
+    assert_eq!(a1k.marks, a1k4.marks, "partitioning moved the rank-0 marks");
     println!(
-        "{{\"schema\":\"perf-smoke-v4\",\"seed\":{},\"pingpong\":{},\
+        "{{\"schema\":\"perf-smoke-v5\",\"seed\":{},\"pingpong\":{},\
          \"pingpong_batched\":{},\"pingpong_two_level\":{},\"stream\":{},\
-         \"alltoall\":{},\"fanin_mq\":{},\"incast_credit\":{}}}",
+         \"alltoall\":{},\"fanin_mq\":{},\"incast_credit\":{},\
+         \"alltoall_1k_partitioned\":{}}}",
         SEED,
         fp_pp,
         fp_ppb,
@@ -609,6 +639,7 @@ fn smoke() {
         fingerprint(&a2a.stats, &a2a.breakdown, a2a.events_executed),
         fingerprint(&fi.stats, &fi.breakdown, fi.events_executed),
         fingerprint(&ic.stats, &ic.breakdown, ic.events_executed),
+        fp_a1k4,
     );
 }
 

@@ -42,6 +42,14 @@ pub struct ClusterParams {
     pub topology: Topology,
     /// Number of hosts.
     pub nodes: usize,
+    /// Partitions the simulation is split into (node `i` belongs to
+    /// partition `i % partitions`). `1` = the classic single-engine
+    /// run; the partitioned executor produces byte-identical output
+    /// for every value (see `crate::partition`).
+    pub partitions: usize,
+    /// Worker threads the partitioned executor may fan shards across.
+    /// Purely a wall-clock knob: results are identical for any value.
+    pub partition_workers: usize,
 }
 
 impl Default for ClusterParams {
@@ -54,7 +62,55 @@ impl Default for ClusterParams {
             nic: NicParams::default(),
             topology: Topology::default(),
             nodes: 2,
+            partitions: 1,
+            partition_workers: 1,
         }
+    }
+}
+
+impl Stats {
+    /// Fold another shard's statistics into this one: every event
+    /// counter is summed, the per-endpoint counters merge, and the
+    /// watermark rows add element-wise. Each simulated event happens
+    /// on exactly one shard (non-owning shards count zero), so the
+    /// sum over all shards equals what one unpartitioned engine would
+    /// have counted.
+    pub fn absorb(&mut self, o: &Stats) {
+        self.frames_sent += o.frames_sent;
+        self.frames_lost += o.frames_lost;
+        self.frames_ring_dropped += o.frames_ring_dropped;
+        self.frames_corrupt_dropped += o.frames_corrupt_dropped;
+        self.frames_duplicated += o.frames_duplicated;
+        self.frames_reordered += o.frames_reordered;
+        self.retransmissions += o.retransmissions;
+        self.pull_retransmissions += o.pull_retransmissions;
+        self.acks_sent += o.acks_sent;
+        self.duplicates_dropped += o.duplicates_dropped;
+        self.messages_delivered += o.messages_delivered;
+        self.bytes_delivered += o.bytes_delivered;
+        self.sends_failed += o.sends_failed;
+        self.ioat_fallback_copies += o.ioat_fallback_copies;
+        self.ioat_quarantines += o.ioat_quarantines;
+        self.ioat_reprobes += o.ioat_reprobes;
+        self.backoff_escalations += o.backoff_escalations;
+        self.frames_ring_dropped_injected += o.frames_ring_dropped_injected;
+        self.credit_nacks += o.credit_nacks;
+        self.credit_shrinks += o.credit_shrinks;
+        self.credit_regrows += o.credit_regrows;
+        self.credit_stalls += o.credit_stalls;
+        for (row, orow) in self
+            .ring_high_watermarks
+            .iter_mut()
+            .zip(&o.ring_high_watermarks)
+        {
+            for (w, ow) in row.iter_mut().zip(orow) {
+                *w += ow;
+            }
+        }
+        if self.ring_high_watermarks.is_empty() && !o.ring_high_watermarks.is_empty() {
+            self.ring_high_watermarks = o.ring_high_watermarks.clone();
+        }
+        self.counters.merge(&o.counters);
     }
 }
 
@@ -87,6 +143,10 @@ pub struct Node {
     /// which reclaims the block once in-flight payloads drop — so a
     /// steady-state node builds frames without allocating.
     pub pack_arena: bytes::BytesMut,
+    /// This node's retransmit-backoff jitter stream, derived from the
+    /// run seed and the node id alone — so concurrent retransmit
+    /// timers desynchronize deterministically under any partitioning.
+    pub(crate) backoff_rng: SplitMix64,
 }
 
 impl Node {
@@ -246,14 +306,24 @@ pub struct Cluster {
     /// Every link, NIC, BH queue and I/OAT engine reports into it;
     /// recording never charges simulated time.
     pub metrics: Metrics,
-    next_req: u64,
-    rng: SplitMix64,
-    /// Per-link fault channels, present only for links whose plan
-    /// parameters are active — fault-free links never touch the RNG.
-    link_faults: BTreeMap<(u32, u32), LinkFaultState>,
-    /// Dedicated stream for retransmit-backoff jitter, derived from
-    /// the seed so jitter draws never perturb the loss pattern.
-    backoff_rng: SplitMix64,
+    /// Root of every derived fault/jitter stream, seeded from
+    /// `cfg.seed`. Streams derive from it by a pure per-link or
+    /// per-node tag, so fault patterns are identical under any
+    /// partitioning and any worker count.
+    fault_root: SplitMix64,
+    /// Whether any directed link can inject wire hazards; `false`
+    /// short-circuits the per-frame fault lookup to a constant (a
+    /// clean run draws zero fault randomness).
+    link_faults_possible: bool,
+    /// Per-link fault channels, created on the link's first frame.
+    /// `None` caches "known inert" so the plan lookup runs once per
+    /// link; fault-free links never touch the RNG.
+    link_faults: BTreeMap<(u32, u32), Option<LinkFaultState>>,
+    /// Partition bookkeeping: which nodes this world owns and the
+    /// outbox of frames bound for other shards. The whole-world
+    /// cluster (`parts == 1`) owns everything and never uses the
+    /// outbox.
+    pub(crate) part: crate::partition::PartitionCtx,
 }
 
 impl ClusterParams {
@@ -267,8 +337,25 @@ impl ClusterParams {
 }
 
 impl Cluster {
-    /// Build an idle cluster with full-mesh links and no endpoints.
+    /// Build an idle cluster that owns every node (the classic
+    /// single-engine world; `p.partitions` is ignored here — the
+    /// partitioned executor builds its shards with
+    /// [`Cluster::new_shard`]). Links are created lazily on first use.
     pub fn new(p: ClusterParams) -> Self {
+        Cluster::build_world(p, 0, 1)
+    }
+
+    /// Build shard `my` of a `p.partitions`-way partitioned cluster:
+    /// the same world, but only nodes with `node % partitions == my`
+    /// are owned — frames for other nodes leave through the partition
+    /// outbox instead of being scheduled locally.
+    pub fn new_shard(p: ClusterParams, my: usize) -> Self {
+        let parts = p.partitions.clamp(1, p.nodes.max(1));
+        assert!(my < parts, "shard {my} of {parts} partitions");
+        Cluster::build_world(p, my, parts)
+    }
+
+    fn build_world(p: ClusterParams, my: usize, parts: usize) -> Self {
         let metrics = if !p.cfg.metrics {
             Metrics::disabled()
         } else if p.cfg.trace_capacity > 0 {
@@ -276,19 +363,10 @@ impl Cluster {
         } else {
             Metrics::new()
         };
-        let mut links = BTreeMap::new();
-        for a in 0..p.nodes as u32 {
-            for b in 0..p.nodes as u32 {
-                // The diagonal entries model the NIC's internal DMA
-                // loopback, which is how native MXoE moves intra-node
-                // traffic (Open-MX intercepts local sends in the
-                // driver and never reaches a link).
-                let mut link = Link::new(p.link);
-                // Wire busy time is attributed to the *sending* node.
-                link.attach_metrics(metrics.clone(), a);
-                links.insert((a, b), link);
-            }
-        }
+        // The one place the user-supplied seed enters the simulation;
+        // every other stream derives from this root by a pure tag.
+        // omx-lint: allow(ad-hoc-rng) root seeding point for the run; every derived stream is pinned by the bit-determinism suite [test: tests/determinism.rs::pingpong_is_bit_deterministic_under_every_plan]
+        let fault_root = SplitMix64::new(p.cfg.seed);
         let nodes = (0..p.nodes as u32)
             .map(|i| {
                 let node_faults = p.cfg.fault_plan.node_params(i);
@@ -325,32 +403,17 @@ impl Cluster {
                     mx: MxNodeState::default(),
                     predictor: crate::predict::CopyPredictor::new(),
                     pack_arena: bytes::BytesMut::new(),
+                    backoff_rng: fault_root.derive(0x8000_0000_0000_0000 | u64::from(i)),
                 }
             })
             .collect();
-        let seed = p.cfg.seed;
-        // Per-link fault channels: the uniform loss_one_in knob is
-        // folded in as a degenerate Gilbert–Elliott channel; links
-        // whose combined parameters stay inert get no state at all, so
-        // a clean run draws zero fault randomness.
-        let mut link_faults = BTreeMap::new();
-        for a in 0..p.nodes as u32 {
-            for b in 0..p.nodes as u32 {
-                let lp = p
-                    .cfg
-                    .fault_plan
-                    .link_params(a, b)
-                    .combined_with_uniform_loss(p.cfg.loss_one_in);
-                if lp.is_active() {
-                    link_faults.insert((a, b), LinkFaultState::new(lp));
-                }
-            }
-        }
-        // The one place the user-supplied seed enters the simulation;
-        // every other stream derives from this root.
-        // omx-lint: allow(ad-hoc-rng) root seeding point for the run; every derived stream is pinned by the bit-determinism suite [test: tests/determinism.rs::pingpong_is_bit_deterministic_under_every_plan]
-        let rng = SplitMix64::new(seed);
-        let backoff_rng = rng.derive(0xB0FF);
+        // Whether any link can ever inject: the declarative plan or
+        // the uniform loss_one_in knob (folded into the per-link
+        // channels as a degenerate Gilbert–Elliott state). The
+        // channels themselves are created lazily on a link's first
+        // frame — see `link_fault_next`.
+        let link_faults_possible =
+            p.cfg.fault_plan.has_link_faults() || matches!(p.cfg.loss_one_in, Some(n) if n > 0);
         let mut nodes: Vec<Node> = nodes;
         if p.cfg.pull_credits {
             // Seed every node's shared pull-block budget; with credits
@@ -362,19 +425,27 @@ impl Cluster {
         Cluster {
             p,
             nodes,
-            links,
+            links: BTreeMap::new(),
             apps: Vec::new(),
             stats: Stats::default(),
             metrics,
-            next_req: 1,
-            rng,
-            link_faults,
-            backoff_rng,
+            fault_root,
+            link_faults_possible,
+            link_faults: BTreeMap::new(),
+            part: crate::partition::PartitionCtx::new(my, parts),
         }
     }
 
+    /// Whether this world owns `node` (always true for a whole-world
+    /// cluster; a shard owns `node % partitions == my`).
+    pub fn owns(&self, node: NodeId) -> bool {
+        self.part.owns(node)
+    }
+
     /// Add an endpoint on `node`, pinned to `core`, driven by `app`.
+    /// On a shard, only owned nodes may host endpoints.
     pub fn add_endpoint(&mut self, node: NodeId, core: CoreId, app: Box<dyn App>) -> EpAddr {
+        debug_assert!(self.owns(node), "endpoint on unowned node {node:?}");
         let app_id = self.apps.len();
         self.apps.push(Some(app));
         let n = &mut self.nodes[node.0 as usize];
@@ -484,20 +555,31 @@ impl Cluster {
         &mut self.nodes[a.node.0 as usize].endpoints[a.ep.0 as usize]
     }
 
-    /// Allocate a request id.
-    pub(crate) fn alloc_req(&mut self) -> ReqId {
-        let r = ReqId(self.next_req);
-        self.next_req += 1;
+    /// Allocate a request id for endpoint `me`: the endpoint's address
+    /// in the high bits, a per-endpoint counter below. Ids are unique
+    /// across the cluster yet depend only on the endpoint's own
+    /// activity, so they are identical under any partitioning — and
+    /// within one endpoint's request maps they sort in allocation
+    /// order, exactly like the old global counter did.
+    pub(crate) fn alloc_req(&mut self, me: EpAddr) -> ReqId {
+        let ep = self.ep_mut(me);
+        let r = ReqId((u64::from(me.node.0) << 40) | (u64::from(me.ep.0) << 32) | ep.next_req);
+        ep.next_req += 1;
         r
     }
 
     /// One exponential-backoff step of a retransmission timeout:
     /// double it, add deterministic jitter (up to a quarter of the old
-    /// value, drawn from the dedicated backoff stream so concurrent
-    /// retransmit timers desynchronize), cap at `cfg.rto_max`, and
-    /// count the escalation.
+    /// value, drawn from the node's own backoff stream so concurrent
+    /// retransmit timers desynchronize without coupling nodes — or
+    /// shards — through a shared generator), cap at `cfg.rto_max`,
+    /// and count the escalation.
     pub(crate) fn escalate_rto(&mut self, node: NodeId, rto: Ps) -> Ps {
-        let jitter = Ps::ps(self.backoff_rng.next_below(rto.as_ps() / 4 + 1));
+        let jitter = Ps::ps(
+            self.nodes[node.0 as usize]
+                .backoff_rng
+                .next_below(rto.as_ps() / 4 + 1),
+        );
         let next = (rto * 2 + jitter).min(self.p.cfg.rto_max);
         self.stats.backoff_escalations += 1;
         self.metrics.count(node.0, "driver.backoff_escalations", 1);
@@ -599,7 +681,7 @@ impl Cluster {
         data: bytes::Bytes,
         tag: Option<u64>,
     ) -> ReqId {
-        let req = self.alloc_req();
+        let req = self.alloc_req(me);
         let len = data.len() as u64;
         let class = self.p.cfg.class_of(len);
         let core = self.ep(me).core;
@@ -744,7 +826,7 @@ impl Cluster {
     ) -> ReqId {
         assert!(seg_size.is_none_or(|s| s > 0), "segments must be nonzero");
         debug_assert_eq!(buf.len(), max_len as usize);
-        let req = self.alloc_req();
+        let req = self.alloc_req(me);
         let core = self.ep(me).core;
         let (_, fin) = self.run_core(
             me.node,
@@ -787,6 +869,85 @@ impl Cluster {
     // frames and links
     // ------------------------------------------------------------------
 
+    /// Make sure the link `src → dst` exists (links are created on
+    /// first use: a large cluster only pays for the pairs that talk,
+    /// and a shard only materializes links its own nodes transmit on).
+    /// The diagonal `src == dst` link models the NIC's internal DMA
+    /// loopback, which is how native MXoE moves intra-node traffic.
+    pub(crate) fn ensure_link(&mut self, src: NodeId, dst: NodeId) {
+        let params = self.p.link;
+        let metrics = &self.metrics;
+        self.links.entry((src.0, dst.0)).or_insert_with(|| {
+            let mut link = Link::new(params);
+            // Wire busy time is attributed to the *sending* node.
+            link.attach_metrics(metrics.clone(), src.0);
+            link
+        });
+    }
+
+    /// Per-frame fault draw for the link `src → dst`. The channel is
+    /// created on the link's first frame from parameters and a RNG
+    /// stream derived purely from the run seed and the link identity,
+    /// so the draw sequence each link sees is identical under any
+    /// partitioning. Clean runs short-circuit to `CLEAN` without
+    /// touching the map.
+    fn link_fault_next(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> omx_ethernet::fault::FrameDisposition {
+        if !self.link_faults_possible {
+            return omx_ethernet::fault::FrameDisposition::CLEAN;
+        }
+        let p = &self.p;
+        let root = &self.fault_root;
+        let entry = self.link_faults.entry((src.0, dst.0)).or_insert_with(|| {
+            let lp = p
+                .cfg
+                .fault_plan
+                .link_params(src.0, dst.0)
+                .combined_with_uniform_loss(p.cfg.loss_one_in);
+            lp.is_active().then(|| {
+                let tag = 0x4000_0000_0000_0000u64 | (u64::from(src.0) << 24) | u64::from(dst.0);
+                LinkFaultState::new(lp, root.derive(tag))
+            })
+        });
+        match entry {
+            Some(faults) => faults.next_frame(),
+            None => omx_ethernet::fault::FrameDisposition::CLEAN,
+        }
+    }
+
+    /// Deliver `frame` to `dst`'s NIC at `arrival` — the partition-safe
+    /// seam every wire delivery goes through. A whole-world cluster
+    /// schedules the local `on_frame` exactly like the classic engine.
+    /// A partitioned shard routes **every** inter-node frame through
+    /// the outbox — co-located destinations included — and the
+    /// executor injects the round's frames in one canonical order
+    /// after the window that emitted them. Uniform routing matters for
+    /// byte-identity: if co-located frames were scheduled directly at
+    /// emission while cross-shard ones were injected at the window
+    /// boundary, their same-instant interleaving would depend on which
+    /// nodes share a shard. Scheduling another shard's arrival
+    /// directly on this engine would race the window protocol — this
+    /// method is why `send_payload` never touches `Sim::schedule_at`
+    /// for foreign nodes.
+    pub(crate) fn deliver_frame(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        dst: NodeId,
+        arrival: Ps,
+        frame: EthFrame,
+    ) {
+        if self.part.partitioned() {
+            self.part.push_remote(sim.now(), arrival, frame);
+        } else {
+            sim.schedule_at(arrival, move |c: &mut Cluster, s| {
+                c.on_frame(s, dst, frame);
+            });
+        }
+    }
+
     /// Hand `pkt` to the NIC of `src` for `dst` at time `at` (the
     /// driver finished building it then). Applies loss injection.
     pub(crate) fn send_packet(
@@ -817,13 +978,8 @@ impl Cluster {
             // Fault injection targets the Open-MX reliability machinery;
             // the MXoE baseline has none (its reliability lives in the
             // NIC firmware, out of scope), so its frames are exempt.
-            // Note the disjoint field borrows: the fault channel and
-            // the RNG are separate Cluster fields.
             let disp = if c.p.cfg.stack == StackKind::OpenMx {
-                match c.link_faults.get_mut(&(src.0, dst.0)) {
-                    Some(faults) => faults.next_frame(&mut c.rng),
-                    None => omx_ethernet::fault::FrameDisposition::CLEAN,
-                }
+                c.link_fault_next(src, dst)
             } else {
                 omx_ethernet::fault::FrameDisposition::CLEAN
             };
@@ -837,6 +993,9 @@ impl Cluster {
                 frame.fcs_corrupt = true;
                 c.metrics.count(src.0, "fault.frames_corrupted", 1);
             }
+            c.ensure_link(src, dst);
+            // Direct field access keeps the link borrow disjoint from
+            // the stats/metrics fields updated alongside it.
             let link = c.links.get_mut(&(src.0, dst.0)).expect("link exists");
             let mut arrival = link.transmit_with_overhead(s.now(), &frame, extra);
             if disp.reorder_extra > 0 {
@@ -846,24 +1005,28 @@ impl Cluster {
                 c.stats.frames_reordered += 1;
                 c.metrics.count(src.0, "fault.frames_reordered", 1);
             }
-            if disp.duplicated {
+            let dup = if disp.duplicated {
                 // The duplicate occupies real wire time like any frame.
                 let dup = frame.clone();
                 let dup_arrival = link.transmit_with_overhead(s.now(), &dup, extra);
                 c.stats.frames_duplicated += 1;
                 c.metrics.count(src.0, "fault.frames_duplicated", 1);
-                s.schedule_at(dup_arrival, move |c: &mut Cluster, s| {
-                    c.on_frame(s, dst, dup);
-                });
+                Some((dup_arrival, dup))
+            } else {
+                None
+            };
+            // Delivery order (duplicate first, then the original)
+            // matches the old direct scheduling, so same-instant
+            // tie-breaks are unchanged.
+            if let Some((dup_arrival, dup)) = dup {
+                c.deliver_frame(s, dst, dup_arrival, dup);
             }
-            s.schedule_at(arrival, move |c: &mut Cluster, s| {
-                c.on_frame(s, dst, frame);
-            });
+            c.deliver_frame(s, dst, arrival, frame);
         });
     }
 
     /// A frame finished arriving at `node`'s NIC.
-    fn on_frame(&mut self, sim: &mut Sim<Cluster>, node: NodeId, frame: EthFrame) {
+    pub(crate) fn on_frame(&mut self, sim: &mut Sim<Cluster>, node: NodeId, frame: EthFrame) {
         match self.p.cfg.stack {
             StackKind::OpenMx => self.omx_on_frame(sim, node, frame),
             StackKind::Mxoe => self.mx_on_frame(sim, node, frame),
@@ -1110,11 +1273,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn cluster_builds_full_mesh() {
-        let c = Cluster::new(ClusterParams::default());
+    fn cluster_builds_links_on_demand() {
+        let mut c = Cluster::new(ClusterParams::default());
         assert_eq!(c.nodes.len(), 2);
+        assert!(c.links.is_empty(), "links are lazy: none before traffic");
+        c.ensure_link(NodeId(0), NodeId(1));
+        c.ensure_link(NodeId(1), NodeId(0));
         assert!(c.links.contains_key(&(0, 1)));
         assert!(c.links.contains_key(&(1, 0)));
+        c.ensure_link(NodeId(0), NodeId(0));
         assert!(
             c.links.contains_key(&(0, 0)),
             "NIC loopback for MXoE local traffic"

@@ -154,6 +154,11 @@ pub struct Endpoint {
     /// Per-endpoint performance counters (the `omx_counters`
     /// equivalent).
     pub counters: Counters,
+    /// Next request-id counter (the low 32 bits of this endpoint's
+    /// [`ReqId`]s; the address provides the high bits). Per-endpoint
+    /// so id allocation is independent of every other endpoint — and
+    /// therefore of how the cluster is partitioned.
+    pub(crate) next_req: u64,
 }
 
 impl Endpoint {
@@ -183,6 +188,7 @@ impl Endpoint {
             drv_medium: BTreeMap::new(),
             rndv_pending: BTreeSet::new(),
             counters: Counters::default(),
+            next_req: 1,
         }
     }
 

@@ -147,17 +147,28 @@ impl EventRing {
 /// packet is dropped and the sender's retransmission recovers it.
 #[derive(Debug)]
 pub struct SlotPool {
+    /// Backing storage, grown one slot at a time up to `limit`: a
+    /// 10k-endpoint cluster only pays for the slots its endpoints
+    /// actually touch, while a warmed steady-state endpoint never
+    /// allocates again (the `alloc_count` suite pins that).
     slots: Vec<Vec<u8>>,
+    slot_bytes: usize,
+    limit: usize,
     free: Vec<usize>,
     drops: u64,
 }
 
 impl SlotPool {
-    /// A pool of `n` slots of `slot_bytes` each.
+    /// A pool of up to `n` slots of `slot_bytes` each. Slot memory is
+    /// committed lazily on first use; indices are handed out in the
+    /// exact order the old eagerly-built pool produced (lowest unused
+    /// first, released slots LIFO), so run traces are unchanged.
     pub fn new(n: usize, slot_bytes: usize) -> Self {
         SlotPool {
-            slots: vec![vec![0u8; slot_bytes]; n],
-            free: (0..n).rev().collect(),
+            slots: Vec::new(),
+            slot_bytes,
+            limit: n,
+            free: Vec::new(),
             drops: 0,
         }
     }
@@ -165,22 +176,27 @@ impl SlotPool {
     /// Driver side: claim a slot and fill it with `data`. Returns the
     /// slot index, or `None` (and counts a drop) when the ring is full.
     pub fn fill(&mut self, data: &[u8]) -> Option<usize> {
-        match self.free.pop() {
-            Some(i) => {
-                assert!(
-                    data.len() <= self.slots[i].len(),
-                    "payload {} exceeds slot size {}",
-                    data.len(),
-                    self.slots[i].len()
-                );
-                self.slots[i][..data.len()].copy_from_slice(data);
-                Some(i)
+        let i = match self.free.pop() {
+            Some(i) => i,
+            None if self.slots.len() < self.limit => {
+                // First touch of this slot: commit its backing memory.
+                // omx-lint: allow(hot-path-alloc) one-time per-slot warm-up; steady state pops the free list, and the 10k-endpoint footprint depends on this staying lazy [test: tests/memory_budget.rs::ten_k_endpoint_cluster_stays_under_budget]
+                self.slots.push(vec![0u8; self.slot_bytes]);
+                self.slots.len() - 1
             }
             None => {
                 self.drops += 1;
-                None
+                return None;
             }
-        }
+        };
+        assert!(
+            data.len() <= self.slots[i].len(),
+            "payload {} exceeds slot size {}",
+            data.len(),
+            self.slots[i].len()
+        );
+        self.slots[i][..data.len()].copy_from_slice(data);
+        Some(i)
     }
 
     /// Library side: read `len` bytes out of `slot`.
@@ -194,9 +210,9 @@ impl SlotPool {
         self.free.push(slot);
     }
 
-    /// Free slots remaining.
+    /// Free slots remaining (released plus never-touched capacity).
     pub fn free_slots(&self) -> usize {
-        self.free.len()
+        self.free.len() + (self.limit - self.slots.len())
     }
 
     /// Packets dropped because the ring was full.

@@ -85,6 +85,14 @@ impl FaultPlan {
                 .all(|n| n.rx_ring_size.is_none() && n.ioat_faults.is_empty())
     }
 
+    /// Whether any directed link can inject wire hazards (the plan
+    /// default or any override is active). The uniform
+    /// `OmxConfig::loss_one_in` knob is folded in separately by the
+    /// cluster, which owns that config.
+    pub fn has_link_faults(&self) -> bool {
+        self.default_link.is_active() || self.links.iter().any(|o| o.params.is_active())
+    }
+
     /// Link fault parameters for the directed link `src → dst`
     /// (override if present, plan default otherwise).
     pub fn link_params(&self, src: u32, dst: u32) -> LinkFaultParams {

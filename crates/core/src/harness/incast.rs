@@ -197,58 +197,125 @@ impl App for IncastReceiver {
     }
 }
 
-/// Run one incast experiment.
+/// Per-shard reduction of one (possibly partitioned) incast run. The
+/// receiver node (0) lives on exactly one shard, so `window` is `Some`
+/// there and `None` on pure-sender shards; with `partitions = 1` the
+/// merge is the identity and the result matches the historical
+/// single-engine harness byte for byte.
+struct ShardTally {
+    received: u32,
+    corrupt: u64,
+    /// `(first_post, last_recv)` on the receiver's shard.
+    window: Option<(Ps, Ps)>,
+    stats: crate::cluster::Stats,
+    busy: super::BusyTotals,
+    events: u64,
+    skbuffs: u64,
+    pinned: u64,
+}
+
+/// Run one incast experiment (partitioned per
+/// `cfg.params.partitions`; results are identical for every value).
 pub fn run_incast(cfg: IncastConfig) -> IncastResult {
     assert_eq!(cfg.params.nodes as u32, 1 + cfg.senders, "incast topology");
-    let shared = Rc::new(RefCell::new(SharedState::default()));
     let expected = cfg.senders * cfg.count;
-    let mut cluster = Cluster::new(cfg.params.clone());
-    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
-    // Receiver endpoints on the odd cores (1, 3, 5, 7). Flows are
-    // dealt round-robin, so every endpoint serves senders/4 flows.
-    for e in 0..RECV_ENDPOINTS {
-        let quota = expected / RECV_ENDPOINTS + u32::from(e < expected % RECV_ENDPOINTS);
-        cluster.add_endpoint(
-            NodeId(0),
-            CoreId(1 + 2 * e),
-            Box::new(IncastReceiver {
-                size: cfg.size,
-                to_post: quota,
-                shared: shared.clone(),
-            }),
-        );
+    let (senders, size, count) = (cfg.senders, cfg.size, cfg.count);
+    let frag_size = cfg.params.cfg.frag_size;
+    let faults_active = cfg.params.cfg.fault_injection_active();
+    let install = |cluster: &mut Cluster, _shard: usize| {
+        let shared = Rc::new(RefCell::new(SharedState::default()));
+        // Receiver endpoints on the odd cores (1, 3, 5, 7). Flows are
+        // dealt round-robin, so every endpoint serves senders/4 flows.
+        if cluster.owns(NodeId(0)) {
+            for e in 0..RECV_ENDPOINTS {
+                let quota = expected / RECV_ENDPOINTS + u32::from(e < expected % RECV_ENDPOINTS);
+                cluster.add_endpoint(
+                    NodeId(0),
+                    CoreId(1 + 2 * e),
+                    Box::new(IncastReceiver {
+                        size,
+                        to_post: quota,
+                        shared: shared.clone(),
+                    }),
+                );
+            }
+        }
+        // Sender s (node s+1) targets receiver endpoint s % RECV_ENDPOINTS.
+        for s in 0..senders {
+            if !cluster.owns(NodeId(1 + s)) {
+                continue;
+            }
+            let peer = EpAddr {
+                node: NodeId(0),
+                ep: EpIdx((s % RECV_ENDPOINTS) as u8),
+            };
+            cluster.add_endpoint(
+                NodeId(1 + s),
+                CoreId(2),
+                Box::new(IncastSender {
+                    peer,
+                    size,
+                    count,
+                    sent: 0,
+                }),
+            );
+        }
+        shared
+    };
+    let finish = |_shard: usize,
+                  sim: &mut Sim<Cluster>,
+                  cluster: &mut Cluster,
+                  shared: Rc<RefCell<SharedState>>| {
+        // Thread-local sanitizer: quiesce on the worker that ran this
+        // shard.
+        omx_sim::sanitize::SimSanitizer::assert_quiesced();
+        let sh = shared.borrow();
+        let (skbuffs, pinned) = super::leak_counts(cluster);
+        ShardTally {
+            received: sh.received,
+            corrupt: sh.corrupt,
+            window: cluster
+                .owns(NodeId(0))
+                .then_some((sh.first_post, sh.last_recv)),
+            stats: cluster.stats_snapshot(),
+            busy: super::BusyTotals::of(cluster),
+            events: sim.events_executed(),
+            skbuffs,
+            pinned,
+        }
+    };
+    let tallies = crate::partition::run_partitioned(cfg.params, install, finish);
+    let mut stats: Option<crate::cluster::Stats> = None;
+    let mut busy = super::BusyTotals::default();
+    let (mut delivered, mut corrupt) = (0u32, 0u64);
+    let (mut events, mut skbuffs, mut pinned) = (0u64, 0u64, 0u64);
+    let mut window = None;
+    for t in tallies {
+        delivered += t.received;
+        corrupt += t.corrupt;
+        if t.window.is_some() {
+            window = t.window;
+        }
+        match &mut stats {
+            None => stats = Some(t.stats),
+            Some(s) => s.absorb(&t.stats),
+        }
+        busy.absorb(&t.busy);
+        events += t.events;
+        skbuffs += t.skbuffs;
+        pinned += t.pinned;
     }
-    // Sender s (node s+1) targets receiver endpoint s % RECV_ENDPOINTS.
-    for s in 0..cfg.senders {
-        let peer = EpAddr {
-            node: NodeId(0),
-            ep: EpIdx((s % RECV_ENDPOINTS) as u8),
-        };
-        cluster.add_endpoint(
-            NodeId(1 + s),
-            CoreId(2),
-            Box::new(IncastSender {
-                peer,
-                size: cfg.size,
-                count: cfg.count,
-                sent: 0,
-            }),
-        );
-    }
-    cluster.start(&mut sim);
-    sim.run(&mut cluster);
-    let sh = shared.borrow();
-    let delivered = sh.received;
+    let stats = stats.expect("at least one shard");
+    let (first_post, last_recv) = window.expect("the receiver node ran");
     let elapsed = if delivered > 0 {
-        sh.last_recv - sh.first_post
+        last_recv - first_post
     } else {
         Ps::ZERO
     };
-    let stats = cluster.stats_snapshot();
     // The minimum fragment count for the bytes that actually landed;
     // anything the senders put on the wire beyond it was retransmitted
     // or belonged to a pull the receiver later abandoned.
-    let frags_per_msg = cfg.size.div_ceil(cluster.p.cfg.frag_size);
+    let frags_per_msg = size.div_ceil(frag_size);
     let needed = frags_per_msg * delivered as u64;
     let sent_frags = stats.counters.tx_large_frags;
     let excess_frag_pct = if needed > 0 {
@@ -258,32 +325,32 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
     };
     let ring_dropped_injected = stats.frames_ring_dropped_injected;
     let ring_dropped_genuine = stats.frames_ring_dropped - ring_dropped_injected;
-    let (clean_wire, end_skbuffs_held, end_pinned_regions) = super::drain_check(&cluster);
+    let clean_wire = super::wire_stayed_clean(faults_active, &stats);
     // Pinned regions are not part of `verified`: with the registration
     // cache enabled (the default) regions legitimately stay pinned
     // after the run. Callers that disable the cache can check the
     // reported count themselves.
     let verified = delivered == expected
-        && sh.corrupt == 0
+        && corrupt == 0
         && stats.sends_failed == 0
         && clean_wire
-        && end_skbuffs_held == 0;
+        && skbuffs == 0;
     IncastResult {
-        senders: cfg.senders,
+        senders,
         expected,
         delivered,
-        corrupt: sh.corrupt,
+        corrupt,
         elapsed,
         per_msg: Ps::ps(elapsed.as_ps() / u64::from(delivered.max(1))),
         excess_frag_pct,
         ring_dropped_genuine,
         ring_dropped_injected,
         verified,
-        events_executed: sim.events_executed(),
-        breakdown: super::ComponentBreakdown::from_cluster(&cluster, elapsed.max(Ps::ps(1))),
+        events_executed: events,
+        breakdown: super::ComponentBreakdown::from_totals(&busy, elapsed.max(Ps::ps(1))),
         stats,
-        end_skbuffs_held,
-        end_pinned_regions,
+        end_skbuffs_held: skbuffs,
+        end_pinned_regions: pinned,
     }
 }
 
@@ -353,6 +420,32 @@ mod tests {
             .map(|q| q.iter().copied().max().unwrap_or(0))
             .unwrap_or(0);
         assert!(peak > 0, "watermark gauge must be populated");
+    }
+
+    #[test]
+    fn partitioned_incast_matches_single_engine() {
+        let run = |partitions: usize, workers: usize| {
+            let mut params = ClusterParams::default();
+            params.nic.num_queues = 4;
+            params.cfg.pull_credits = true;
+            params.partitions = partitions;
+            params.partition_workers = workers;
+            run_incast(IncastConfig::new(params, 8, 96 << 10, 2))
+        };
+        let single = run(1, 1);
+        for (name, other) in [
+            ("partitions=3", run(3, 1)),
+            ("partitions=4, 4 workers", run(4, 4)),
+        ] {
+            assert_eq!(single.delivered, other.delivered, "{name}");
+            assert_eq!(single.elapsed, other.elapsed, "{name}");
+            assert_eq!(single.events_executed, other.events_executed, "{name}");
+            assert_eq!(
+                serde_json::to_string(&single.stats).unwrap(),
+                serde_json::to_string(&other.stats).unwrap(),
+                "{name}: serialized stats"
+            );
+        }
     }
 
     #[test]

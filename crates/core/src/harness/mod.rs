@@ -60,26 +60,68 @@ pub struct ComponentBreakdown {
     pub idle_ns: f64,
 }
 
+/// The five integer-picosecond busy totals a [`ComponentBreakdown`] is
+/// computed from, extractable per shard and summed exactly before the
+/// one conversion to `f64` — so a partitioned run's breakdown is
+/// bit-identical to the single-engine one (each busy interval happens
+/// on exactly one shard, and integer addition commutes; floats enter
+/// only at the end).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BusyTotals {
+    /// Wire serialization busy time over all links.
+    pub wire: Ps,
+    /// BH/driver memcpy time (ring/large copies + shm one-copy).
+    pub bh_copy: Ps,
+    /// I/OAT DMA channel busy time.
+    pub ioat_channel: Ps,
+    /// CPU time building and submitting I/OAT descriptors.
+    pub submit_cpu: Ps,
+    /// CPU time busy-polling I/OAT completions.
+    pub poll_wait: Ps,
+}
+
+impl BusyTotals {
+    /// Read the totals out of one cluster's metrics registry.
+    pub fn of(cluster: &Cluster) -> Self {
+        let m = &cluster.metrics;
+        BusyTotals {
+            wire: m.busy_total_all_scopes("link.wire"),
+            bh_copy: m.busy_total_all_scopes("bh.copy") + m.busy_total_all_scopes("shm.copy"),
+            ioat_channel: m.busy_total_all_scopes("ioat.channel"),
+            submit_cpu: m.busy_total_all_scopes("ioat.submit_cpu"),
+            poll_wait: m.busy_total_all_scopes("ioat.poll_wait"),
+        }
+    }
+
+    /// Fold another shard's totals into this one.
+    pub fn absorb(&mut self, o: &BusyTotals) {
+        self.wire += o.wire;
+        self.bh_copy += o.bh_copy;
+        self.ioat_channel += o.ioat_channel;
+        self.submit_cpu += o.submit_cpu;
+        self.poll_wait += o.poll_wait;
+    }
+}
+
 impl ComponentBreakdown {
     /// Assemble the breakdown from a finished cluster's registry over
     /// the measurement window `elapsed`.
     pub fn from_cluster(cluster: &Cluster, elapsed: Ps) -> Self {
-        let m = &cluster.metrics;
-        let wire = m.busy_total_all_scopes("link.wire");
-        let bh_copy = m.busy_total_all_scopes("bh.copy") + m.busy_total_all_scopes("shm.copy");
-        let ioat_channel = m.busy_total_all_scopes("ioat.channel");
-        let submit_cpu = m.busy_total_all_scopes("ioat.submit_cpu");
-        let poll_wait = m.busy_total_all_scopes("ioat.poll_wait");
-        let accounted = wire + bh_copy + ioat_channel + submit_cpu;
+        Self::from_totals(&BusyTotals::of(cluster), elapsed)
+    }
+
+    /// Assemble the breakdown from (possibly merged) busy totals.
+    pub fn from_totals(t: &BusyTotals, elapsed: Ps) -> Self {
+        let accounted = t.wire + t.bh_copy + t.ioat_channel + t.submit_cpu;
         let idle = elapsed.saturating_sub(accounted);
         let ns = |p: Ps| p.as_ps() as f64 / 1e3;
         ComponentBreakdown {
             elapsed_ns: ns(elapsed),
-            wire_ns: ns(wire),
-            bh_copy_ns: ns(bh_copy),
-            ioat_channel_ns: ns(ioat_channel),
-            submit_cpu_ns: ns(submit_cpu),
-            poll_wait_ns: ns(poll_wait),
+            wire_ns: ns(t.wire),
+            bh_copy_ns: ns(t.bh_copy),
+            ioat_channel_ns: ns(t.ioat_channel),
+            submit_cpu_ns: ns(t.submit_cpu),
+            poll_wait_ns: ns(t.poll_wait),
             idle_ns: ns(idle),
         }
     }
@@ -101,8 +143,21 @@ pub fn drain_check(cluster: &Cluster) -> (bool, u64, u64) {
     // now — a handle still allocated or in flight is a leak and the
     // sanitizer panics with its allocation site.
     omx_sim::sanitize::SimSanitizer::assert_quiesced();
-    let clean_wire = cluster.p.cfg.fault_injection_active()
-        || (cluster.stats.frames_ring_dropped == 0 && cluster.stats.frames_corrupt_dropped == 0);
+    let clean_wire = wire_stayed_clean(cluster.p.cfg.fault_injection_active(), &cluster.stats);
+    let (end_skbuffs_held, end_pinned_regions) = leak_counts(cluster);
+    (clean_wire, end_skbuffs_held, end_pinned_regions)
+}
+
+/// The `clean_wire` predicate of [`drain_check`], usable on *merged*
+/// stats of a partitioned run (ring/corrupt drops are global
+/// properties: each drop happened on exactly one shard).
+pub fn wire_stayed_clean(fault_injection_active: bool, stats: &crate::cluster::Stats) -> bool {
+    fault_injection_active || (stats.frames_ring_dropped == 0 && stats.frames_corrupt_dropped == 0)
+}
+
+/// The leak detectors of [`drain_check`], per world (summable across
+/// shards: a shard's unowned nodes never hold driver state).
+pub fn leak_counts(cluster: &Cluster) -> (u64, u64) {
     let end_skbuffs_held = cluster.nodes.iter().map(|n| n.driver.skbuffs_held).sum();
     let end_pinned_regions = cluster
         .nodes
@@ -110,7 +165,7 @@ pub fn drain_check(cluster: &Cluster) -> (bool, u64, u64) {
         .flat_map(|n| n.endpoints.iter())
         .map(|e| e.regions.pinned_count() as u64)
         .sum();
-    (clean_wire, end_skbuffs_held, end_pinned_regions)
+    (end_skbuffs_held, end_pinned_regions)
 }
 
 /// The message-size sweep used by the paper's throughput figures

@@ -201,9 +201,26 @@ impl App for Ponger {
     }
 }
 
-/// Run one ping-pong experiment.
+/// Per-shard reduction of one (possibly partitioned) ping-pong run.
+/// With `partitions = 1` there is exactly one tally and the merge
+/// below is the identity, so the result is byte-identical to the
+/// historical single-engine harness.
+struct ShardTally {
+    rtts: Vec<Ps>,
+    corrupt: u64,
+    /// `Some(done)` on the shard hosting the pinger, `None` elsewhere.
+    done: Option<bool>,
+    stats: crate::cluster::Stats,
+    busy: super::BusyTotals,
+    events: u64,
+    end: Ps,
+    skbuffs: u64,
+    pinned: u64,
+}
+
+/// Run one ping-pong experiment (partitioned per
+/// `cfg.params.partitions`; results are identical for every value).
 pub fn run_pingpong(cfg: PingPongConfig) -> PingPongResult {
-    let shared = Rc::new(RefCell::new(SharedState::default()));
     let total = cfg.iters + cfg.warmup;
     let (node_a, core_a, node_b, core_b) = match cfg.placement {
         Placement::TwoNodes { core_a, core_b } => (NodeId(0), core_a, NodeId(1), core_b),
@@ -218,51 +235,110 @@ pub fn run_pingpong(cfg: PingPongConfig) -> PingPongResult {
         node: node_b,
         ep: EpIdx(if node_a == node_b { 1 } else { 0 }),
     };
-    let mut cluster = Cluster::new(cfg.params);
-    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
-    cluster.add_endpoint(
-        node_a,
-        core_a,
-        Box::new(Pinger {
-            peer: addr_b,
-            size: cfg.size,
-            iters: cfg.iters,
-            warmup: cfg.warmup,
-            cur: 0,
-            t_send: Ps::ZERO,
-            shared: shared.clone(),
-        }),
+    let size = cfg.size;
+    let (iters, warmup) = (cfg.iters, cfg.warmup);
+    let faults_active = cfg.params.cfg.fault_injection_active();
+    let install = |cluster: &mut Cluster, _shard: usize| {
+        // Each shard only hosts the endpoints of its own nodes; the
+        // collector is per shard and merged after the run.
+        let shared = Rc::new(RefCell::new(SharedState::default()));
+        let mut has_pinger = false;
+        if cluster.owns(node_a) {
+            cluster.add_endpoint(
+                node_a,
+                core_a,
+                Box::new(Pinger {
+                    peer: addr_b,
+                    size,
+                    iters,
+                    warmup,
+                    cur: 0,
+                    t_send: Ps::ZERO,
+                    shared: shared.clone(),
+                }),
+            );
+            has_pinger = true;
+        }
+        if cluster.owns(node_b) {
+            cluster.add_endpoint(
+                node_b,
+                core_b,
+                Box::new(Ponger {
+                    peer: addr_a,
+                    size,
+                    total,
+                    cur: 0,
+                    shared: shared.clone(),
+                }),
+            );
+        }
+        (shared, has_pinger)
+    };
+    let finish = |_shard: usize,
+                  sim: &mut Sim<Cluster>,
+                  cluster: &mut Cluster,
+                  (shared, has_pinger): (Rc<RefCell<SharedState>>, bool)| {
+        // The leak sanitizer is thread-local: quiesce on the worker
+        // that actually ran this shard's handles.
+        omx_sim::sanitize::SimSanitizer::assert_quiesced();
+        let sh = shared.borrow();
+        let (skbuffs, pinned) = super::leak_counts(cluster);
+        ShardTally {
+            rtts: sh.rtts.clone(),
+            corrupt: sh.corrupt,
+            done: has_pinger.then_some(sh.done),
+            stats: cluster.stats_snapshot(),
+            busy: super::BusyTotals::of(cluster),
+            events: sim.events_executed(),
+            end: sim.now(),
+            skbuffs,
+            pinned,
+        }
+    };
+    let tallies = crate::partition::run_partitioned(cfg.params, install, finish);
+    let mut rtts = Vec::new();
+    let mut stats: Option<crate::cluster::Stats> = None;
+    let mut busy = super::BusyTotals::default();
+    let (mut corrupt, mut events, mut skbuffs, mut pinned) = (0u64, 0u64, 0u64, 0u64);
+    let mut end_time = Ps::ZERO;
+    let mut done = None;
+    for t in tallies {
+        rtts.extend(t.rtts); // only the pinger's shard contributes
+        corrupt += t.corrupt;
+        if t.done.is_some() {
+            done = t.done;
+        }
+        match &mut stats {
+            None => stats = Some(t.stats),
+            Some(s) => s.absorb(&t.stats),
+        }
+        busy.absorb(&t.busy);
+        events += t.events;
+        end_time = end_time.max(t.end);
+        skbuffs += t.skbuffs;
+        pinned += t.pinned;
+    }
+    let stats = stats.expect("at least one shard");
+    assert_eq!(
+        done,
+        Some(true),
+        "ping-pong did not complete: a message was lost"
     );
-    cluster.add_endpoint(
-        node_b,
-        core_b,
-        Box::new(Ponger {
-            peer: addr_a,
-            size: cfg.size,
-            total,
-            cur: 0,
-            shared: shared.clone(),
-        }),
-    );
-    cluster.start(&mut sim);
-    let end_time = sim.run(&mut cluster);
-    let sh = shared.borrow();
-    assert!(sh.done, "ping-pong did not complete: a message was lost");
-    let halves: Vec<Ps> = sh.rtts.iter().map(|r| *r / 2).collect();
+    let halves: Vec<Ps> = rtts.iter().map(|r| *r / 2).collect();
     let half_rtt = Summary::of(&halves).expect("at least one iteration");
-    let throughput_mibs = cfg.size as f64 / half_rtt.median.as_secs_f64() / (1u64 << 20) as f64;
-    let (clean_wire, end_skbuffs_held, end_pinned_regions) = super::drain_check(&cluster);
+    let throughput_mibs = size as f64 / half_rtt.median.as_secs_f64() / (1u64 << 20) as f64;
+    let clean_wire = super::wire_stayed_clean(faults_active, &stats);
     PingPongResult {
-        rtts: sh.rtts.clone(),
+        verified: corrupt == 0 && stats.sends_failed == 0 && clean_wire,
+        rtts,
         half_rtt,
         throughput_mibs,
-        verified: sh.corrupt == 0 && cluster.stats.sends_failed == 0 && clean_wire,
-        events_executed: sim.events_executed(),
+        events_executed: events,
         end_time,
-        breakdown: super::ComponentBreakdown::from_cluster(&cluster, end_time),
-        stats: cluster.stats_snapshot(),
-        end_skbuffs_held,
-        end_pinned_regions,
+        breakdown: super::ComponentBreakdown::from_totals(&busy, end_time),
+        stats,
+        end_skbuffs_held: skbuffs,
+        end_pinned_regions: pinned,
     }
 }
 
@@ -326,6 +402,38 @@ mod tests {
         // Enabled registry actually observed the run.
         assert!(on.breakdown.wire_ns > 0.0);
         assert!(on.breakdown.ioat_channel_ns > 0.0);
+    }
+
+    #[test]
+    fn partitioned_pingpong_is_byte_identical_to_single_engine() {
+        // The satellite regression for the partition-safe delivery
+        // seam: every arrival in `send_payload` routes through
+        // `deliver_frame`, so splitting the two nodes across shards —
+        // with any worker count — must reproduce the single-engine
+        // run exactly: timings, event count, end time and the full
+        // serialized stats.
+        let run = |partitions: usize, workers: usize| {
+            let mut params = ClusterParams::with_cfg(OmxConfig::with_ioat());
+            params.partitions = partitions;
+            params.partition_workers = workers;
+            quick(params, 64 << 10)
+        };
+        let single = run(1, 1);
+        let split = run(2, 1);
+        let threaded = run(2, 2);
+        for (name, other) in [("partitions=2", &split), ("2 threaded workers", &threaded)] {
+            assert_eq!(single.rtts, other.rtts, "{name}: per-iteration timings");
+            assert_eq!(single.end_time, other.end_time, "{name}: end time");
+            assert_eq!(
+                single.events_executed, other.events_executed,
+                "{name}: event count"
+            );
+            assert_eq!(
+                serde_json::to_string(&single.stats).unwrap(),
+                serde_json::to_string(&other.stats).unwrap(),
+                "{name}: serialized stats"
+            );
+        }
     }
 
     #[test]

@@ -38,12 +38,14 @@ pub mod harness;
 pub mod libproc;
 pub mod matching;
 pub mod mx_stack;
+pub mod partition;
 pub mod predict;
 pub mod proto;
 pub mod region;
 
 pub use cluster::{Cluster, ClusterParams};
 pub use config::{MsgClass, OmxConfig, StackKind, SyncWaitPolicy};
+pub use partition::{lookahead, run_partitioned};
 
 use serde::{Deserialize, Serialize};
 

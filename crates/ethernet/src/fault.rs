@@ -23,9 +23,12 @@
 //! pause-frame storms occasionally do), or reordered (held back by a
 //! bounded number of frame-serialization times).
 //!
-//! All draws come from a caller-supplied [`SplitMix64`] so a fault
-//! pattern is a pure function of the seed: the same plan + seed drops
-//! exactly the same frames every run.
+//! Each channel owns its own [`SplitMix64`] stream, handed over at
+//! construction, so a fault pattern is a pure function of (seed,
+//! link) — independent of how many frames *other* links carried and
+//! of which partition of a split simulation evaluates the link. The
+//! same plan + seed drops exactly the same frames every run, at every
+//! partition count.
 
 use omx_sim::SplitMix64;
 use serde::{Deserialize, Serialize};
@@ -134,20 +137,26 @@ impl FrameDisposition {
     };
 }
 
-/// Mutable per-link fault state: the parameters plus the current
-/// Gilbert–Elliott channel state.
+/// Mutable per-link fault state: the parameters, the current
+/// Gilbert–Elliott channel state, and the link's private draw stream.
 #[derive(Debug, Clone)]
 pub struct LinkFaultState {
     params: LinkFaultParams,
     in_bad: bool,
+    rng: SplitMix64,
 }
 
 impl LinkFaultState {
-    /// A channel starting in the good state.
-    pub fn new(params: LinkFaultParams) -> LinkFaultState {
+    /// A channel starting in the good state, owning its draw stream.
+    /// Derive `rng` purely from the run seed and the link's identity
+    /// (e.g. `root.derive(key(src, dst))`) so the stream is the same
+    /// no matter when the link is first touched or which partition
+    /// hosts it.
+    pub fn new(params: LinkFaultParams, rng: SplitMix64) -> LinkFaultState {
         LinkFaultState {
             params,
             in_bad: false,
+            rng,
         }
     }
 
@@ -164,8 +173,9 @@ impl LinkFaultState {
     /// Evaluate the hazards for one frame. Draw order is fixed
     /// (transition, loss, corrupt, duplicate, reorder) so fault
     /// patterns are reproducible across runs with the same seed.
-    pub fn next_frame(&mut self, rng: &mut SplitMix64) -> FrameDisposition {
+    pub fn next_frame(&mut self) -> FrameDisposition {
         let p = self.params;
+        let rng = &mut self.rng;
         if self.in_bad {
             if rng.chance(p.p_exit_bad) {
                 self.in_bad = false;
@@ -216,10 +226,9 @@ mod tests {
         // Degenerate channel: both states drop identically.
         assert_eq!(p.loss_good, p.loss_bad);
 
-        let mut st = LinkFaultState::new(p);
-        let mut rng = SplitMix64::new(7);
+        let mut st = LinkFaultState::new(p, SplitMix64::new(7));
         let n = 200_000;
-        let drops = (0..n).filter(|_| st.next_frame(&mut rng).dropped).count();
+        let drops = (0..n).filter(|_| st.next_frame().dropped).count();
         let rate = drops as f64 / n as f64;
         assert!((rate - 0.02).abs() < 0.004, "observed loss {rate}");
     }
@@ -229,10 +238,9 @@ mod tests {
         // loss_one_in = Some(1) must still drop everything through
         // the Gilbert–Elliott adapter.
         let p = LinkFaultParams::default().combined_with_uniform_loss(Some(1));
-        let mut st = LinkFaultState::new(p);
-        let mut rng = SplitMix64::new(1);
+        let mut st = LinkFaultState::new(p, SplitMix64::new(1));
         for _ in 0..1000 {
-            assert!(st.next_frame(&mut rng).dropped);
+            assert!(st.next_frame().dropped);
         }
     }
 
@@ -246,14 +254,13 @@ mod tests {
             loss_bad: 1.0,
             ..LinkFaultParams::default()
         };
-        let mut st = LinkFaultState::new(p);
-        let mut rng = SplitMix64::new(3);
+        let mut st = LinkFaultState::new(p, SplitMix64::new(3));
         let n = 400_000;
         let mut drops = 0u64;
         let mut bursts = 0u64;
         let mut prev_dropped = false;
         for _ in 0..n {
-            let d = st.next_frame(&mut rng).dropped;
+            let d = st.next_frame().dropped;
             if d {
                 drops += 1;
                 if !prev_dropped {
@@ -280,13 +287,12 @@ mod tests {
             reorder_depth: 4,
             ..LinkFaultParams::default()
         };
-        let mut st = LinkFaultState::new(p);
-        let mut rng = SplitMix64::new(9);
+        let mut st = LinkFaultState::new(p, SplitMix64::new(9));
         let n = 100_000;
         let (mut c, mut d, mut r) = (0u64, 0u64, 0u64);
         let mut max_extra = 0u32;
         for _ in 0..n {
-            let disp = st.next_frame(&mut rng);
+            let disp = st.next_frame();
             assert!(!disp.dropped);
             c += disp.corrupted as u64;
             d += disp.duplicated as u64;
@@ -313,11 +319,8 @@ mod tests {
             ..LinkFaultParams::default()
         };
         let run = |seed: u64| {
-            let mut st = LinkFaultState::new(p);
-            let mut rng = SplitMix64::new(seed);
-            (0..5000)
-                .map(|_| st.next_frame(&mut rng))
-                .collect::<Vec<_>>()
+            let mut st = LinkFaultState::new(p, SplitMix64::new(seed));
+            (0..5000).map(|_| st.next_frame()).collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));

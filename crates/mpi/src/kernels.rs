@@ -78,32 +78,42 @@ impl Kernel {
     /// Build the per-rank scripts for `np` ranks, message size `size`,
     /// `iters` iterations. Rank 0 marks the end of every iteration.
     pub fn scripts(&self, np: usize, size: u64, iters: u32) -> Vec<Script> {
+        (0..np)
+            .map(|rank| self.rank_script(rank, np, size, iters))
+            .collect()
+    }
+
+    /// Build the script of **one** rank without materializing the
+    /// whole job — the partitioned runner calls this so each shard
+    /// only pays for its own ranks' scripts (a 4k-rank alltoall has
+    /// ~16M phases per iteration across the job; per-rank generation
+    /// keeps a shard's share of that, not all of it).
+    pub fn rank_script(&self, rank: usize, np: usize, size: u64, iters: u32) -> Script {
         assert!(np.is_power_of_two() && np >= 2, "np must be a power of two");
-        let mut scripts: Vec<Script> = vec![Vec::new(); np];
+        assert!(rank < np, "rank {rank} out of range for np {np}");
+        let mut script = Vec::new();
         for _ in 0..iters {
-            let iteration: Vec<Vec<Phase>> = match self {
-                Kernel::PingPong => pingpong(np, size),
-                Kernel::PingPing => pingping(np, size),
-                Kernel::SendRecv => sendrecv_ring(np, size),
-                Kernel::Exchange => exchange(np, size),
-                Kernel::Allreduce => allreduce(np, size),
-                Kernel::Reduce => reduce(np, size),
-                Kernel::ReduceScatter => reduce_scatter(np, size),
-                Kernel::Allgather => allgather(np, size),
-                Kernel::Allgatherv => allgatherv(np, size),
-                Kernel::Alltoall => alltoall(np, size),
-                Kernel::Bcast => bcast(np, size),
+            let mut phases: Vec<Phase> = match self {
+                Kernel::PingPong => pingpong(rank, np, size),
+                Kernel::PingPing => pingping(rank, np, size),
+                Kernel::SendRecv => sendrecv_ring(rank, np, size),
+                Kernel::Exchange => exchange(rank, np, size),
+                Kernel::Allreduce => allreduce(rank, np, size),
+                Kernel::Reduce => reduce(rank, np, size),
+                Kernel::ReduceScatter => reduce_scatter(rank, np, size),
+                Kernel::Allgather => allgather(rank, np, size),
+                Kernel::Allgatherv => allgatherv(rank, np, size),
+                Kernel::Alltoall => alltoall(rank, np, size),
+                Kernel::Bcast => bcast(rank, np, size),
             };
-            for (rank, mut phases) in iteration.into_iter().enumerate() {
-                if rank == 0 {
-                    if let Some(last) = phases.last_mut() {
-                        last.mark = true;
-                    }
+            if rank == 0 {
+                if let Some(last) = phases.last_mut() {
+                    last.mark = true;
                 }
-                scripts[rank].extend(phases);
             }
+            script.extend(phases);
         }
-        scripts
+        script
     }
 }
 
@@ -111,185 +121,148 @@ fn log2(np: usize) -> usize {
     np.trailing_zeros() as usize
 }
 
-fn pingpong(np: usize, size: u64) -> Vec<Vec<Phase>> {
+fn pingpong(r: usize, np: usize, size: u64) -> Vec<Phase> {
     assert!(np >= 2);
-    let mut v = vec![Vec::new(); np];
-    v[0] = vec![Phase::send(1, size, 0), Phase::recv(1, size, 1)];
-    v[1] = vec![Phase::recv(0, size, 0), Phase::send(0, size, 1)];
-    // Extra ranks idle.
-    v
+    match r {
+        0 => vec![Phase::send(1, size, 0), Phase::recv(1, size, 1)],
+        1 => vec![Phase::recv(0, size, 0), Phase::send(0, size, 1)],
+        _ => Vec::new(), // extra ranks idle
+    }
 }
 
-fn pingping(np: usize, size: u64) -> Vec<Vec<Phase>> {
+fn pingping(r: usize, np: usize, size: u64) -> Vec<Phase> {
     assert!(np >= 2);
-    let mut v = vec![Vec::new(); np];
-    v[0] = vec![Phase::sendrecv(1, size, 0, 1, size, 0)];
-    v[1] = vec![Phase::sendrecv(0, size, 0, 0, size, 0)];
-    v
+    match r {
+        0 => vec![Phase::sendrecv(1, size, 0, 1, size, 0)],
+        1 => vec![Phase::sendrecv(0, size, 0, 0, size, 0)],
+        _ => Vec::new(),
+    }
 }
 
-fn sendrecv_ring(np: usize, size: u64) -> Vec<Vec<Phase>> {
-    (0..np)
-        .map(|r| {
-            let right = (r + 1) % np;
-            let left = (r + np - 1) % np;
-            vec![Phase::sendrecv(right, size, 0, left, size, 0)]
+fn sendrecv_ring(r: usize, np: usize, size: u64) -> Vec<Phase> {
+    let right = (r + 1) % np;
+    let left = (r + np - 1) % np;
+    vec![Phase::sendrecv(right, size, 0, left, size, 0)]
+}
+
+fn exchange(r: usize, np: usize, size: u64) -> Vec<Phase> {
+    let right = (r + 1) % np;
+    let left = (r + np - 1) % np;
+    vec![Phase {
+        sends: vec![
+            SendOp {
+                to: right,
+                bytes: size,
+                tag: 0,
+            },
+            SendOp {
+                to: left,
+                bytes: size,
+                tag: 1,
+            },
+        ],
+        recvs: vec![
+            RecvOp {
+                from: left,
+                bytes: size,
+                tag: 0,
+            },
+            RecvOp {
+                from: right,
+                bytes: size,
+                tag: 1,
+            },
+        ],
+        ..Phase::default()
+    }]
+}
+
+fn allreduce(r: usize, np: usize, size: u64) -> Vec<Phase> {
+    (0..log2(np))
+        .map(|s| {
+            let partner = r ^ (1 << s);
+            Phase::sendrecv(partner, size, s as u32, partner, size, s as u32)
+                .with_compute(reduce_cost(size))
         })
         .collect()
 }
 
-fn exchange(np: usize, size: u64) -> Vec<Vec<Phase>> {
-    (0..np)
-        .map(|r| {
-            let right = (r + 1) % np;
-            let left = (r + np - 1) % np;
-            vec![Phase {
-                sends: vec![
-                    SendOp {
-                        to: right,
-                        bytes: size,
-                        tag: 0,
-                    },
-                    SendOp {
-                        to: left,
-                        bytes: size,
-                        tag: 1,
-                    },
-                ],
-                recvs: vec![
-                    RecvOp {
-                        from: left,
-                        bytes: size,
-                        tag: 0,
-                    },
-                    RecvOp {
-                        from: right,
-                        bytes: size,
-                        tag: 1,
-                    },
-                ],
-                ..Phase::default()
-            }]
-        })
-        .collect()
+fn reduce(r: usize, np: usize, size: u64) -> Vec<Phase> {
+    let mut phases = Vec::new();
+    for s in 0..log2(np) {
+        let bit = 1usize << s;
+        let group = bit << 1;
+        if r % group == bit {
+            phases.push(Phase::send(r - bit, size, s as u32));
+            break; // this rank is done for the iteration
+        } else if r.is_multiple_of(group) && r + bit < np {
+            phases.push(Phase::recv(r + bit, size, s as u32).with_compute(reduce_cost(size)));
+        }
+    }
+    phases
 }
 
-fn allreduce(np: usize, size: u64) -> Vec<Vec<Phase>> {
-    (0..np)
-        .map(|r| {
-            (0..log2(np))
-                .map(|s| {
-                    let partner = r ^ (1 << s);
-                    Phase::sendrecv(partner, size, s as u32, partner, size, s as u32)
-                        .with_compute(reduce_cost(size))
-                })
-                .collect()
-        })
-        .collect()
+fn reduce_scatter(r: usize, np: usize, size: u64) -> Vec<Phase> {
+    let mut phases = Vec::new();
+    let mut dist = np / 2;
+    let mut sz = size / 2;
+    let mut step = 0u32;
+    while dist >= 1 && sz > 0 {
+        let partner = r ^ dist;
+        phases.push(
+            Phase::sendrecv(partner, sz, step, partner, sz, step).with_compute(reduce_cost(sz)),
+        );
+        dist /= 2;
+        sz /= 2;
+        step += 1;
+    }
+    phases
 }
 
-fn reduce(np: usize, size: u64) -> Vec<Vec<Phase>> {
-    (0..np)
-        .map(|r| {
-            let mut phases = Vec::new();
-            for s in 0..log2(np) {
-                let bit = 1usize << s;
-                let group = bit << 1;
-                if r % group == bit {
-                    phases.push(Phase::send(r - bit, size, s as u32));
-                    break; // this rank is done for the iteration
-                } else if r % group == 0 && r + bit < np {
-                    phases
-                        .push(Phase::recv(r + bit, size, s as u32).with_compute(reduce_cost(size)));
-                }
-            }
-            phases
-        })
-        .collect()
-}
-
-fn reduce_scatter(np: usize, size: u64) -> Vec<Vec<Phase>> {
-    (0..np)
-        .map(|r| {
-            let mut phases = Vec::new();
-            let mut dist = np / 2;
-            let mut sz = size / 2;
-            let mut step = 0u32;
-            while dist >= 1 && sz > 0 {
-                let partner = r ^ dist;
-                phases.push(
-                    Phase::sendrecv(partner, sz, step, partner, sz, step)
-                        .with_compute(reduce_cost(sz)),
-                );
-                dist /= 2;
-                sz /= 2;
-                step += 1;
-            }
-            phases
-        })
-        .collect()
-}
-
-fn allgather(np: usize, size: u64) -> Vec<Vec<Phase>> {
+fn allgather(r: usize, np: usize, size: u64) -> Vec<Phase> {
     // Recursive doubling: exchanged block doubles each step, starting
     // from each rank's own `size`-byte contribution (IMB convention).
-    (0..np)
-        .map(|r| {
-            (0..log2(np))
-                .map(|s| {
-                    let partner = r ^ (1 << s);
-                    let block = size << s;
-                    Phase::sendrecv(partner, block, s as u32, partner, block, s as u32)
-                })
-                .collect()
+    (0..log2(np))
+        .map(|s| {
+            let partner = r ^ (1 << s);
+            let block = size << s;
+            Phase::sendrecv(partner, block, s as u32, partner, block, s as u32)
         })
         .collect()
 }
 
-fn allgatherv(np: usize, size: u64) -> Vec<Vec<Phase>> {
+fn allgatherv(r: usize, np: usize, size: u64) -> Vec<Phase> {
     // Ring: np-1 steps forwarding `size`-byte blocks.
-    (0..np)
-        .map(|r| {
-            let right = (r + 1) % np;
-            let left = (r + np - 1) % np;
-            (0..np - 1)
-                .map(|s| Phase::sendrecv(right, size, s as u32, left, size, s as u32))
-                .collect()
-        })
+    let right = (r + 1) % np;
+    let left = (r + np - 1) % np;
+    (0..np - 1)
+        .map(|s| Phase::sendrecv(right, size, s as u32, left, size, s as u32))
         .collect()
 }
 
-fn alltoall(np: usize, size: u64) -> Vec<Vec<Phase>> {
+fn alltoall(r: usize, np: usize, size: u64) -> Vec<Phase> {
     // Pairwise exchange: step i pairs rank with rank ^ i.
-    (0..np)
-        .map(|r| {
-            (1..np)
-                .map(|i| {
-                    let partner = r ^ i;
-                    Phase::sendrecv(partner, size, i as u32, partner, size, i as u32)
-                })
-                .collect()
+    (1..np)
+        .map(|i| {
+            let partner = r ^ i;
+            Phase::sendrecv(partner, size, i as u32, partner, size, i as u32)
         })
         .collect()
 }
 
-fn bcast(np: usize, size: u64) -> Vec<Vec<Phase>> {
-    (0..np)
-        .map(|r| {
-            let mut phases = Vec::new();
-            for s in 0..log2(np) {
-                let bit = 1usize << s;
-                if r < bit {
-                    if r + bit < np {
-                        phases.push(Phase::send(r + bit, size, s as u32));
-                    }
-                } else if r < bit << 1 {
-                    phases.push(Phase::recv(r - bit, size, s as u32));
-                }
+fn bcast(r: usize, np: usize, size: u64) -> Vec<Phase> {
+    let mut phases = Vec::new();
+    for s in 0..log2(np) {
+        let bit = 1usize << s;
+        if r < bit {
+            if r + bit < np {
+                phases.push(Phase::send(r + bit, size, s as u32));
             }
-            phases
-        })
-        .collect()
+        } else if r < bit << 1 {
+            phases.push(Phase::recv(r - bit, size, s as u32));
+        }
+    }
+    phases
 }
 
 #[cfg(test)]

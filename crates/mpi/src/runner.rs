@@ -24,6 +24,10 @@ pub enum Layout {
     /// host exercise the shared-memory path. The two local ranks sit
     /// on different sockets (no shared L2).
     TwoPerNode,
+    /// `n` nodes, one rank per node (rank `r` on node `r`, core 2) —
+    /// the scale layout for 1k–10k-rank jobs, partitionable across
+    /// engine shards because no two ranks share a node.
+    Nodes(usize),
 }
 
 impl Layout {
@@ -32,6 +36,15 @@ impl Layout {
         match self {
             Layout::OnePerNode => 2,
             Layout::TwoPerNode => 4,
+            Layout::Nodes(n) => *n,
+        }
+    }
+
+    /// Number of hosts the layout occupies.
+    pub fn nodes(&self) -> usize {
+        match self {
+            Layout::OnePerNode | Layout::TwoPerNode => 2,
+            Layout::Nodes(n) => *n,
         }
     }
 
@@ -44,6 +57,7 @@ impl Layout {
                 let core = if rank / 2 == 0 { CoreId(2) } else { CoreId(4) };
                 (node, core)
             }
+            Layout::Nodes(_) => (NodeId(rank as u32), CoreId(2)),
         }
     }
 
@@ -51,7 +65,7 @@ impl Layout {
     pub fn addr(&self, rank: usize) -> EpAddr {
         let (node, _) = self.spec(rank);
         let ep = match self {
-            Layout::OnePerNode => 0,
+            Layout::OnePerNode | Layout::Nodes(_) => 0,
             Layout::TwoPerNode => (rank / 2) as u8,
         };
         EpAddr {
@@ -90,6 +104,23 @@ pub struct KernelResult {
     /// endpoint (with the registration cache disabled this must be
     /// zero).
     pub end_pinned_regions: u64,
+    /// Per-shard deterministic load figures, in shard order (one entry
+    /// for an unpartitioned run). The scale ablation renders these as
+    /// its events / peak-memory-proxy columns.
+    pub shards: Vec<ShardLoad>,
+}
+
+/// One shard's deterministic load and footprint figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Engine events this shard executed.
+    pub events: u64,
+    /// Peak simultaneous pending events on this shard's wheel — the
+    /// engine's peak-memory proxy (event pool + slab occupancy track
+    /// the pending population), deterministic per schedule.
+    pub peak_pending: usize,
+    /// Ranks whose scripts lived on this shard.
+    pub ranks: usize,
 }
 
 impl KernelResult {
@@ -104,13 +135,17 @@ impl KernelResult {
 struct JobShared {
     marks: Vec<Ps>,
     done_ranks: usize,
+    /// Ranks installed on this shard (owned nodes only).
+    ranks_installed: usize,
 }
 
 struct RankApp {
     rank: usize,
     script: Script,
     pc: usize,
-    addrs: Vec<EpAddr>,
+    /// Rank → endpoint table, shared by every rank on this shard (at
+    /// 10k ranks a per-app copy would be ~800 MB across the job).
+    addrs: Rc<Vec<EpAddr>>,
     waiting: BTreeSet<ReqId>,
     shared: Rc<RefCell<JobShared>>,
     done: bool,
@@ -201,49 +236,134 @@ impl App for RankApp {
 pub fn run_scripts(params: ClusterParams, layout: Layout, scripts: Vec<Script>) -> KernelResult {
     let np = layout.np();
     assert_eq!(scripts.len(), np, "one script per rank");
-    let shared = Rc::new(RefCell::new(JobShared::default()));
-    let addrs: Vec<EpAddr> = (0..np).map(|r| layout.addr(r)).collect();
-    let mut cluster = Cluster::new(params);
-    let mut sim: Sim<Cluster> = Sim::with_wheel_levels(cluster.p.cfg.wheel_levels);
-    for (rank, script) in scripts.into_iter().enumerate() {
-        let (node, core) = layout.spec(rank);
-        cluster.add_endpoint(
-            node,
-            core,
-            Box::new(RankApp {
-                rank,
-                script,
-                pc: 0,
-                addrs: addrs.clone(),
-                waiting: BTreeSet::new(),
-                shared: shared.clone(),
-                done: false,
-                finished_count: false,
-            }),
-        );
+    run_job(params, layout, move |rank| scripts[rank].clone())
+}
+
+/// Per-shard reduction of one (possibly partitioned) job. With
+/// `partitions = 1` there is one tally and the merge in [`run_job`]
+/// is the identity, so results match the historical single-engine
+/// runner byte for byte.
+struct ShardTally {
+    marks: Vec<Ps>,
+    done_ranks: usize,
+    stats: open_mx::cluster::Stats,
+    busy: open_mx::harness::BusyTotals,
+    events: u64,
+    end: Ps,
+    skbuffs: u64,
+    pinned: u64,
+    load: ShardLoad,
+}
+
+/// Run one job from a per-rank script generator, partitioned per
+/// `params.partitions` and fanned across `params.partition_workers`
+/// threads (results are identical for any value of either knob).
+///
+/// `gen(rank)` builds rank `rank`'s script; each shard invokes it only
+/// for the ranks whose nodes it owns, so a 4k-rank job never holds all
+/// 4k scripts in one place.
+pub fn run_job<G>(mut params: ClusterParams, layout: Layout, gen: G) -> KernelResult
+where
+    G: Fn(usize) -> Script + Sync,
+{
+    let np = layout.np();
+    params.nodes = params.nodes.max(layout.nodes());
+    let faults_active = params.cfg.fault_injection_active();
+    let install = |cluster: &mut Cluster, _shard: usize| {
+        let shared = Rc::new(RefCell::new(JobShared::default()));
+        let addrs = Rc::new((0..np).map(|r| layout.addr(r)).collect::<Vec<EpAddr>>());
+        for rank in 0..np {
+            let (node, core) = layout.spec(rank);
+            if !cluster.owns(node) {
+                continue;
+            }
+            shared.borrow_mut().ranks_installed += 1;
+            cluster.add_endpoint(
+                node,
+                core,
+                Box::new(RankApp {
+                    rank,
+                    script: gen(rank),
+                    pc: 0,
+                    addrs: addrs.clone(),
+                    waiting: BTreeSet::new(),
+                    shared: shared.clone(),
+                    done: false,
+                    finished_count: false,
+                }),
+            );
+        }
+        shared
+    };
+    let finish = |_shard: usize,
+                  sim: &mut Sim<Cluster>,
+                  cluster: &mut Cluster,
+                  shared: Rc<RefCell<JobShared>>| {
+        // Thread-local sanitizer: quiesce on the worker that ran this
+        // shard.
+        omx_sim::sanitize::SimSanitizer::assert_quiesced();
+        let sh = shared.borrow();
+        let (skbuffs, pinned) = open_mx::harness::leak_counts(cluster);
+        ShardTally {
+            marks: sh.marks.clone(),
+            done_ranks: sh.done_ranks,
+            stats: cluster.stats_snapshot(),
+            busy: open_mx::harness::BusyTotals::of(cluster),
+            events: sim.events_executed(),
+            end: sim.now(),
+            skbuffs,
+            pinned,
+            load: ShardLoad {
+                events: sim.events_executed(),
+                peak_pending: sim.events_peak_pending(),
+                ranks: sh.ranks_installed,
+            },
+        }
+    };
+    let tallies = open_mx::run_partitioned(params, install, finish);
+    let mut marks = Vec::new();
+    let mut stats: Option<open_mx::cluster::Stats> = None;
+    let mut busy = open_mx::harness::BusyTotals::default();
+    let (mut done_ranks, mut events) = (0usize, 0u64);
+    let (mut skbuffs, mut pinned) = (0u64, 0u64);
+    let mut end = Ps::ZERO;
+    let mut shards = Vec::with_capacity(tallies.len());
+    for t in tallies {
+        shards.push(t.load);
+        marks.extend(t.marks);
+        done_ranks += t.done_ranks;
+        match &mut stats {
+            None => stats = Some(t.stats),
+            Some(s) => s.absorb(&t.stats),
+        }
+        busy.absorb(&t.busy);
+        events += t.events;
+        end = end.max(t.end);
+        skbuffs += t.skbuffs;
+        pinned += t.pinned;
     }
-    cluster.start(&mut sim);
-    let end = sim.run(&mut cluster);
-    let sh = shared.borrow();
+    let stats = stats.expect("at least one shard");
     assert_eq!(
-        sh.done_ranks, np,
-        "job deadlocked: {}/{np} ranks finished",
-        sh.done_ranks
+        done_ranks, np,
+        "job deadlocked: {done_ranks}/{np} ranks finished"
     );
-    let marks = sh.marks.clone();
+    // Marks from one shard are chronological; the merged sequence is
+    // re-sorted (stably — the single-shard case is untouched) so the
+    // timeline reads the same however the marking ranks were dealt.
+    marks.sort();
     let time_per_iter = iter_time(&marks);
-    let (clean_wire, end_skbuffs_held, end_pinned_regions) =
-        open_mx::harness::drain_check(&cluster);
+    let clean_wire = open_mx::harness::wire_stayed_clean(faults_active, &stats);
     KernelResult {
         time_per_iter,
         end,
         marks,
-        breakdown: open_mx::harness::ComponentBreakdown::from_cluster(&cluster, end),
-        verified: clean_wire && cluster.stats.sends_failed == 0,
-        events_executed: sim.events_executed(),
-        stats: cluster.stats_snapshot(),
-        end_skbuffs_held,
-        end_pinned_regions,
+        breakdown: open_mx::harness::ComponentBreakdown::from_totals(&busy, end),
+        verified: clean_wire && stats.sends_failed == 0,
+        events_executed: events,
+        stats,
+        end_skbuffs_held: skbuffs,
+        end_pinned_regions: pinned,
+        shards,
     }
 }
 
@@ -267,8 +387,10 @@ pub fn run_kernel(
     iters: u32,
     params: ClusterParams,
 ) -> KernelResult {
-    let scripts = kernel.scripts(layout.np(), size, iters);
-    run_scripts(params, layout, scripts)
+    let np = layout.np();
+    run_job(params, layout, move |rank| {
+        kernel.rank_script(rank, np, size, iters)
+    })
 }
 
 #[cfg(test)]
@@ -346,6 +468,47 @@ mod tests {
                     layout
                 );
             }
+        }
+    }
+
+    #[test]
+    fn nodes_layout_places_one_rank_per_node() {
+        let l = Layout::Nodes(8);
+        assert_eq!(l.np(), 8);
+        assert_eq!(l.nodes(), 8);
+        assert_eq!(l.spec(5), (NodeId(5), CoreId(2)));
+        assert_eq!(l.addr(5).ep, EpIdx(0));
+    }
+
+    #[test]
+    fn partitioned_alltoall_matches_single_engine() {
+        // The same 8-rank, 8-node alltoall split across 4 shards (on 4
+        // worker threads) must reproduce the single-engine run exactly
+        // — marks, end time, event count and the full serialized
+        // stats. This is the job-level version of the harness identity
+        // tests, crossing partition boundaries on every pairwise step.
+        let run = |partitions: usize, workers: usize| {
+            let mut p = params(StackKind::OpenMx, true);
+            p.partitions = partitions;
+            p.partition_workers = workers;
+            run_kernel(Kernel::Alltoall, Layout::Nodes(8), 64 << 10, 3, p)
+        };
+        let single = run(1, 1);
+        for (name, other) in [
+            ("4 shards, 1 worker", run(4, 1)),
+            ("4 shards, 4 workers", run(4, 4)),
+        ] {
+            assert_eq!(single.marks, other.marks, "{name}: marks");
+            assert_eq!(single.end, other.end, "{name}: end time");
+            assert_eq!(
+                single.events_executed, other.events_executed,
+                "{name}: event count"
+            );
+            assert_eq!(
+                serde_json::to_string(&single.stats).unwrap(),
+                serde_json::to_string(&other.stats).unwrap(),
+                "{name}: serialized stats"
+            );
         }
     }
 

@@ -18,6 +18,7 @@ pub mod incast;
 pub mod microbench;
 pub mod nas_is;
 pub mod rss_ablation;
+pub mod scale_ablation;
 
 use omx_hw::CoreId;
 use open_mx::cluster::ClusterParams;

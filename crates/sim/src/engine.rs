@@ -66,6 +66,10 @@ pub struct Sim<W> {
     executed: u64,
     /// Live (not yet executed, not cancelled) event count.
     pending: usize,
+    /// High-water mark of `pending` over the simulation's lifetime —
+    /// a deterministic proxy for the engine's peak memory footprint
+    /// (event pool + wheel occupancy track the pending population).
+    pending_peak: usize,
     /// Events of the slot the cursor is on, sorted by `(time, seq)`,
     /// held as indices into the wheel's node slab so the sort and any
     /// mid-drain inserts move 4-byte handles instead of whole entries;
@@ -107,6 +111,7 @@ impl<W> Sim<W> {
             seq: 0,
             executed: 0,
             pending: 0,
+            pending_peak: 0,
             current: VecDeque::new(),
             wheel: Wheel::with_levels(levels),
             far: FarHeap::new(),
@@ -133,6 +138,32 @@ impl<W> Sim<W> {
     #[inline]
     pub fn events_pending(&self) -> usize {
         self.pending
+    }
+
+    /// High-water mark of [`Sim::events_pending`] since construction:
+    /// the peak simultaneous event population, which bounds the event
+    /// pool and wheel slab footprint. Deterministic (a property of the
+    /// schedule, not the host), so it can appear in golden files as a
+    /// per-shard peak-memory proxy.
+    #[inline]
+    pub fn events_peak_pending(&self) -> usize {
+        self.pending_peak
+    }
+
+    /// Earliest pending instant — the timestamp of the next event that
+    /// would fire — or `None` when the queue is empty. Unlike the
+    /// internal [`Sim::next_instant`] this includes entries a bounded
+    /// [`Sim::run_until`] left behind in the cursor slot, so it is safe
+    /// to use as the horizon base of a conservative time-window
+    /// protocol (`crates/sim/src/partition.rs`). A cancelled-but-not-
+    /// yet-reaped tombstone may be reported here; that is conservative
+    /// (the window only shrinks, never admits an out-of-order event).
+    pub fn next_event_at(&self) -> Option<Ps> {
+        let cur = self.current.front().map(|&i| self.wheel.node_at(i));
+        match (cur, self.next_instant()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Schedule `f` to run at absolute time `at`. Scheduling in the past
@@ -202,6 +233,7 @@ impl<W> Sim<W> {
         let seq = self.seq;
         self.seq += 1;
         self.pending += 1;
+        self.pending_peak = self.pending_peak.max(self.pending);
         if slot_of(at) == self.wheel.cursor() {
             // The cursor slot lives in `current`, kept sorted. The new
             // entry carries the highest seq, so it sorts after every

@@ -26,6 +26,7 @@
 pub mod engine;
 pub(crate) mod event;
 pub mod metrics;
+pub mod partition;
 pub mod reference;
 pub mod resource;
 pub mod rng;
@@ -37,6 +38,7 @@ pub(crate) mod wheel;
 
 pub use engine::{Sim, TimerId};
 pub use metrics::{Metrics, MetricsSnapshot, TraceEvent};
+pub use partition::{run_shards, Shard, ShardBuilder};
 pub use reference::ReferenceSim;
 pub use resource::FifoServer;
 pub use rng::SplitMix64;

@@ -38,6 +38,19 @@ impl Stopwatch {
     }
 }
 
+/// Host core count, for gating wall-clock *assertions* (a speedup
+/// claim a 1-core host cannot physically express is skipped, never
+/// faked). Host introspection lives here for the same reason the
+/// [`Stopwatch`] does: the lint's thread rule bans `std::thread`
+/// outside `crates/sim`, and this is the one sanctioned read. The
+/// result must never influence simulated state — partitioning output
+/// is byte-identical for every worker count, so it cannot.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

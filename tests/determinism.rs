@@ -129,6 +129,85 @@ fn alltoall_is_bit_deterministic_under_every_plan() {
     }
 }
 
+/// The partitioned-engine determinism gate: for pingpong, alltoall and
+/// credit-incast under `clean` and `flaky-10g`, every combination of
+/// `partitions ∈ {1, 4}` × `partition_workers ∈ {1, 8}` must produce
+/// the byte-identical Stats + breakdown JSON — and the `partitions: 1`
+/// fingerprint IS the pre-partitioning single-engine fingerprint, so
+/// this pins both "jobs don't matter" and "partitioning doesn't
+/// matter" in one sweep.
+#[test]
+fn partitioning_and_workers_leave_every_fingerprint_unchanged() {
+    let plans = [
+        ("clean", FaultPlan::default()),
+        (
+            "flaky-10g",
+            FaultPlan::named("flaky-10g").expect("known plan"),
+        ),
+    ];
+    let grid = [(1usize, 1usize), (1, 8), (4, 1), (4, 8)];
+    for (name, plan) in plans {
+        for (label, fp) in [
+            (
+                "pingpong",
+                &partitioned_pingpong_fingerprint as &dyn Fn(FaultPlan, usize, usize) -> String,
+            ),
+            ("alltoall", &partitioned_alltoall_fingerprint),
+            ("incast", &partitioned_incast_fingerprint),
+        ] {
+            let base = fp(plan.clone(), 1, 1);
+            for (parts, workers) in grid.iter().skip(1) {
+                let got = fp(plan.clone(), *parts, *workers);
+                assert_eq!(
+                    got, base,
+                    "{label} under `{name}`: partitions={parts} workers={workers} \
+                     diverged from the single-engine fingerprint"
+                );
+            }
+        }
+    }
+}
+
+fn with_partitions(mut params: ClusterParams, parts: usize, workers: usize) -> ClusterParams {
+    params.partitions = parts;
+    params.partition_workers = workers;
+    params
+}
+
+fn partitioned_pingpong_fingerprint(plan: FaultPlan, parts: usize, workers: usize) -> String {
+    let mut c = PingPongConfig::new(
+        with_partitions(ClusterParams::with_cfg(cfg(plan)), parts, workers),
+        256 << 10,
+        Placement::TwoNodes {
+            core_a: CoreId(2),
+            core_b: CoreId(2),
+        },
+    );
+    c.iters = 6;
+    c.warmup = 1;
+    let r = run_pingpong(c);
+    fingerprint(&r.stats, &r.breakdown)
+}
+
+fn partitioned_alltoall_fingerprint(plan: FaultPlan, parts: usize, workers: usize) -> String {
+    // One rank per node on 8 nodes so a 4-way partitioning actually
+    // spreads the job (TwoPerNode would leave half the shards empty).
+    let params = with_partitions(ClusterParams::with_cfg(cfg(plan)), parts, workers);
+    let r = run_kernel(Kernel::Alltoall, Layout::Nodes(8), 256 << 10, 2, params);
+    fingerprint(&r.stats, &r.breakdown)
+}
+
+fn partitioned_incast_fingerprint(plan: FaultPlan, parts: usize, workers: usize) -> String {
+    let mut params = ClusterParams::with_cfg(OmxConfig {
+        pull_credits: true,
+        ..cfg(plan)
+    });
+    params.nic.num_queues = 4;
+    let params = with_partitions(params, parts, workers);
+    let r = run_incast(IncastConfig::new(params, 8, 96 << 10, 2));
+    fingerprint(&r.stats, &r.breakdown)
+}
+
 fn batch_pingpong(plan: FaultPlan, size: u64, batch: bool) -> (Vec<openmx_repro::sim::Ps>, String) {
     let mut c = PingPongConfig::new(
         ClusterParams::with_cfg(OmxConfig {

@@ -1,0 +1,98 @@
+//! Memory footprint of an idle large cluster: a 10k-endpoint world
+//! must stay lean enough that the scale ablation's 1k–10k-rank runs
+//! fit comfortably in memory. The receive slot pools dominate the
+//! naive footprint — `recvq_slots` (256) × `frag_size` (4 KiB) would
+//! be 1 MiB per endpoint, 10 GiB for the cluster — so this test pins
+//! the lazy-commit behaviour of `SlotPool` (slots are backed only on
+//! first use) with a byte-counting global allocator.
+
+use openmx_repro::hw::CoreId;
+use openmx_repro::omx::app::{App, AppCtx, Completion};
+use openmx_repro::omx::cluster::{Cluster, ClusterParams};
+use openmx_repro::omx::NodeId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+struct CountingAlloc;
+
+/// Live heap bytes (allocated minus freed).
+static LIVE: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        LIVE.fetch_add(l.size() as u64, Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        LIVE.fetch_sub(l.size() as u64, Relaxed);
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        LIVE.fetch_add(n as u64, Relaxed);
+        LIVE.fetch_sub(l.size() as u64, Relaxed);
+        System.realloc(p, l, n)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        LIVE.fetch_add(l.size() as u64, Relaxed);
+        System.alloc_zeroed(l)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live() -> u64 {
+    LIVE.load(Relaxed)
+}
+
+/// An app that never posts anything — the endpoint exists, with all
+/// its driver-side structures, but stays idle.
+struct Idle;
+
+impl App for Idle {
+    fn on_start(&mut self, _ctx: &mut AppCtx<'_>) {}
+    fn on_completion(&mut self, _ctx: &mut AppCtx<'_>, _comp: Completion) {}
+}
+
+const NODES: usize = 40;
+const EPS_PER_NODE: usize = 250;
+const ENDPOINTS: u64 = (NODES * EPS_PER_NODE) as u64;
+
+fn build(eps_per_node: usize) -> Cluster {
+    let params = ClusterParams {
+        nodes: NODES,
+        ..ClusterParams::default()
+    };
+    let mut c = Cluster::new(params);
+    for n in 0..NODES {
+        for _ in 0..eps_per_node {
+            c.add_endpoint(NodeId(n as u32), CoreId(0), Box::new(Idle));
+        }
+    }
+    c
+}
+
+/// The pinned budget: average heap bytes one idle endpoint may cost on
+/// top of its node. The eager slot pool alone would be 1 MiB; the lean
+/// endpoint (lazy slots, empty maps, no partner windows) measures a
+/// few hundred bytes, so 64 KiB leaves room for honest growth while
+/// still failing instantly if slot backing ever becomes eager again.
+const PER_ENDPOINT_BUDGET: u64 = 64 * 1024;
+
+#[test]
+fn ten_k_endpoint_cluster_stays_under_budget() {
+    // Node-only baseline: same world, no endpoints. Subtracting it
+    // isolates the endpoint cost from NIC/driver/metrics fixtures.
+    let baseline = build(0);
+    let before = live();
+    let cluster = build(EPS_PER_NODE);
+    let with_eps = live() - before;
+    let per_ep = with_eps / ENDPOINTS;
+    assert!(
+        per_ep <= PER_ENDPOINT_BUDGET,
+        "idle endpoint costs {per_ep} heap bytes (budget {PER_ENDPOINT_BUDGET}); \
+         did slot backing become eager?"
+    );
+    drop(cluster);
+    drop(baseline);
+}
